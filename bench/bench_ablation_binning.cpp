@@ -1,0 +1,48 @@
+// Ablation: contig binning on/off. Binning groups contigs with similar
+// read counts into the same launch so co-resident walks finish together
+// (Fig. 3); without it, stragglers serialise whole waves.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "model/ascii_plot.hpp"
+#include "model/csv.hpp"
+#include "model/study.hpp"
+#include "workload/dataset.hpp"
+
+int main() {
+  using namespace lassm;
+  const model::StudyConfig cfg = model::study_config_from_env();
+
+  std::cout << "== Ablation: contig binning (A100 model, scale "
+            << cfg.scale << ") ==\n\n";
+
+  model::TextTable t({"k", "binned (ms)", "unbinned (ms)", "binning gain"});
+  model::CsvWriter csv(model::results_dir() + "/ablation_binning.csv",
+                       {"k", "binned_ms", "unbinned_ms", "gain"});
+
+  const simt::DeviceSpec dev = simt::DeviceSpec::a100();
+  for (std::uint32_t k : workload::kTable2Ks) {
+    workload::DatasetParams p = workload::table2_params(k);
+    p.num_contigs = std::max<std::uint32_t>(
+        50, static_cast<std::uint32_t>(p.num_contigs * cfg.scale));
+    p.num_reads = std::max<std::uint32_t>(
+        100, static_cast<std::uint32_t>(p.num_reads * cfg.scale));
+    const auto input = workload::generate_dataset(p, cfg.seed);
+
+    core::AssemblyOptions binned;
+    core::AssemblyOptions unbinned;
+    unbinned.bin_contigs = false;
+    const auto cb = model::run_cell(dev, dev.native_model, input, binned);
+    const auto cu = model::run_cell(dev, dev.native_model, input, unbinned);
+    t.add_row({std::to_string(k), model::TextTable::fmt(cb.time_s * 1e3, 3),
+               model::TextTable::fmt(cu.time_s * 1e3, 3),
+               model::TextTable::fmt(cu.time_s / cb.time_s, 2) + "x"});
+    csv.row(k, cb.time_s * 1e3, cu.time_s * 1e3, cu.time_s / cb.time_s);
+  }
+  t.render(std::cout);
+  std::cout << "\nexpected: binning >= 1x at every k (identical results, "
+               "less straggler-serialised wave time)\n";
+  std::cout << "\nCSV: " << csv.path() << "\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation: run every atomic-insertion protocol (CUDA __match_any_sync,
+// HIP done-flag, SYCL sub-group barrier) on every device model. The paper
+// ports each protocol to its native device; this cross product shows how
+// much of each device's behaviour is the protocol vs the hardware.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "model/ascii_plot.hpp"
+#include "model/csv.hpp"
+#include "model/study.hpp"
+#include "workload/dataset.hpp"
+
+int main() {
+  using namespace lassm;
+  const model::StudyConfig cfg = model::study_config_from_env();
+  constexpr std::uint32_t kK = 33;
+
+  std::cout << "== Ablation: insertion protocol x device (k=" << kK
+            << ", scale " << cfg.scale << ") ==\n\n";
+
+  workload::DatasetParams p = workload::table2_params(kK);
+  p.num_contigs = std::max<std::uint32_t>(
+      50, static_cast<std::uint32_t>(p.num_contigs * cfg.scale));
+  p.num_reads = std::max<std::uint32_t>(
+      100, static_cast<std::uint32_t>(p.num_reads * cfg.scale));
+  const auto input = workload::generate_dataset(p, cfg.seed);
+
+  model::TextTable t({"device", "protocol", "time (ms)", "GINTOP/s",
+                      "INTOPs", "native?"});
+  model::CsvWriter csv(model::results_dir() + "/ablation_protocols.csv",
+                       {"device", "protocol", "time_ms", "gintops",
+                        "intops", "native"});
+
+  for (const auto& dev : simt::DeviceSpec::study_devices()) {
+    for (auto pm : {simt::ProgrammingModel::kCuda,
+                    simt::ProgrammingModel::kHip,
+                    simt::ProgrammingModel::kSycl}) {
+      const model::StudyCell c = model::run_cell(dev, pm, input, {});
+      const bool native = pm == dev.native_model;
+      t.add_row({dev.name, simt::model_name(pm),
+                 model::TextTable::fmt(c.time_s * 1e3, 3),
+                 model::TextTable::fmt(c.gintops, 1),
+                 std::to_string(c.intops), native ? "yes" : ""});
+      csv.row(dev.name, simt::model_name(pm), c.time_s * 1e3, c.gintops,
+              c.intops, native);
+    }
+  }
+  t.render(std::cout);
+  std::cout << "\nexpected: protocol choice shifts instruction counts by a "
+               "few percent; the device model dominates the time — the "
+               "paper's conclusion that portability costs live in hardware "
+               "traits, not the collective idiom\n";
+  std::cout << "\nCSV: " << csv.path() << "\n";
+  return 0;
+}

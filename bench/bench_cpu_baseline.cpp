@@ -1,0 +1,53 @@
+// CPU baseline: wall-clock of the serial reference implementation against
+// the modelled GPU kernel time (the paper cites a ~7x speed-up from moving
+// local assembly to the GPU [4]).
+
+#include <chrono>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/reference.hpp"
+#include "model/ascii_plot.hpp"
+#include "model/csv.hpp"
+#include "workload/dataset.hpp"
+
+int main() {
+  using namespace lassm;
+  const model::StudyConfig cfg = model::study_config_from_env();
+
+  std::cout << "== CPU baseline vs simulated GPU kernel ==\n";
+  std::cout << "(CPU = this host's single-core wall clock; GPU = modelled "
+               "device time; the paper reports ~7x end-to-end)\n\n";
+
+  model::TextTable t({"k", "CPU reference (ms)", "A100 model (ms)",
+                      "speed-up"});
+  model::CsvWriter csv(model::results_dir() + "/cpu_baseline.csv",
+                       {"k", "cpu_ms", "gpu_ms", "speedup"});
+
+  for (std::uint32_t k : workload::kTable2Ks) {
+    workload::DatasetParams p = workload::table2_params(k);
+    p.num_contigs = std::max<std::uint32_t>(
+        50, static_cast<std::uint32_t>(p.num_contigs * cfg.scale));
+    p.num_reads = std::max<std::uint32_t>(
+        100, static_cast<std::uint32_t>(p.num_reads * cfg.scale));
+    const auto in = workload::generate_dataset(p, cfg.seed);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto ref = core::reference_extend(in);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double cpu_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    (void)ref;
+
+    core::LocalAssembler assembler(simt::DeviceSpec::a100());
+    const double gpu_ms = assembler.run(in).total_time_s * 1e3;
+
+    t.add_row({std::to_string(k), model::TextTable::fmt(cpu_ms, 2),
+               model::TextTable::fmt(gpu_ms, 3),
+               model::TextTable::fmt(cpu_ms / gpu_ms, 1) + "x"});
+    csv.row(k, cpu_ms, gpu_ms, cpu_ms / gpu_ms);
+  }
+  t.render(std::cout);
+  std::cout << "\nCSV: " << csv.path() << "\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 5: kernel execution time comparison across devices and k-mer
+// sizes (grouped bars + CSV).
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "model/ascii_plot.hpp"
+#include "model/csv.hpp"
+
+int main() {
+  using namespace lassm;
+  const model::StudyResults study = bench::cached_study();
+  bench::print_banner(std::cout, "Figure 5: kernel execution time", study);
+
+  model::GroupedBarChart chart("Kernel Time", "milliseconds (modelled)");
+  std::vector<std::string> groups;
+  for (std::uint32_t k : study.config.ks) {
+    groups.push_back("kmer size " + std::to_string(k));
+  }
+  chart.set_groups(groups);
+
+  model::CsvWriter csv(model::results_dir() + "/fig5_kernel_time.csv",
+                       {"device", "model", "k", "time_ms"});
+  for (const auto& dev : study.devices) {
+    std::vector<double> times;
+    for (std::uint32_t k : study.config.ks) {
+      const auto& c = study.cell(dev.vendor, k);
+      times.push_back(c.time_s * 1e3);
+      csv.row(dev.name, simt::model_name(c.pm), k, c.time_s * 1e3);
+    }
+    chart.add_series(simt::vendor_name(dev.vendor), times);
+  }
+  chart.render(std::cout);
+
+  // Shape checks the paper's discussion hinges on.
+  const auto& amd21 = study.cell(simt::Vendor::kAmd, 21);
+  const auto& amd77 = study.cell(simt::Vendor::kAmd, 77);
+  const auto& nv21 = study.cell(simt::Vendor::kNvidia, 21);
+  const auto& nv77 = study.cell(simt::Vendor::kNvidia, 77);
+  std::cout << "\nshape checks vs paper:\n";
+  std::cout << "  AMD grows k=21 -> k=77 by "
+            << model::TextTable::fmt(amd77.time_s / amd21.time_s, 2)
+            << "x (paper ~3.2x)  [expect > 1]\n";
+  std::cout << "  AMD/NVIDIA at k=77: "
+            << model::TextTable::fmt(amd77.time_s / nv77.time_s, 2)
+            << "x (paper ~2.6x)  [expect > 1]\n";
+  std::cout << "  NVIDIA k=77 / k=21: "
+            << model::TextTable::fmt(nv77.time_s / nv21.time_s, 2)
+            << "x (paper ~0.76x) [expect ~1]\n";
+  std::cout << "\nCSV: " << csv.path() << "\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 6: the integer-operations roofline model for all three devices,
+// with the kernel's achieved (II, GINTOP/s) markers per k-mer size.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "model/ascii_plot.hpp"
+#include "model/csv.hpp"
+#include "model/roofline.hpp"
+
+int main() {
+  using namespace lassm;
+  const model::StudyResults study = bench::cached_study();
+  bench::print_banner(std::cout, "Figure 6: INTOP roofline models", study);
+
+  model::CsvWriter csv(model::results_dir() + "/fig6_roofline.csv",
+                       {"device", "k", "ii", "gintops", "ceiling", "bound",
+                        "machine_balance"});
+
+  for (const auto& dev : study.devices) {
+    model::ScatterPlot plot(
+        std::string("Roofline: ") + dev.name + "  (machine balance " +
+            model::TextTable::fmt(dev.machine_balance(), 2) + ", peak " +
+            model::TextTable::fmt(dev.peak_gintops, 0) + " GINTOPS)",
+        "II [INTOPs/byte]", "GINTOP/s");
+    plot.set_log_x(true);
+    plot.set_log_y(true);
+    plot.set_x_range(0.01, 10.0);
+    plot.set_y_range(1.0, 2000.0);
+
+    const model::RooflineCurve curve =
+        model::sample_roofline(dev, 0.01, 10.0, 72);
+    plot.add_series({"roofline", '-', curve.intensity, curve.gintops});
+
+    const char markers[4] = {'1', '3', '5', '7'};  // k = 21/33/55/77
+    int mi = 0;
+    for (std::uint32_t k : study.config.ks) {
+      const auto& c = study.cell(dev.vendor, k);
+      plot.add_series({"k=" + std::to_string(k), markers[mi++ % 4],
+                       {c.intensity},
+                       {c.gintops}});
+      csv.row(dev.name, k, c.intensity, c.gintops,
+              model::roofline_ceiling(dev, c.intensity),
+              model::classify(dev, c.intensity) ==
+                      model::RooflineBound::kMemory
+                  ? "memory"
+                  : "compute",
+              dev.machine_balance());
+    }
+    plot.render(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "== hierarchical intensities (INTOPs per byte at each memory "
+               "level) ==\n";
+  model::TextTable hier({"device", "k", "II_L1", "II_L2", "II_HBM",
+                         "L1 ceil", "L2 ceil", "HBM ceil"});
+  for (const auto& dev : study.devices) {
+    for (std::uint32_t k : study.config.ks) {
+      const auto& c = study.cell(dev.vendor, k);
+      hier.add_row({dev.name, std::to_string(k),
+                    model::TextTable::fmt(c.ii_l1),
+                    model::TextTable::fmt(c.ii_l2),
+                    model::TextTable::fmt(c.intensity),
+                    model::TextTable::fmt(
+                        model::level_ceiling(dev, c.ii_l1, dev.l1_bw_gbps), 1),
+                    model::TextTable::fmt(
+                        model::level_ceiling(dev, c.ii_l2, dev.l2_bw_gbps), 1),
+                    model::TextTable::fmt(
+                        model::level_ceiling(dev, c.intensity, dev.hbm_bw_gbps), 1)});
+    }
+  }
+  hier.render(std::cout);
+
+  std::cout << "\npaper shape: A100 compute-bound at every k; MI250X memory-"
+               "bound at small k with markers drifting with k; Max 1550's "
+               "markers move upper-right with k\n";
+  std::cout << "\nCSV: " << csv.path() << "\n";
+  return 0;
+}

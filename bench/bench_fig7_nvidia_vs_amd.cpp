@@ -1,0 +1,57 @@
+// Figure 7: head-to-head correlation of the CUDA (A100) and HIP (MI250X)
+// implementations — GINTOP/s (a) and HBM gigabytes moved (b).
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "model/ascii_plot.hpp"
+#include "model/csv.hpp"
+
+int main() {
+  using namespace lassm;
+  const model::StudyResults study = bench::cached_study();
+  bench::print_banner(std::cout,
+                      "Figure 7: A100 vs MI250X (CUDA vs HIP)", study);
+
+  model::CsvWriter csv(model::results_dir() + "/fig7_nvidia_vs_amd.csv",
+                       {"k", "amd_gintops", "nvidia_gintops", "amd_gbytes",
+                        "nvidia_gbytes"});
+
+  model::ScatterPlot perf("a) A100 vs MI250X GINTOP/s", "MI250X GINTOP/s",
+                          "A100 GINTOP/s");
+  perf.set_log_x(true);
+  perf.set_log_y(true);
+  perf.add_diagonal();
+  model::ScatterPlot bytes("b) A100 vs MI250X GBytes", "MI250X GBytes",
+                           "A100 GBytes");
+  bytes.set_log_x(true);
+  bytes.set_log_y(true);
+  bytes.add_diagonal();
+
+  const char markers[4] = {'1', '3', '5', '7'};
+  int mi = 0;
+  bool perf_above = true, bytes_below = true;
+  for (std::uint32_t k : study.config.ks) {
+    const auto& nv = study.cell(simt::Vendor::kNvidia, k);
+    const auto& amd = study.cell(simt::Vendor::kAmd, k);
+    const char m = markers[mi++ % 4];
+    perf.add_series({"k=" + std::to_string(k), m, {amd.gintops},
+                     {nv.gintops}});
+    bytes.add_series({"k=" + std::to_string(k), m, {amd.hbm_gbytes},
+                      {nv.hbm_gbytes}});
+    csv.row(k, amd.gintops, nv.gintops, amd.hbm_gbytes, nv.hbm_gbytes);
+    perf_above = perf_above && nv.gintops > amd.gintops;
+    bytes_below = bytes_below && nv.hbm_gbytes < amd.hbm_gbytes;
+  }
+  perf.render(std::cout);
+  std::cout << "\n";
+  bytes.render(std::cout);
+
+  std::cout << "\nshape checks vs paper:\n";
+  std::cout << "  every point above diagonal in (a) — CUDA outperforms HIP: "
+            << (perf_above ? "YES" : "NO") << "\n";
+  std::cout << "  every point below diagonal in (b) — AMD moves more bytes: "
+            << (bytes_below ? "YES" : "NO") << "\n";
+  std::cout << "\nCSV: " << csv.path() << "\n";
+  return 0;
+}

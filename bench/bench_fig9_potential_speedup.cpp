@@ -1,0 +1,59 @@
+// Figure 9: the architecture-oblivious potential speed-up plot — each
+// point's x is % of theoretical INTOP intensity achieved (algorithm
+// efficiency), its y is % of the roofline achieved (architectural
+// efficiency); iso-curves of 1/e give the potential speed-up from
+// improving either axis.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "model/ascii_plot.hpp"
+#include "model/csv.hpp"
+
+int main() {
+  using namespace lassm;
+  const model::StudyResults study = bench::cached_study();
+  bench::print_banner(std::cout, "Figure 9: potential speed-up plot", study);
+
+  model::ScatterPlot plot("Potential speed-up", "% theoretical AI",
+                          "% roofline");
+  plot.set_x_range(0, 100);
+  plot.set_y_range(0, 100);
+
+  model::CsvWriter csv(
+      model::results_dir() + "/fig9_potential_speedup.csv",
+      {"device", "k", "pct_theoretical_ai", "pct_roofline",
+       "speedup_by_improving_ai", "speedup_by_improving_perf"});
+
+  const char device_marker[3] = {'N', 'A', 'I'};
+  int di = 0;
+  double max_x = 0, max_y = 0;
+  for (const auto& dev : study.devices) {
+    std::vector<double> xs, ys;
+    for (std::uint32_t k : study.config.ks) {
+      const auto& c = study.cell(dev.vendor, k);
+      xs.push_back(c.alg_eff * 100.0);
+      ys.push_back(c.arch_eff * 100.0);
+      max_x = std::max(max_x, xs.back());
+      max_y = std::max(max_y, ys.back());
+      csv.row(dev.name, k, c.alg_eff * 100.0, c.arch_eff * 100.0,
+              c.alg_eff > 0 ? 1.0 / c.alg_eff : 0.0,
+              c.arch_eff > 0 ? 1.0 / c.arch_eff : 0.0);
+    }
+    plot.add_series({std::string(simt::vendor_name(dev.vendor)),
+                     device_marker[di++ % 3], xs, ys});
+  }
+  plot.render(std::cout);
+
+  std::cout << "\niso speed-up reference: a point at (x%, y%) can gain "
+               "100/x by improving data locality and 100/y by improving "
+               "kernel performance\n";
+  std::cout << "paper shape: markers gather toward the lower-left corner "
+               "(unlike stencils in the upper right); Intel reaches the "
+               "furthest right at large k\n";
+  std::cout << "observed envelope: max %AI "
+            << model::TextTable::fmt(max_x, 1) << ", max %roofline "
+            << model::TextTable::fmt(max_y, 1) << "\n";
+  std::cout << "\nCSV: " << csv.path() << "\n";
+  return 0;
+}

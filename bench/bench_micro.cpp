@@ -1,0 +1,111 @@
+// Micro-benchmarks of the library's hot paths (google-benchmark): the
+// hash function, packed k-mer ops, cache simulation, warp collectives,
+// and the end-to-end simulated kernel per insertion.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bio/kmer.hpp"
+#include "bio/murmur.hpp"
+#include "bio/rng.hpp"
+#include "core/assembler.hpp"
+#include "memsim/tiered.hpp"
+#include "simt/warp.hpp"
+#include "workload/dataset.hpp"
+
+namespace {
+
+using namespace lassm;
+
+std::string random_seq(std::uint64_t seed, std::size_t len) {
+  bio::Xoshiro256 rng(seed);
+  std::string s(len, 'A');
+  for (char& c : s) c = bio::code_to_base(static_cast<int>(rng.below(4)));
+  return s;
+}
+
+void BM_MurmurHash(benchmark::State& state) {
+  const std::string key = random_seq(1, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bio::murmur_hash_aligned2(key.data(), key.size()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MurmurHash)->Arg(21)->Arg(33)->Arg(55)->Arg(77);
+
+void BM_PackedKmerPack(benchmark::State& state) {
+  const std::string s = random_seq(2, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bio::PackedKmer::pack(s));
+  }
+}
+BENCHMARK(BM_PackedKmerPack)->Arg(21)->Arg(77);
+
+void BM_PackedKmerCanonical(benchmark::State& state) {
+  const bio::PackedKmer km = bio::PackedKmer::pack(random_seq(3, 33));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(km.canonical());
+  }
+}
+BENCHMARK(BM_PackedKmerCanonical);
+
+void BM_CacheAccess(benchmark::State& state) {
+  memsim::TieredMemory mem(memsim::CacheConfig{16384, 64, 8},
+                           memsim::CacheConfig{262144, 64, 16});
+  bio::Xoshiro256 rng(4);
+  std::vector<std::uint64_t> addrs(4096);
+  for (auto& a : addrs) a = rng.below(1 << 22);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mem.read(addrs[i++ & 4095], 32));
+  }
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_MatchAny(benchmark::State& state) {
+  bio::Xoshiro256 rng(5);
+  std::vector<std::uint64_t> keys(64);
+  for (auto& k : keys) k = rng.below(8);
+  const simt::LaneMask active = simt::full_mask(64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simt::match_any(active, keys, 7));
+  }
+}
+BENCHMARK(BM_MatchAny);
+
+void BM_ReverseComplement(benchmark::State& state) {
+  const std::string s = random_seq(6, 1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bio::reverse_complement(s));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+}
+BENCHMARK(BM_ReverseComplement);
+
+/// End-to-end simulated kernel throughput: simulated insertions per second
+/// of host time (measures the simulator itself, not the modelled device).
+void BM_SimulatedKernel(benchmark::State& state) {
+  workload::DatasetParams p =
+      workload::table2_params(static_cast<std::uint32_t>(state.range(0)));
+  p.num_contigs = 60;
+  p.num_reads = 60 * 5;
+  const auto input = workload::generate_dataset(p, 7);
+  core::LocalAssembler assembler(simt::DeviceSpec::a100());
+  std::uint64_t insertions = 0;
+  for (auto _ : state) {
+    const auto r = assembler.run(input);
+    insertions = r.stats.totals.insertions;
+    benchmark::DoNotOptimize(r.total_time_s);
+  }
+  state.counters["sim_insertions_per_s"] = benchmark::Counter(
+      static_cast<double>(insertions * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatedKernel)->Arg(21)->Arg(77)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,34 @@
+// Table I: HPC architectures, compilers and languages — mapped onto the
+// simulated reproduction (the "compiler" column becomes the programming-
+// model port executed by the SIMT simulator).
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "model/ascii_plot.hpp"
+#include "model/csv.hpp"
+
+int main() {
+  using namespace lassm;
+
+  std::cout << "== Table I: HPC architectures, compilers and languages ==\n";
+  std::cout << "(paper system -> this reproduction's substitute)\n\n";
+
+  model::TextTable t({"HPC system (paper)", "Accelerator", "Programming model",
+                      "Paper toolchain", "Reproduction substitute"});
+  t.add_row({"Perlmutter (NERSC)", "NVIDIA A100", "CUDA", "CUDA 12.0",
+             "simulated A100 model, CUDA insertion protocol"});
+  t.add_row({"Frontier (OLCF)", "AMD MI250X", "HIP", "ROCm 5.3.0",
+             "simulated MI250X (1 GCD), HIP done-flag protocol"});
+  t.add_row({"Sunspot (ALCF)", "Intel Max 1550", "SYCL", "Intel DPC++ 2023",
+             "simulated Max 1550 (1 tile), SYCL sub-group protocol"});
+  t.render(std::cout);
+
+  model::CsvWriter csv(model::results_dir() + "/table1_platforms.csv",
+                       {"system", "accelerator", "model", "substitute"});
+  csv.row("Perlmutter", "NVIDIA A100", "CUDA", "simulated A100");
+  csv.row("Frontier", "AMD MI250X", "HIP", "simulated MI250X 1 GCD");
+  csv.row("Sunspot", "Intel Max 1550", "SYCL", "simulated Max 1550 1 tile");
+  std::cout << "\nCSV: " << csv.path() << "\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Table III: comparison of architectural features, straight from the
+// device models (which encode the paper's numbers).
+
+#include <iostream>
+
+#include "model/ascii_plot.hpp"
+#include "model/csv.hpp"
+#include "simt/device.hpp"
+
+int main() {
+  using namespace lassm;
+
+  std::cout << "== Table III: architectural features ==\n\n";
+  model::TextTable t({"Board", "Compute units", "L1 cache", "L2 cache",
+                      "Memory", "warp/subgroup", "peak GINTOPS",
+                      "HBM GB/s", "machine balance"});
+  model::CsvWriter csv(
+      model::results_dir() + "/table3_architecture.csv",
+      {"board", "cus", "l1_per_cu_bytes", "l2_bytes", "hbm_bytes",
+       "warp_width", "peak_gintops", "hbm_bw_gbps", "machine_balance"});
+
+  for (const auto& d : simt::DeviceSpec::study_devices()) {
+    t.add_row({d.name, std::to_string(d.num_cus),
+               std::to_string(d.l1_per_cu_bytes / 1024) + " KB/CU",
+               std::to_string(d.l2_bytes / (1024 * 1024)) + " MB",
+               std::to_string(d.hbm_bytes >> 30) + " GB",
+               std::to_string(d.warp_width),
+               model::TextTable::fmt(d.peak_gintops, 0),
+               model::TextTable::fmt(d.hbm_bw_gbps, 0),
+               model::TextTable::fmt(d.machine_balance(), 2)});
+    csv.row(d.name, d.num_cus, d.l1_per_cu_bytes, d.l2_bytes, d.hbm_bytes,
+            d.warp_width, d.peak_gintops, d.hbm_bw_gbps, d.machine_balance());
+  }
+  t.render(std::cout);
+  std::cout << "\npaper reference: A100 108 SMs / 192KB / 40MB;"
+               " MI250X 110 CUs per GCD / 16KB / 8MB per die;"
+               " Max 1550 64 Xe-cores per tile / 204MB L2 per tile\n";
+  std::cout << "machine balances annotated in Fig. 6: 0.23 / 0.23 / 0.09\n";
+  std::cout << "\nCSV: " << csv.path() << "\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Table IV: architectural efficiency and the Pennycook performance-
+// portability metric over the INTOP roofline.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "model/ascii_plot.hpp"
+#include "model/csv.hpp"
+#include "model/pennycook.hpp"
+
+int main() {
+  using namespace lassm;
+  const model::StudyResults study = bench::cached_study();
+  bench::print_banner(std::cout, "Table IV: architectural efficiency", study);
+
+  model::TextTable t({"dataset k", "NVIDIA A100 (CUDA)", "AMD MI250X (HIP)",
+                      "Intel Max 1550 (SYCL)", "P_arch"});
+  model::CsvWriter csv(model::results_dir() + "/table4_arch_efficiency.csv",
+                       {"k", "nvidia", "amd", "intel", "p_arch"});
+
+  const auto matrix = study.arch_eff_matrix();
+  const auto p = model::portability_table(matrix);
+  for (std::size_t i = 0; i < study.config.ks.size(); ++i) {
+    t.add_row({std::to_string(study.config.ks[i]),
+               model::TextTable::pct(matrix[i][0]),
+               model::TextTable::pct(matrix[i][1]),
+               model::TextTable::pct(matrix[i][2]),
+               model::TextTable::pct(p.per_dataset_p[i])});
+    csv.row(study.config.ks[i], matrix[i][0], matrix[i][1], matrix[i][2],
+            p.per_dataset_p[i]);
+  }
+  t.add_row({"Average P_arch", "", "", "", model::TextTable::pct(p.average_p)});
+  t.render(std::cout);
+
+  std::cout << "\npaper: per-cell 12.8%-18.8%; per-k P 14.4/15.9/16.3/15.6%; "
+               "average 15.5%\n";
+  std::cout << "expected shape: efficiencies of similar magnitude across "
+               "devices (good portability)\n";
+  std::cout << "\nCSV: " << csv.path() << "\n";
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Table VI: theoretical INTOP Intensity calculations (closed form).
+
+#include <iostream>
+
+#include "model/ascii_plot.hpp"
+#include "model/csv.hpp"
+#include "model/theoretical.hpp"
+#include "workload/dataset.hpp"
+
+int main() {
+  using namespace lassm;
+
+  std::cout << "== Table VI: theoretical II calculations ==\n\n";
+  model::TextTable t({"k-mer size", "INTOPs per loop cycle",
+                      "Bytes per loop cycle", "INTOP Intensity (II)"});
+  model::CsvWriter csv(model::results_dir() + "/table6_theoretical_ii.csv",
+                       {"k", "intops_per_cycle", "bytes_per_cycle", "ii"});
+
+  for (std::uint32_t k : workload::kTable2Ks) {
+    const model::TheoreticalII x = model::theoretical_ii(k);
+    t.add_row({std::to_string(k), std::to_string(x.intops_per_cycle),
+               std::to_string(x.bytes_per_cycle),
+               model::TextTable::fmt(x.ii, 3)});
+    csv.row(k, x.intops_per_cycle, x.bytes_per_cycle, x.ii);
+  }
+  t.render(std::cout);
+  std::cout << "\npaper rows: 430/89/4.831, 610/125/4.880, 914/191/4.785, "
+               "1270/257/4.942 (exact match required)\n";
+  std::cout << "\nCSV: " << csv.path() << "\n";
+  return 0;
+}

@@ -1,0 +1,138 @@
+#include "bench/common.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "model/csv.hpp"
+
+namespace lassm::bench {
+
+namespace {
+constexpr int kCacheVersion = 4;
+
+/// Any change to the device presets must invalidate cached studies.
+std::uint64_t device_fingerprint() {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](double v) {
+    h ^= static_cast<std::uint64_t>(v * 1e6);
+    h *= 1099511628211ULL;
+  };
+  for (const auto& d : simt::DeviceSpec::study_devices()) {
+    mix(static_cast<double>(d.warp_width));
+    mix(static_cast<double>(d.num_cus));
+    mix(static_cast<double>(d.l1_per_cu_bytes));
+    mix(static_cast<double>(d.l2_bytes));
+    mix(static_cast<double>(d.line_bytes));
+    mix(d.peak_gintops);
+    mix(d.hbm_bw_gbps);
+    mix(d.perf.clock_ghz);
+    mix(static_cast<double>(d.perf.l1_latency_cycles));
+    mix(static_cast<double>(d.perf.l2_latency_cycles));
+    mix(static_cast<double>(d.perf.hbm_latency_cycles));
+    mix(static_cast<double>(d.perf.resident_warps_per_cu));
+    mix(d.perf.cache_dilution);
+  }
+  return h;
+}
+
+const char* vendor_tag(simt::Vendor v) {
+  switch (v) {
+    case simt::Vendor::kNvidia: return "nvidia";
+    case simt::Vendor::kAmd: return "amd";
+    case simt::Vendor::kIntel: return "intel";
+  }
+  return "?";
+}
+
+bool load_cache(const std::string& path, const model::StudyConfig& cfg,
+                model::StudyResults& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  int version = 0;
+  double scale = 0;
+  std::uint64_t seed = 0, fp = 0;
+  std::size_t n_cells = 0;
+  if (!(in >> version >> scale >> seed >> fp >> n_cells)) return false;
+  if (version != kCacheVersion || scale != cfg.scale || seed != cfg.seed ||
+      fp != device_fingerprint()) {
+    return false;
+  }
+  out.config = cfg;
+  const auto& devices = simt::DeviceSpec::study_devices();
+  out.devices.assign(devices.begin(), devices.end());
+  out.cells.clear();
+  for (std::size_t i = 0; i < n_cells; ++i) {
+    model::StudyCell c;
+    std::string vendor;
+    int pm = 0;
+    if (!(in >> vendor >> pm >> c.k >> c.time_s >> c.gintops >> c.intensity >>
+          c.ii_l1 >> c.ii_l2 >> c.hbm_gbytes >> c.arch_eff >> c.alg_eff >>
+          c.theoretical_ii >> c.intops >> c.insertions >> c.walk_steps >>
+          c.mer_retries >> c.extension_bases)) {
+      return false;
+    }
+    c.pm = static_cast<simt::ProgrammingModel>(pm);
+    for (const auto& d : out.devices) {
+      if (vendor_tag(d.vendor) == vendor) {
+        c.vendor = d.vendor;
+        c.device_name = d.name;
+      }
+    }
+    out.cells.push_back(c);
+  }
+  return out.cells.size() == n_cells && !out.cells.empty();
+}
+
+void save_cache(const std::string& path, const model::StudyResults& study) {
+  std::ofstream out(path);
+  if (!out) return;
+  out << kCacheVersion << ' ' << study.config.scale << ' '
+      << study.config.seed << ' ' << device_fingerprint() << ' '
+      << study.cells.size() << '\n';
+  out.precision(17);
+  for (const auto& c : study.cells) {
+    out << vendor_tag(c.vendor) << ' ' << static_cast<int>(c.pm) << ' '
+        << c.k << ' ' << c.time_s << ' ' << c.gintops << ' ' << c.intensity
+        << ' ' << c.ii_l1 << ' ' << c.ii_l2 << ' ' << c.hbm_gbytes << ' '
+        << c.arch_eff << ' ' << c.alg_eff << ' ' << c.theoretical_ii << ' '
+        << c.intops << ' ' << c.insertions << ' ' << c.walk_steps << ' '
+        << c.mer_retries << ' ' << c.extension_bases << '\n';
+  }
+}
+
+}  // namespace
+
+std::string study_cache_path(const model::StudyConfig& cfg) {
+  std::ostringstream ss;
+  ss << model::results_dir() << "/study_cache_scale" << cfg.scale << "_seed"
+     << cfg.seed << ".txt";
+  return ss.str();
+}
+
+model::StudyResults cached_study() {
+  model::StudyConfig cfg = model::study_config_from_env();
+  const std::string path = study_cache_path(cfg);
+  model::StudyResults study;
+  if (load_cache(path, cfg, study)) {
+    std::cerr << "[bench] loaded cached study from " << path << "\n";
+    return study;
+  }
+  std::cerr << "[bench] running study grid (scale " << cfg.scale << ")...\n";
+  study = model::run_study(cfg, &std::cerr);
+  save_cache(path, study);
+  return study;
+}
+
+void print_banner(std::ostream& os, const char* experiment,
+                  const model::StudyResults& study) {
+  os << "================================================================\n";
+  os << " " << experiment << "\n";
+  os << " simulated local assembly study | dataset scale "
+     << study.config.scale << " of Table II | seed " << study.config.seed
+     << "\n";
+  os << " (shape reproduction; absolute numbers are model estimates)\n";
+  os << "================================================================\n";
+}
+
+}  // namespace lassm::bench

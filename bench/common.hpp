@@ -1,0 +1,25 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "model/study.hpp"
+
+/// Shared harness for the per-table/per-figure bench binaries: every bench
+/// consumes the same study grid (3 devices x 4 datasets). Because each
+/// bench is its own executable, results are cached on disk keyed by
+/// (scale, seed); delete the cache (or change LASSM_STUDY_SCALE /
+/// LASSM_STUDY_SEED) to force a re-run.
+namespace lassm::bench {
+
+/// Loads the cached study or runs it (logging progress to stderr).
+model::StudyResults cached_study();
+
+/// Path of the cache file for a config.
+std::string study_cache_path(const model::StudyConfig& cfg);
+
+/// Prints the standard bench banner (config provenance).
+void print_banner(std::ostream& os, const char* experiment,
+                  const model::StudyResults& study);
+
+}  // namespace lassm::bench

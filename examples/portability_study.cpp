@@ -1,0 +1,71 @@
+// Reproduces the paper's cross-vendor methodology end to end on a reduced
+// dataset scale: runs the local assembly kernel on the A100 / MI250X /
+// Max 1550 device models with their native programming models (CUDA / HIP
+// / SYCL), then prints kernel times (Fig. 5), roofline coordinates
+// (Fig. 6) and both Pennycook portability tables (Tables IV and VII).
+//
+//   LASSM_STUDY_SCALE=0.1 ./portability_study
+
+#include <iostream>
+
+#include "model/ascii_plot.hpp"
+#include "model/pennycook.hpp"
+#include "model/study.hpp"
+
+int main() {
+  using namespace lassm;
+
+  model::StudyConfig cfg = model::study_config_from_env();
+  std::cout << "running study at scale " << cfg.scale
+            << " (set LASSM_STUDY_SCALE to change)\n\n";
+  const model::StudyResults study = model::run_study(cfg, &std::cout);
+
+  std::cout << "\n== Kernel time by k-mer size (Fig. 5) ==\n";
+  model::TextTable times({"device", "model", "k=21", "k=33", "k=55", "k=77"});
+  for (const auto& dev : study.devices) {
+    std::vector<std::string> row{dev.name,
+                                 simt::model_name(dev.native_model)};
+    for (std::uint32_t k : cfg.ks) {
+      row.push_back(model::TextTable::fmt(
+          study.cell(dev.vendor, k).time_s * 1e3, 3) + " ms");
+    }
+    times.add_row(row);
+  }
+  times.render(std::cout);
+
+  std::cout << "\n== Roofline coordinates (Fig. 6) ==\n";
+  model::TextTable roof({"device", "k", "II [INTOP/byte]", "GINTOP/s",
+                         "ceiling", "bound", "arch eff", "alg eff"});
+  for (const auto& dev : study.devices) {
+    for (std::uint32_t k : cfg.ks) {
+      const auto& c = study.cell(dev.vendor, k);
+      roof.add_row({dev.name, std::to_string(k),
+                    model::TextTable::fmt(c.intensity),
+                    model::TextTable::fmt(c.gintops, 1),
+                    model::TextTable::fmt(
+                        model::roofline_ceiling(dev, c.intensity), 1),
+                    model::classify(dev, c.intensity) ==
+                            model::RooflineBound::kMemory
+                        ? "memory"
+                        : "compute",
+                    model::TextTable::pct(c.arch_eff),
+                    model::TextTable::pct(c.alg_eff)});
+    }
+  }
+  roof.render(std::cout);
+
+  const auto arch = model::portability_table(study.arch_eff_matrix());
+  const auto alg = model::portability_table(study.alg_eff_matrix());
+  std::cout << "\n== Performance portability (Tables IV & VII) ==\n";
+  model::TextTable p({"dataset k", "P_arch", "P_alg"});
+  for (std::size_t i = 0; i < cfg.ks.size(); ++i) {
+    p.add_row({std::to_string(cfg.ks[i]),
+               model::TextTable::pct(arch.per_dataset_p[i]),
+               model::TextTable::pct(alg.per_dataset_p[i])});
+  }
+  p.add_row({"average", model::TextTable::pct(arch.average_p),
+             model::TextTable::pct(alg.average_p)});
+  p.render(std::cout);
+
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Emulated vendor-profiler session: runs the local assembly kernel on each
+// device model and prints the counters exactly as the artifact appendix
+// extracts them from Nsight Compute / rocprof / Intel Advisor, plus the
+// per-launch timeline a profiler would show for the binned workflow.
+//
+//   ./profiler_demo [k] [scale]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/assembler.hpp"
+#include "model/profiler.hpp"
+#include "workload/dataset.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lassm;
+  const std::uint32_t k =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 33;
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.05;
+
+  workload::DatasetParams p = workload::table2_params(k);
+  p.num_contigs = std::max<std::uint32_t>(
+      50, static_cast<std::uint32_t>(p.num_contigs * scale));
+  p.num_reads = std::max<std::uint32_t>(
+      100, static_cast<std::uint32_t>(p.num_reads * scale));
+  const core::AssemblyInput input = workload::generate_dataset(p, 7);
+
+  std::cout << "profiling the local assembly kernel: k=" << k << ", "
+            << input.contigs.size() << " contigs, " << input.reads.size()
+            << " reads\n\n";
+
+  for (const auto& dev : simt::DeviceSpec::study_devices()) {
+    core::LocalAssembler assembler(dev);
+    const core::AssemblyResult result = assembler.run(input);
+    const model::ProfileReport report = model::profile(dev, result);
+    model::print_profile(std::cout, report);
+    if (dev.vendor == simt::Vendor::kNvidia) {
+      model::print_launch_timeline(std::cout, dev, result);
+    }
+    std::cout << "\n";
+  }
+  std::cout << "these counters feed Tables IV & VII and Figures 5-9 (see "
+               "the bench binaries)\n";
+  return 0;
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Reproduction of the artifact's test_script.sh: generate the four study
+# datasets, run ht_loc on every device model, and verify each result file
+# against the CPU reference bit-for-bit.
+#
+#   scripts/test_script.sh [build_dir] [scale]
+set -euo pipefail
+
+BUILD=${1:-build}
+SCALE=${2:-0.02}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+fail=0
+for k in 21 33 55 77; do
+  data="$WORK/localassm_extend_7-$k.dat"
+  "$BUILD/examples/dataset_tool" gen "$k" "$SCALE" "$data" > /dev/null
+
+  LASSM_DEVICE=reference "$BUILD/examples/ht_loc" "$data" "$k" \
+      "$WORK/ref_$k.dat" 2> /dev/null
+  for device in nvidia amd intel; do
+    out="$WORK/res_${device}_$k.dat"
+    LASSM_DEVICE=$device "$BUILD/examples/ht_loc" "$data" "$k" "$out" \
+        2> /dev/null
+    if cmp -s "$WORK/ref_$k.dat" "$out"; then
+      echo "PASS k=$k $device"
+    else
+      echo "FAIL k=$k $device (differs from CPU reference)"
+      fail=1
+    fi
+  done
+done
+
+exit $fail

@@ -1,0 +1,28 @@
+#include "bio/contig.hpp"
+
+#include <algorithm>
+
+namespace lassm::bio {
+
+std::uint64_t total_contig_bases(const ContigSet& contigs) noexcept {
+  std::uint64_t total = 0;
+  for (const Contig& c : contigs) total += c.length();
+  return total;
+}
+
+std::uint64_t n50(const ContigSet& contigs) {
+  if (contigs.empty()) return 0;
+  std::vector<std::uint64_t> lens;
+  lens.reserve(contigs.size());
+  for (const Contig& c : contigs) lens.push_back(c.length());
+  std::sort(lens.begin(), lens.end(), std::greater<>());
+  const std::uint64_t total = total_contig_bases(contigs);
+  std::uint64_t acc = 0;
+  for (std::uint64_t len : lens) {
+    acc += len;
+    if (acc * 2 >= total) return len;
+  }
+  return lens.back();
+}
+
+}  // namespace lassm::bio

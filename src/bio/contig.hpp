@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lassm::bio {
+
+/// A contiguous assembled region. Local assembly extends contigs on both
+/// ends, so the sequence is an owned, growable string (unlike reads, which
+/// live in a shared arena).
+struct Contig {
+  std::uint64_t id = 0;
+  std::string seq;
+  double depth = 1.0;  ///< mean read coverage, carried through the pipeline
+
+  std::uint64_t length() const noexcept { return seq.size(); }
+};
+
+/// Extension results for one contig from one local-assembly call.
+struct ContigExtension {
+  std::uint64_t contig_id = 0;
+  std::string left;    ///< bases prepended (already in contig orientation)
+  std::string right;   ///< bases appended
+  std::uint32_t left_mer_len = 0;   ///< mer size whose walk was accepted
+  std::uint32_t right_mer_len = 0;
+};
+
+/// Applies an extension to a contig in place.
+inline void apply_extension(Contig& c, const ContigExtension& e) {
+  c.seq.insert(0, e.left);
+  c.seq.append(e.right);
+}
+
+using ContigSet = std::vector<Contig>;
+
+/// Total bases across a contig set.
+std::uint64_t total_contig_bases(const ContigSet& contigs) noexcept;
+
+/// N50: the length L such that contigs of length >= L cover at least half
+/// of the total assembled bases. Standard assembly quality metric, used by
+/// the pipeline examples/tests.
+std::uint64_t n50(const ContigSet& contigs);
+
+}  // namespace lassm::bio

@@ -1,0 +1,39 @@
+#include "bio/dna.hpp"
+
+#include <algorithm>
+
+namespace lassm::bio {
+
+bool is_valid_sequence(std::string_view s) noexcept {
+  return std::all_of(s.begin(), s.end(), [](char b) { return is_valid_base(b); });
+}
+
+std::string reverse_complement(std::string_view s) {
+  std::string out(s.size(), 'N');
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    out[s.size() - 1 - i] = complement(s[i]);
+  }
+  return out;
+}
+
+void reverse_complement_inplace(char* begin, char* end) noexcept {
+  while (begin < end) {
+    --end;
+    const char a = complement(*begin);
+    const char b = complement(*end);
+    *begin = b;
+    *end = a;
+    ++begin;
+  }
+  // Odd lengths are handled inside the loop: the final iteration has
+  // begin == end after --end, which complements the middle base exactly once.
+}
+
+std::size_t hamming_distance(std::string_view a, std::string_view b) noexcept {
+  const std::size_t n = std::min(a.size(), b.size());
+  std::size_t d = a.size() + b.size() - 2 * n;
+  for (std::size_t i = 0; i < n; ++i) d += (a[i] != b[i]) ? 1 : 0;
+  return d;
+}
+
+}  // namespace lassm::bio

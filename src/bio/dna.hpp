@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+/// DNA alphabet utilities.
+///
+/// The local assembly kernel operates on plain ASCII nucleotide strings
+/// ('A','C','G','T') exactly as the MetaHipMer GPU kernel does: hash-table
+/// keys are raw character pointers into the read buffer, so we keep the
+/// ASCII representation as the canonical one and provide 2-bit packing only
+/// as a convenience for the host-side pipeline.
+namespace lassm::bio {
+
+inline constexpr int kNumBases = 4;
+
+/// 2-bit code for a nucleotide. Returns -1 for anything that is not ACGT
+/// (including lowercase and IUPAC ambiguity codes — the assembler filters
+/// those out upstream).
+constexpr int base_to_code(char b) noexcept {
+  switch (b) {
+    case 'A': return 0;
+    case 'C': return 1;
+    case 'G': return 2;
+    case 'T': return 3;
+    default: return -1;
+  }
+}
+
+/// Inverse of base_to_code. code must be in [0,4).
+constexpr char code_to_base(int code) noexcept {
+  constexpr char kBases[kNumBases + 1] = "ACGT";
+  return kBases[code & 3];
+}
+
+/// Watson-Crick complement; non-ACGT characters map to 'N'.
+constexpr char complement(char b) noexcept {
+  switch (b) {
+    case 'A': return 'T';
+    case 'C': return 'G';
+    case 'G': return 'C';
+    case 'T': return 'A';
+    default: return 'N';
+  }
+}
+
+constexpr bool is_valid_base(char b) noexcept { return base_to_code(b) >= 0; }
+
+/// True iff every character of s is one of ACGT.
+bool is_valid_sequence(std::string_view s) noexcept;
+
+/// Reverse complement of a sequence. Non-ACGT characters become 'N'.
+std::string reverse_complement(std::string_view s);
+
+/// In-place reverse complement (used on arena buffers to avoid allocation).
+void reverse_complement_inplace(char* begin, char* end) noexcept;
+
+/// Count of positions at which a and b differ; compares up to the shorter
+/// length and counts the length difference as mismatches.
+std::size_t hamming_distance(std::string_view a, std::string_view b) noexcept;
+
+}  // namespace lassm::bio

@@ -1,0 +1,80 @@
+#include "bio/fasta.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "bio/dna.hpp"
+
+namespace lassm::bio {
+
+namespace {
+constexpr std::size_t kWrap = 80;
+}
+
+void write_fasta(std::ostream& os, const ContigSet& contigs) {
+  for (const Contig& c : contigs) {
+    os << ">contig" << c.id << " len=" << c.length() << " depth=" << c.depth
+       << '\n';
+    for (std::size_t i = 0; i < c.seq.size(); i += kWrap) {
+      os << std::string_view(c.seq).substr(i, kWrap) << '\n';
+    }
+  }
+}
+
+std::vector<FastaRecord> read_fasta(std::istream& is) {
+  std::vector<FastaRecord> records;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      records.push_back({line.substr(1), {}});
+    } else {
+      if (records.empty()) {
+        throw std::runtime_error("FASTA: sequence data before first header");
+      }
+      records.back().seq += line;
+    }
+  }
+  return records;
+}
+
+void write_fastq(std::ostream& os, const ReadSet& reads) {
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    os << "@read" << i << '\n'
+       << reads.seq(i) << '\n'
+       << "+\n"
+       << reads.qual(i) << '\n';
+  }
+}
+
+ReadSet read_fastq(std::istream& is, std::size_t* n_dropped) {
+  ReadSet out;
+  std::size_t dropped = 0;
+  std::string header, seq, plus, qual;
+  while (std::getline(is, header)) {
+    if (header.empty()) continue;
+    if (header[0] != '@') {
+      throw std::runtime_error("FASTQ: expected '@' header, got: " + header);
+    }
+    if (!std::getline(is, seq) || !std::getline(is, plus) ||
+        !std::getline(is, qual)) {
+      throw std::runtime_error("FASTQ: truncated record: " + header);
+    }
+    if (plus.empty() || plus[0] != '+') {
+      throw std::runtime_error("FASTQ: expected '+' separator in: " + header);
+    }
+    if (seq.size() != qual.size()) {
+      throw std::runtime_error("FASTQ: seq/qual length mismatch in: " + header);
+    }
+    if (!is_valid_sequence(seq)) {
+      ++dropped;
+      continue;
+    }
+    out.append(seq, qual);
+  }
+  if (n_dropped != nullptr) *n_dropped = dropped;
+  return out;
+}
+
+}  // namespace lassm::bio

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bio/contig.hpp"
+#include "bio/read.hpp"
+
+/// Minimal FASTA/FASTQ I/O for the examples and the pipeline. Parsers are
+/// tolerant of wrapped FASTA lines and blank lines; FASTQ is the strict
+/// 4-line record form produced by modern instruments.
+namespace lassm::bio {
+
+struct FastaRecord {
+  std::string name;
+  std::string seq;
+};
+
+/// Writes contigs as FASTA (one record per contig, 80-column wrapping).
+void write_fasta(std::ostream& os, const ContigSet& contigs);
+
+/// Parses FASTA records from a stream. Throws std::runtime_error on
+/// malformed input.
+std::vector<FastaRecord> read_fasta(std::istream& is);
+
+/// Writes a ReadSet as FASTQ ("@read<i>" naming).
+void write_fastq(std::ostream& os, const ReadSet& reads);
+
+/// Parses FASTQ into a ReadSet. Reads containing non-ACGT bases are
+/// dropped (returned in *n_dropped if non-null) — mirroring the upstream
+/// filtering MetaHipMer applies before local assembly.
+ReadSet read_fastq(std::istream& is, std::size_t* n_dropped = nullptr);
+
+}  // namespace lassm::bio

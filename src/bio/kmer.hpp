@@ -1,0 +1,107 @@
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "bio/dna.hpp"
+#include "bio/murmur.hpp"
+
+namespace lassm::bio {
+
+/// A k-mer as the GPU kernel sees it: a raw view into the read/contig
+/// character buffer, plus the *simulated* global-memory address of those
+/// bytes. This mirrors the kernel's `cstr_type { start_ptr, length }`; the
+/// hash table stores these views rather than copies, so every key comparison
+/// re-reads the underlying buffer — which is exactly the memory behaviour the
+/// paper's byte-count model (B = k bytes per key touch) describes.
+struct KmerView {
+  const char* ptr = nullptr;   ///< host storage of the characters
+  std::uint32_t len = 0;       ///< k
+  std::uint64_t sim_addr = 0;  ///< simulated device address of ptr[0]
+
+  constexpr std::string_view sv() const noexcept { return {ptr, len}; }
+
+  friend bool operator==(const KmerView& a, const KmerView& b) noexcept {
+    return a.len == b.len && a.sv() == b.sv();
+  }
+
+  std::uint32_t hash(std::uint32_t table_size) const noexcept {
+    return murmur_slot(ptr, len, table_size);
+  }
+};
+
+/// Maximum k supported by the packed representation (the MetaHipMer ladder
+/// tops out at k = 77; 128 leaves headroom for extensions).
+inline constexpr std::uint32_t kMaxK = 128;
+
+/// 2-bit-packed k-mer for the host-side pipeline (k-mer analysis, global de
+/// Bruijn graph). Packing is big-endian in base order: the first base of the
+/// k-mer occupies the highest-order occupied bits, which makes lexicographic
+/// comparison equal to integer comparison word by word.
+class PackedKmer {
+ public:
+  PackedKmer() = default;
+
+  /// Packs s[0..k); every character must be ACGT (checked in debug builds).
+  static PackedKmer pack(std::string_view s) noexcept;
+
+  /// Unpacks back to an ASCII string of length k().
+  std::string unpack() const;
+
+  std::uint32_t k() const noexcept { return k_; }
+
+  /// 2-bit code of base at position i (0 = first base).
+  int code_at(std::uint32_t i) const noexcept;
+
+  /// k-mer shifted left by one base with `code` appended (the de Bruijn
+  /// successor along edge `code`). Length is preserved.
+  PackedKmer successor(int code) const noexcept;
+
+  /// k-mer shifted right by one base with `code` prepended (the de Bruijn
+  /// predecessor whose successor along this k-mer's last base is *this).
+  PackedKmer predecessor(int code) const noexcept;
+
+  /// Reverse complement with the same k.
+  PackedKmer reverse_complement() const noexcept;
+
+  /// Canonical form: lexicographic min of this and its reverse complement.
+  /// Used for strand-insensitive k-mer counting.
+  PackedKmer canonical() const noexcept;
+
+  /// 64-bit mixing hash of the packed words (for host hash maps).
+  std::uint64_t hash64() const noexcept;
+
+  friend bool operator==(const PackedKmer& a, const PackedKmer& b) noexcept {
+    return a.k_ == b.k_ && a.w_ == b.w_;
+  }
+  friend std::strong_ordering operator<=>(const PackedKmer& a,
+                                          const PackedKmer& b) noexcept {
+    if (auto c = a.w_ <=> b.w_; c != 0) return c;
+    return a.k_ <=> b.k_;
+  }
+
+ private:
+  static constexpr std::uint32_t kWords = (kMaxK * 2 + 63) / 64;
+  // w_[0] holds the first 32 bases in its high bits.
+  std::array<std::uint64_t, kWords> w_{};
+  std::uint32_t k_ = 0;
+
+  void set_code(std::uint32_t i, int code) noexcept;
+};
+
+/// Hash functor for unordered containers keyed by PackedKmer.
+struct PackedKmerHash {
+  std::size_t operator()(const PackedKmer& km) const noexcept {
+    return static_cast<std::size_t>(km.hash64());
+  }
+};
+
+/// Number of k-mers in a sequence of length n (0 when n < k).
+constexpr std::uint64_t kmer_count(std::uint64_t n, std::uint32_t k) noexcept {
+  return n >= k ? n - k + 1 : 0;
+}
+
+}  // namespace lassm::bio

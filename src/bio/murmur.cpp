@@ -1,0 +1,45 @@
+#include "bio/murmur.hpp"
+
+#include <cstring>
+
+namespace lassm::bio {
+
+std::uint32_t murmur_hash_aligned2(const void* key, std::size_t len,
+                                   std::uint32_t seed) noexcept {
+  // Reference constants from MurmurHash2.
+  constexpr std::uint32_t m = 0x5bd1e995U;
+  constexpr int r = 24;
+
+  const auto* data = static_cast<const unsigned char*>(key);
+  std::uint32_t h = seed ^ static_cast<std::uint32_t>(len);
+
+  while (len >= 4) {
+    std::uint32_t k;
+    std::memcpy(&k, data, sizeof(k));  // x86: compiles to a single load
+
+    k *= m;
+    k ^= k >> r;
+    k *= m;
+
+    h *= m;
+    h ^= k;
+
+    data += 4;
+    len -= 4;
+  }
+
+  switch (len) {
+    case 3: h ^= static_cast<std::uint32_t>(data[2]) << 16; [[fallthrough]];
+    case 2: h ^= static_cast<std::uint32_t>(data[1]) << 8; [[fallthrough]];
+    case 1: h ^= data[0]; h *= m; break;
+    default: break;
+  }
+
+  h ^= h >> 13;
+  h *= m;
+  h ^= h >> 15;
+
+  return h;
+}
+
+}  // namespace lassm::bio

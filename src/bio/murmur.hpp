@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+/// MurmurHashAligned2 — the hash function used by the MetaHipMer local
+/// assembly kernel (Appleby's SMHasher family). The paper's Table V counts
+/// the integer operations it performs per call as a function of key length:
+///
+///   initialization : 33 INTOPs
+///   mix loop       : 25 INTOPs per 4-byte block  (125/200/325/475 for
+///                                                 k = 21/33/55/77)
+///   cleanup        : 31 INTOPs
+///
+/// We expose both the hash itself and that closed-form op count so the SIMT
+/// counters and the theoretical-II calculator agree with the paper exactly.
+namespace lassm::bio {
+
+/// Canonical seed used by the kernel for all k-mer hashing.
+inline constexpr std::uint32_t kMurmurSeed = 0x3FB0BB5FU;
+
+/// MurmurHash2 (aligned variant semantics) over `len` bytes of `key`.
+/// Deterministic across platforms; x86 allows the unaligned 32-bit loads the
+/// "aligned" variant emulates with shifts on strict-alignment targets.
+std::uint32_t murmur_hash_aligned2(const void* key, std::size_t len,
+                                   std::uint32_t seed = kMurmurSeed) noexcept;
+
+/// Number of integer operations one murmur_hash_aligned2 call performs on a
+/// key of `len` bytes, per the paper's Table V accounting.
+constexpr std::uint64_t murmur_intops(std::size_t len) noexcept {
+  constexpr std::uint64_t kInitOps = 33;
+  constexpr std::uint64_t kMixOpsPerBlock = 25;
+  constexpr std::uint64_t kCleanupOps = 31;
+  return kInitOps + kMixOpsPerBlock * (len / 4) + kCleanupOps;
+}
+
+/// Table V's INTOP1 totals exceed the init+mix+cleanup breakdown by
+/// len + len/4 operations — the byte loads and word folds of feeding the
+/// key into the hash. This is the per-hash-call cost the paper's models
+/// (Tables V and VI) actually use: 215/305/457/635 for k = 21/33/55/77.
+constexpr std::uint64_t hash_call_intops(std::size_t len) noexcept {
+  return murmur_intops(len) + len + len / 4;
+}
+
+/// Convenience: hash reduced modulo a table size (the kernel computes
+/// `MurmurHashAligned2(key, max_size)` — hash then modulo).
+inline std::uint32_t murmur_slot(const void* key, std::size_t len,
+                                 std::uint32_t table_size) noexcept {
+  return table_size == 0 ? 0 : murmur_hash_aligned2(key, len) % table_size;
+}
+
+}  // namespace lassm::bio

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+
+/// Phred quality-score helpers (Phred+33 ASCII encoding, Illumina style).
+namespace lassm::bio {
+
+inline constexpr char kQualOffset = 33;
+inline constexpr int kMaxPhred = 41;
+
+/// Quality threshold separating "high quality" from "low quality" extension
+/// votes in the local assembly kernel (MetaHipMer uses Q20: 1% error).
+inline constexpr int kHiQualThreshold = 20;
+
+/// Minimum number of high-quality votes required to accept an extension
+/// during the mer-walk. MetaHipMer derives a dynamic minimum depth from the
+/// contig's own coverage with a floor of one read — the study datasets are
+/// sparse (~1.5 reads per contig end, Table II), so the floor is what
+/// production behaviour reduces to here.
+inline constexpr int kMinViableVotes = 1;
+
+constexpr char phred_to_ascii(int q) noexcept {
+  if (q < 0) q = 0;
+  if (q > kMaxPhred) q = kMaxPhred;
+  return static_cast<char>(q + kQualOffset);
+}
+
+constexpr int ascii_to_phred(char c) noexcept {
+  const int q = c - kQualOffset;
+  return q < 0 ? 0 : q;
+}
+
+constexpr bool is_high_quality(char c) noexcept {
+  return ascii_to_phred(c) >= kHiQualThreshold;
+}
+
+/// Error probability implied by a Phred score: 10^(-q/10), computed with a
+/// small lookup-free approximation adequate for simulation (exact at the
+/// decade points).
+constexpr double phred_error_prob(int q) noexcept {
+  // 10^(-q/10) = 10^(-(q/10)) * 10^(-(q%10)/10)
+  constexpr double kTenth[10] = {1.0,      0.794328, 0.630957, 0.501187,
+                                 0.398107, 0.316228, 0.251189, 0.199526,
+                                 0.158489, 0.125893};
+  if (q < 0) q = 0;
+  double p = kTenth[q % 10];
+  for (int i = 0; i < q / 10; ++i) p *= 0.1;
+  return p;
+}
+
+}  // namespace lassm::bio

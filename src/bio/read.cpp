@@ -1,0 +1,57 @@
+#include "bio/read.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "bio/dna.hpp"
+#include "bio/quality.hpp"
+
+namespace lassm::bio {
+
+void ReadSet::reserve_bases(std::uint64_t bases) {
+  seq_arena_.reserve(bases);
+  qual_arena_.reserve(bases);
+}
+
+std::size_t ReadSet::append(std::string_view seq, std::string_view qual) {
+  if (seq.size() != qual.size()) {
+    throw std::invalid_argument("ReadSet::append: seq/qual length mismatch");
+  }
+  if (!is_valid_sequence(seq)) {
+    throw std::invalid_argument("ReadSet::append: non-ACGT base in read");
+  }
+  Read r;
+  r.seq_off = seq_arena_.size();
+  r.len = static_cast<std::uint32_t>(seq.size());
+  r.id = reads_.size();
+  seq_arena_.insert(seq_arena_.end(), seq.begin(), seq.end());
+  qual_arena_.insert(qual_arena_.end(), qual.begin(), qual.end());
+  reads_.push_back(r);
+  return reads_.size() - 1;
+}
+
+std::size_t ReadSet::append(std::string_view seq, int uniform_phred) {
+  const std::string qual(seq.size(), phred_to_ascii(uniform_phred));
+  return append(seq, qual);
+}
+
+std::uint64_t ReadSet::total_kmers(std::uint32_t k) const noexcept {
+  std::uint64_t total = 0;
+  for (const Read& r : reads_) total += kmer_count(r.len, k);
+  return total;
+}
+
+ReadSet ReadSet::reverse_complemented() const {
+  ReadSet out;
+  out.reserve_bases(seq_arena_.size());
+  for (std::size_t i = 0; i < reads_.size(); ++i) {
+    std::string rc = reverse_complement(seq(i));
+    std::string q(qual(i));
+    std::reverse(q.begin(), q.end());
+    out.append(rc, q);
+  }
+  return out;
+}
+
+}  // namespace lassm::bio

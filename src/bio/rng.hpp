@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+
+/// Deterministic pseudo-random number generators used everywhere in the
+/// library instead of std::mt19937 so that datasets, workloads, and tests are
+/// reproducible bit-for-bit across platforms and standard library versions.
+namespace lassm::bio {
+
+/// SplitMix64: tiny, fast generator; also used to seed Xoshiro256**.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: the workhorse generator for dataset synthesis.
+class Xoshiro256 {
+ public:
+  explicit constexpr Xoshiro256(std::uint64_t seed) noexcept : s_{} {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift reduction;
+  /// bias is negligible for the bounds used here (all << 2^32).
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    return bound == 0 ? 0
+                      : static_cast<std::uint64_t>(
+                            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Approximately normal(0,1) via sum of uniforms (Irwin-Hall with 12 terms).
+  /// Good enough for read-length and abundance jitter; avoids libm calls in
+  /// constexpr contexts.
+  constexpr double gaussian() noexcept {
+    double acc = 0.0;
+    for (int i = 0; i < 12; ++i) acc += uniform();
+    return acc - 6.0;
+  }
+
+  /// Geometric-like positive integer with the given mean (>=1), used for
+  /// extension-length and fragment-length modelling.
+  constexpr std::uint64_t geometric(double mean) noexcept {
+    if (mean <= 1.0) return 1;
+    const double p = 1.0 / mean;
+    // Inverse-CDF sampling without std::log: iterate a bounded search.
+    // For the means used (<= a few hundred) the loop is short in expectation.
+    std::uint64_t n = 1;
+    while (uniform() > p && n < 100000) ++n;
+    return n;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace lassm::bio

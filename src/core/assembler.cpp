@@ -1,0 +1,165 @@
+#include "core/assembler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bio/dna.hpp"
+#include "core/binning.hpp"
+#include "core/ladder.hpp"
+#include "memsim/tiered.hpp"
+
+namespace lassm::core {
+
+LocalAssembler::LocalAssembler(simt::DeviceSpec dev, simt::ProgrammingModel pm,
+                               AssemblyOptions opts)
+    : dev_(std::move(dev)), pm_(pm), opts_(opts) {}
+
+LocalAssembler::LocalAssembler(simt::DeviceSpec dev, AssemblyOptions opts)
+    : LocalAssembler(dev, dev.native_model, opts) {}
+
+namespace {
+
+/// Per-batch simulated device placement for one direction's launch.
+struct BatchLayout {
+  std::uint64_t reads_seq_base = 0;
+  std::uint64_t reads_qual_base = 0;
+  std::vector<std::uint64_t> contig_addr;   // per batch position
+  std::vector<std::uint64_t> table_addr;
+  std::vector<std::uint64_t> walkbuf_addr;
+};
+
+BatchLayout layout_batch(const AssemblyInput& in, const Batch& batch,
+                         const AssemblyOptions& opts, Side side,
+                         const bio::ReadSet& reads) {
+  BatchLayout lay;
+  memsim::AddressSpace as;
+  lay.reads_seq_base = as.allocate(reads.total_bases());
+  lay.reads_qual_base = as.allocate(reads.total_bases());
+  lay.contig_addr.reserve(batch.contig_ids.size());
+  lay.table_addr.reserve(batch.contig_ids.size());
+  lay.walkbuf_addr.reserve(batch.contig_ids.size());
+  const std::uint32_t floor_mer = ladder_min_mer(in.kmer_len, opts);
+  for (std::uint32_t id : batch.contig_ids) {
+    const auto& ids = side == Side::kRight ? in.right_reads[id]
+                                           : in.left_reads[id];
+    const std::uint64_t ins = side_insertions_at(in, ids, floor_mer);
+    const std::uint32_t slots =
+        ins == 0 ? 0
+                 : LocHashTable::estimate_slots(ins, opts.table_load_factor);
+    lay.contig_addr.push_back(as.allocate(in.contigs[id].length()));
+    lay.table_addr.push_back(
+        as.allocate(static_cast<std::uint64_t>(slots) * kEntryBytes, 128));
+    lay.walkbuf_addr.push_back(as.allocate(
+        in.kmer_len + opts.mer_ladder_step * opts.max_mer_rungs +
+        opts.max_walk_len + 1));
+  }
+  return lay;
+}
+
+}  // namespace
+
+AssemblyResult LocalAssembler::run(const AssemblyInput& in) const {
+  if (in.left_reads.size() != in.contigs.size() ||
+      in.right_reads.size() != in.contigs.size()) {
+    throw std::invalid_argument(
+        "LocalAssembler::run: read mapping size does not match contigs");
+  }
+
+  AssemblyResult result;
+  result.extensions.resize(in.contigs.size());
+  for (std::size_t i = 0; i < in.contigs.size(); ++i) {
+    result.extensions[i].contig_id = in.contigs[i].id;
+  }
+
+  const std::vector<Batch> batches = make_batches(in, opts_);
+
+  // Left extensions walk the reverse complement: reads aligned to the left
+  // end, reverse complemented, extend the reverse complemented contig to
+  // the right. Index correspondence with in.reads is preserved.
+  bool any_left = false;
+  for (const auto& v : in.left_reads) any_left = any_left || !v.empty();
+  const bio::ReadSet rc_reads =
+      any_left ? in.reads.reverse_complemented() : bio::ReadSet{};
+
+  for (Side side : {Side::kRight, Side::kLeft}) {
+    const bio::ReadSet& reads = side == Side::kRight ? in.reads : rc_reads;
+    if (side == Side::kLeft && !any_left) continue;
+
+    for (std::uint32_t b = 0; b < batches.size(); ++b) {
+      const Batch& batch = batches[b];
+      const BatchLayout lay = layout_batch(in, batch, opts_, side, reads);
+
+      const std::uint64_t concurrency = std::min<std::uint64_t>(
+          batch.contig_ids.size(), dev_.max_concurrent_warps());
+      WarpKernelContext ctx(dev_, pm_, opts_, std::max<std::uint64_t>(
+                                                  concurrency, 1));
+
+      LaunchBreakdown launch;
+      launch.side = side;
+      launch.batch = b;
+      launch.stats.num_kernel_launches = 1;
+
+      std::string rc_contig;  // scratch for left orientation
+      for (std::size_t pos = 0; pos < batch.contig_ids.size(); ++pos) {
+        const std::uint32_t id = batch.contig_ids[pos];
+        const auto& read_ids = side == Side::kRight ? in.right_reads[id]
+                                                    : in.left_reads[id];
+
+        WarpTask task;
+        if (side == Side::kRight) {
+          task.contig = in.contigs[id].seq;
+        } else {
+          rc_contig = bio::reverse_complement(in.contigs[id].seq);
+          task.contig = rc_contig;
+        }
+        task.contig_sim_addr = lay.contig_addr[pos];
+        task.reads = &reads;
+        task.read_ids = read_ids;
+        task.reads_sim_base = lay.reads_seq_base;
+        task.quals_sim_base = lay.reads_qual_base;
+        task.table_sim_base = lay.table_addr[pos];
+        task.walkbuf_sim_addr = lay.walkbuf_addr[pos];
+        task.kmer_len = in.kmer_len;
+
+        WarpResult wr = ctx.run(task);
+
+        bio::ContigExtension& ext = result.extensions[id];
+        if (side == Side::kRight) {
+          ext.right = std::move(wr.extension);
+          ext.right_mer_len = wr.accepted_mer;
+        } else {
+          ext.left = bio::reverse_complement(wr.extension);
+          ext.left_mer_len = wr.accepted_mer;
+        }
+
+        launch.stats.totals.merge(wr.counters);
+        launch.stats.warp_cycles.push_back(wr.counters.cycles);
+        launch.stats.traffic.add(wr.traffic);
+        ++launch.stats.num_warps;
+      }
+
+      launch.time = simt::estimate_time(dev_, launch.stats);
+      result.stats.merge(launch.stats);
+      result.launches.push_back(std::move(launch));
+    }
+  }
+  // Batches are offloaded asynchronously (the MetaHipMer GPU driver keeps
+  // multiple bins in flight), so the run executes as one scheduling pool:
+  // the modelled total uses the merged warp stream, not the sum of
+  // per-launch times (which would serialise every bin's straggler).
+  result.time = simt::estimate_time(dev_, result.stats);
+  result.total_time_s = result.time.total_s;
+  return result;
+}
+
+void LocalAssembler::apply(AssemblyInput& in, const AssemblyResult& result) {
+  if (result.extensions.size() != in.contigs.size()) {
+    throw std::invalid_argument(
+        "LocalAssembler::apply: result does not match input contigs");
+  }
+  for (std::size_t i = 0; i < in.contigs.size(); ++i) {
+    apply_extension(in.contigs[i], result.extensions[i]);
+  }
+}
+
+}  // namespace lassm::core

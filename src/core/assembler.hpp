@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/input.hpp"
+#include "core/kernel.hpp"
+#include "core/options.hpp"
+#include "simt/perf_model.hpp"
+
+namespace lassm::core {
+
+/// Stats and modelled time of one simulated kernel launch (one batch, one
+/// extension direction).
+struct LaunchBreakdown {
+  Side side = Side::kRight;
+  std::uint32_t batch = 0;
+  simt::LaunchStats stats;
+  simt::TimeBreakdown time;
+};
+
+/// Result of one local-assembly run on one device model.
+struct AssemblyResult {
+  /// Per input contig (same order), the bases to prepend/append.
+  std::vector<bio::ContigExtension> extensions;
+  /// Counters merged across all launches.
+  simt::LaunchStats stats;
+  /// Modelled kernel time over the merged (asynchronously overlapped)
+  /// launch stream — Fig. 5's quantity.
+  double total_time_s = 0.0;
+  /// Breakdown of total_time_s (issue / memory / wave bound).
+  simt::TimeBreakdown time;
+  std::vector<LaunchBreakdown> launches;
+
+  std::uint64_t total_extension_bases() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& e : extensions) n += e.left.size() + e.right.size();
+    return n;
+  }
+
+  /// Achieved warp-level INTOP throughput (Fig. 6/7/8 y-quantity; see
+  /// LaunchStats::intop_count for the counting convention).
+  double gintops() const noexcept {
+    return total_time_s <= 0.0
+               ? 0.0
+               : static_cast<double>(stats.intop_count()) / total_time_s / 1e9;
+  }
+
+  /// Achieved INTOP intensity: INTOPs per HBM byte (Fig. 6 x-quantity).
+  double intop_intensity() const noexcept { return stats.intop_intensity(); }
+
+  /// Total HBM gigabytes moved (Fig. 7b/8b quantity).
+  double hbm_gbytes() const noexcept {
+    return static_cast<double>(stats.traffic.hbm_bytes()) / 1e9;
+  }
+};
+
+/// The public entry point of the library: simulates MetaHipMer's local
+/// assembly GPU workflow (Fig. 3) on a modelled device.
+///
+///   LocalAssembler assembler(simt::DeviceSpec::a100(),
+///                            simt::ProgrammingModel::kCuda);
+///   AssemblyResult r = assembler.run(input);
+///   LocalAssembler::apply(input, r);   // extends input.contigs in place
+class LocalAssembler {
+ public:
+  LocalAssembler(simt::DeviceSpec dev, simt::ProgrammingModel pm,
+                 AssemblyOptions opts = {});
+
+  /// Convenience: run with the device's native programming model.
+  explicit LocalAssembler(simt::DeviceSpec dev, AssemblyOptions opts = {});
+
+  const simt::DeviceSpec& device() const noexcept { return dev_; }
+  simt::ProgrammingModel model() const noexcept { return pm_; }
+  const AssemblyOptions& options() const noexcept { return opts_; }
+
+  /// Runs binning, batching and both extension kernels over the input.
+  /// The input is not modified; use apply() to commit the extensions.
+  AssemblyResult run(const AssemblyInput& in) const;
+
+  /// Applies extensions to in.contigs (index-aligned with run()'s input).
+  static void apply(AssemblyInput& in, const AssemblyResult& result);
+
+ private:
+  simt::DeviceSpec dev_;
+  simt::ProgrammingModel pm_;
+  AssemblyOptions opts_;
+};
+
+}  // namespace lassm::core

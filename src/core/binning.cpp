@@ -1,0 +1,144 @@
+#include "core/binning.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "core/ladder.hpp"
+#include "core/loc_ht.hpp"
+
+namespace lassm::core {
+
+bool AssemblyInput::validate() const noexcept {
+  if (left_reads.size() != contigs.size()) return false;
+  if (right_reads.size() != contigs.size()) return false;
+  if (kmer_len == 0) return false;
+  std::unordered_set<std::uint32_t> seen;
+  auto check_side = [&](const std::vector<std::vector<std::uint32_t>>& side) {
+    for (const auto& v : side) {
+      for (std::uint32_t r : v) {
+        if (r >= reads.size()) return false;
+        if (!seen.insert(r).second) return false;  // read mapped twice
+      }
+    }
+    return true;
+  };
+  return check_side(left_reads) && check_side(right_reads);
+}
+
+std::uint64_t side_insertions(const AssemblyInput& in,
+                              const std::vector<std::uint32_t>& read_ids) {
+  std::uint64_t n = 0;
+  for (std::uint32_t r : read_ids) {
+    n += bio::kmer_count(in.reads[r].len, in.kmer_len);
+  }
+  return n;
+}
+
+std::uint64_t side_insertions_at(const AssemblyInput& in,
+                                 const std::vector<std::uint32_t>& read_ids,
+                                 std::uint32_t mer) {
+  std::uint64_t n = 0;
+  for (std::uint32_t r : read_ids) {
+    n += bio::kmer_count(in.reads[r].len, mer);
+  }
+  return n;
+}
+
+std::uint64_t contig_device_bytes(const AssemblyInput& in,
+                                  std::uint32_t contig_id,
+                                  const AssemblyOptions& opts) {
+  const auto& left = in.left_reads[contig_id];
+  const auto& right = in.right_reads[contig_id];
+
+  const std::uint32_t floor_mer = ladder_min_mer(in.kmer_len, opts);
+  std::uint64_t bytes = 0;
+  for (Side side : {Side::kLeft, Side::kRight}) {
+    const auto& ids = side == Side::kLeft ? left : right;
+    const std::uint64_t ins = side_insertions_at(in, ids, floor_mer);
+    if (ins > 0) {
+      bytes += static_cast<std::uint64_t>(
+                   LocHashTable::estimate_slots(ins, opts.table_load_factor)) *
+               kEntryBytes;
+    }
+    for (std::uint32_t r : ids) bytes += 2ULL * in.reads[r].len;  // seq+qual
+  }
+  bytes += in.contigs[contig_id].length();
+  bytes += 2ULL * (opts.max_walk_len + in.kmer_len +
+                   opts.mer_ladder_step * opts.max_mer_rungs);  // walk buffers
+  return bytes;
+}
+
+std::uint64_t contig_work_estimate(const AssemblyInput& in,
+                                   std::uint32_t contig_id) {
+  // Reads drive both construction work and walk success length; the host
+  // cannot know walk lengths a priori, so read count is the binning key.
+  return in.left_reads[contig_id].size() + in.right_reads[contig_id].size();
+}
+
+namespace {
+
+/// Read-count bin of a contig: power-of-two buckets (1, 2-3, 4-7, ...),
+/// mirroring MetaHipMer's binning of contigs "based on the number of reads
+/// that are assigned to each contig" so co-launched walks have similar
+/// work. Each bin becomes its own kernel launch — which is why datasets
+/// with few contigs (large k) underfill the device.
+std::uint32_t work_bin(std::uint64_t work) {
+  std::uint32_t bin = 0;
+  while (work > 1) {
+    work >>= 1;
+    ++bin;
+  }
+  return bin;
+}
+
+}  // namespace
+
+std::vector<Batch> make_batches(const AssemblyInput& in,
+                                const AssemblyOptions& opts) {
+  std::vector<std::uint32_t> order(in.contigs.size());
+  std::iota(order.begin(), order.end(), 0U);
+
+  std::vector<Batch> batches;
+  if (opts.bin_contigs) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return contig_work_estimate(in, a) <
+                              contig_work_estimate(in, b);
+                     });
+    // One batch per read-count bin, further split by the memory budget.
+    Batch current;
+    std::uint32_t current_bin = 0;
+    for (std::uint32_t id : order) {
+      const std::uint64_t bytes = contig_device_bytes(in, id, opts);
+      const std::uint32_t bin = work_bin(contig_work_estimate(in, id));
+      if (!current.contig_ids.empty() &&
+          (bin != current_bin ||
+           current.device_bytes + bytes > opts.batch_mem_budget_bytes)) {
+        batches.push_back(std::move(current));
+        current = Batch{};
+      }
+      current_bin = bin;
+      current.contig_ids.push_back(id);
+      current.device_bytes += bytes;
+    }
+    if (!current.contig_ids.empty()) batches.push_back(std::move(current));
+  } else {
+    // Ablation: no binning — input order, memory budget only.
+    Batch current;
+    for (std::uint32_t id : order) {
+      const std::uint64_t bytes = contig_device_bytes(in, id, opts);
+      if (!current.contig_ids.empty() &&
+          current.device_bytes + bytes > opts.batch_mem_budget_bytes) {
+        batches.push_back(std::move(current));
+        current = Batch{};
+      }
+      current.contig_ids.push_back(id);
+      current.device_bytes += bytes;
+    }
+    if (!current.contig_ids.empty()) batches.push_back(std::move(current));
+  }
+  return batches;
+}
+
+}  // namespace lassm::core

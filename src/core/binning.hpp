@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/input.hpp"
+#include "core/options.hpp"
+
+namespace lassm::core {
+
+/// One GPU offload batch: contigs co-scheduled in a single kernel launch
+/// per extension direction (Fig. 3 "Create Batches").
+struct Batch {
+  std::vector<std::uint32_t> contig_ids;
+  std::uint64_t device_bytes = 0;  ///< estimated footprint of the batch
+};
+
+/// Hash insertions the given reads produce at the input's mer size.
+std::uint64_t side_insertions(const AssemblyInput& in,
+                              const std::vector<std::uint32_t>& read_ids);
+
+/// Hash insertions the given reads produce at an arbitrary mer size (the
+/// table reservation uses the ladder's floor mer, which maximises this).
+std::uint64_t side_insertions_at(const AssemblyInput& in,
+                                 const std::vector<std::uint32_t>& read_ids,
+                                 std::uint32_t mer);
+
+/// Device bytes one contig needs resident: its hash table (sized for the
+/// base mer), its mapped reads (+ qualities), its sequence and walk buffer.
+std::uint64_t contig_device_bytes(const AssemblyInput& in,
+                                  std::uint32_t contig_id,
+                                  const AssemblyOptions& opts);
+
+/// Estimated work for warp-stall-avoiding binning: contigs with similar
+/// read counts walk and build for a similar number of steps, so they are
+/// grouped together (Fig. 3 "Contig Binning").
+std::uint64_t contig_work_estimate(const AssemblyInput& in,
+                                   std::uint32_t contig_id);
+
+/// Splits the input into batches under the memory budget. With
+/// opts.bin_contigs the contigs are first sorted by work estimate so each
+/// batch (and each scheduling wave inside it) is homogeneous; otherwise
+/// input order is kept — the ablation case.
+std::vector<Batch> make_batches(const AssemblyInput& in,
+                                const AssemblyOptions& opts);
+
+}  // namespace lassm::core

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bio/contig.hpp"
+#include "bio/read.hpp"
+
+namespace lassm::core {
+
+/// Which contig end a read aligns to (and therefore which extension kernel
+/// consumes it).
+enum class Side : std::uint8_t { kLeft, kRight };
+
+/// One local-assembly invocation: the contigs to extend, the reads that
+/// aligned to their ends, and the mer size of this pipeline iteration.
+/// This mirrors the artifact's input files (`localassm_extend_7-<k>.dat`).
+struct AssemblyInput {
+  bio::ContigSet contigs;
+  bio::ReadSet reads;
+  /// Per contig, indices into `reads` aligned to each end. A read belongs
+  /// to exactly one (contig, side).
+  std::vector<std::vector<std::uint32_t>> left_reads;
+  std::vector<std::vector<std::uint32_t>> right_reads;
+  std::uint32_t kmer_len = 21;
+
+  std::size_t num_contigs() const noexcept { return contigs.size(); }
+
+  std::uint64_t num_mapped_reads() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& v : left_reads) n += v.size();
+    for (const auto& v : right_reads) n += v.size();
+    return n;
+  }
+
+  /// Table II "total hash insertions": every mapped read contributes
+  /// len - k + 1 insertions.
+  std::uint64_t total_insertions() const noexcept {
+    std::uint64_t n = 0;
+    auto count_side = [&](const std::vector<std::vector<std::uint32_t>>& side) {
+      for (const auto& v : side) {
+        for (std::uint32_t r : v) {
+          n += bio::kmer_count(reads[r].len, kmer_len);
+        }
+      }
+    };
+    count_side(left_reads);
+    count_side(right_reads);
+    return n;
+  }
+
+  /// Structural invariants: mapping vectors sized to contigs, read indices
+  /// in range, no read mapped twice. Returns false (and does not throw) so
+  /// tests can assert on it.
+  bool validate() const noexcept;
+};
+
+}  // namespace lassm::core

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "bio/read.hpp"
+#include "core/loc_ht.hpp"
+#include "core/ladder.hpp"
+#include "core/options.hpp"
+#include "memsim/tiered.hpp"
+#include "simt/counters.hpp"
+#include "simt/device.hpp"
+
+namespace lassm::core {
+
+/// Integer-operation costs of the kernel's non-hash arithmetic, charged per
+/// lane. The MurmurHashAligned2 costs (Table V) dominate; these small
+/// constants cover index math, predicates and collective overheads and are
+/// chosen from instruction counts of the corresponding CUDA snippets.
+namespace ops {
+inline constexpr std::uint64_t kInsertSetup = 10;   ///< k-mer/qual extraction
+inline constexpr std::uint64_t kProbeRound = 8;     ///< CAS setup, wraparound
+inline constexpr std::uint64_t kKeyCompareBase = 6; ///< + mer/4 word compares
+inline constexpr std::uint64_t kVoteUpdate = 12;    ///< vote bucket increment
+inline constexpr std::uint64_t kWalkStep = 20;      ///< window shift, state
+inline constexpr std::uint64_t kLoopCheck = 4;      ///< visited-slot test
+inline constexpr std::uint64_t kMatchAny = 8;       ///< __match_any_sync
+inline constexpr std::uint64_t kSyncWarp = 2;       ///< __syncwarp(mask)
+inline constexpr std::uint64_t kAllReduce = 4;      ///< HIP __all per round
+inline constexpr std::uint64_t kSgBarrier = 6;      ///< SYCL sg.barrier ops
+inline constexpr std::uint64_t kTableInitPerSlot = 2;
+inline constexpr std::uint64_t kShflBroadcast = 2;  ///< walk-state broadcast
+
+constexpr std::uint64_t key_compare(std::uint32_t mer) noexcept {
+  return kKeyCompareBase + mer / 4;
+}
+}  // namespace ops
+
+/// Extra cycles a SYCL sub-group barrier costs beyond its issue slots.
+inline constexpr std::uint32_t kSgBarrierLatencyCycles = 8;
+
+/// Everything one warp needs to extend one contig end. The contig is
+/// pre-oriented so that the walk always extends to the right (the left
+/// extension kernel passes the reverse complement).
+struct WarpTask {
+  std::string_view contig;
+  std::uint64_t contig_sim_addr = 0;
+  const bio::ReadSet* reads = nullptr;      ///< oriented read set
+  std::span<const std::uint32_t> read_ids;  ///< reads aligned to this end
+  std::uint64_t reads_sim_base = 0;
+  std::uint64_t quals_sim_base = 0;
+  std::uint64_t table_sim_base = 0;
+  std::uint64_t walkbuf_sim_addr = 0;
+  std::uint32_t kmer_len = 0;
+};
+
+/// Outcome of one warp's work on one contig end.
+struct WarpResult {
+  std::string extension;                  ///< bases appended rightward
+  std::uint32_t accepted_mer = 0;         ///< ladder rung that produced it
+  WalkState final_state = WalkState::kMissing;
+  simt::WarpCounters counters;
+  memsim::TrafficStats traffic;
+};
+
+/// Executes contig-end warps for one kernel launch. The context owns the
+/// reusable scratch (hash table storage, lane arrays) and knows the batch's
+/// warp concurrency, from which each warp's fair-share cache slices are
+/// derived (see DESIGN.md on the warp-effective cache model).
+class WarpKernelContext {
+ public:
+  WarpKernelContext(const simt::DeviceSpec& dev, simt::ProgrammingModel pm,
+                    const AssemblyOptions& opts, std::uint64_t concurrency);
+
+  /// Simulates one warp end-to-end: the mer-size ladder of
+  /// {construct (Algorithm 1) -> mer-walk (Algorithm 2)} rounds of Fig. 4.
+  WarpResult run(const WarpTask& task);
+
+  std::uint32_t width() const noexcept { return width_; }
+
+ private:
+  struct LaneState {
+    std::uint32_t read_id = 0;
+    std::uint32_t pos = 0;
+    std::uint32_t slot = 0;
+    bool done = false;
+    bool valid = false;
+  };
+
+  void construct(const WarpTask& task, std::uint32_t mer,
+                 memsim::TieredMemory& mem, simt::WarpCounters& ctr);
+
+  /// Lockstep insertion of up to width() k-mers (one per lane); the three
+  /// programming-model protocols differ in per-round collective cost.
+  void insert_lockstep(const WarpTask& task, std::uint32_t mer,
+                       std::uint32_t active, memsim::TieredMemory& mem,
+                       simt::WarpCounters& ctr);
+
+  struct WalkOutcome {
+    std::string walk;
+    WalkState state = WalkState::kMissing;
+  };
+  WalkOutcome merwalk(const WarpTask& task, std::uint32_t mer,
+                      memsim::TieredMemory& mem, simt::WarpCounters& ctr);
+
+  const simt::DeviceSpec& dev_;
+  simt::ProgrammingModel pm_;
+  AssemblyOptions opts_;
+  std::uint32_t width_;
+  memsim::CacheConfig l1_cfg_;
+  memsim::CacheConfig l2_cfg_;
+  LocHashTable table_;
+  std::vector<LaneState> lanes_;
+  std::string walkbuf_;        ///< seed + walk characters (simulated buffer)
+  std::uint32_t walk_epoch_ = 0;  ///< loop-detection epoch (see HtEntry)
+};
+
+}  // namespace lassm::core

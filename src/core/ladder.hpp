@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.hpp"
+
+namespace lassm::core {
+
+/// The descending mer-size ladder walked for a dataset at kmer_len
+/// (kmer_len, kmer_len - step, ..., >= min_mer_len; at most max_mer_rungs
+/// entries). Shared by the kernel, the reference, and host-side sizing so
+/// they can never disagree.
+inline std::vector<std::uint32_t> mer_ladder(std::uint32_t kmer_len,
+                                             const AssemblyOptions& opts) {
+  std::vector<std::uint32_t> rungs;
+  std::uint32_t mer = kmer_len;
+  const std::uint32_t floor_mer = std::min(opts.min_mer_len, kmer_len);
+  while (rungs.size() < opts.max_mer_rungs && mer >= floor_mer) {
+    rungs.push_back(mer);
+    if (mer < floor_mer + opts.mer_ladder_step) break;
+    mer -= opts.mer_ladder_step;
+  }
+  return rungs;
+}
+
+/// Smallest mer the ladder reaches — the rung with the most insertions,
+/// which sizes the (single, reused) hash-table reservation.
+inline std::uint32_t ladder_min_mer(std::uint32_t kmer_len,
+                                    const AssemblyOptions& opts) {
+  const auto rungs = mer_ladder(kmer_len, opts);
+  return rungs.empty() ? kmer_len : rungs.back();
+}
+
+}  // namespace lassm::core

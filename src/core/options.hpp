@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+
+#include "bio/quality.hpp"
+
+namespace lassm::core {
+
+/// Tunables of the local assembly kernel. Defaults follow the MetaHipMer
+/// production configuration as described in the paper and its references.
+struct AssemblyOptions {
+  /// Hard cap on mer-walk length (Algorithm 2's max_walk_len).
+  std::uint32_t max_walk_len = 400;
+
+  /// Mer-size ladder of the iterative walks (Fig. 4, and the kernel's name
+  /// in the artifact: iterative_walks_kernel): for a dataset at k, the
+  /// kernel reconstructs the hash table and walks at every mer size
+  /// k, k-step, ..., down to min_mer_len, keeping the best-accepted walk.
+  /// Larger datasets' k therefore do proportionally more construction
+  /// rounds per contig — the work amplification behind the paper's
+  /// large-k behaviour.
+  std::uint32_t mer_ladder_step = 8;
+
+  /// Floor of the ladder (MetaHipMer's minimum local-assembly mer).
+  std::uint32_t min_mer_len = 21;
+
+  /// Cap on ladder rungs per contig end (including the initial mer size).
+  std::uint32_t max_mer_rungs = 4;
+
+  /// Hash-table sizing: slots = next_pow2(insertions / load_factor). The
+  /// pre-processing phase reserves the estimated upper limit up front
+  /// (Fig. 3 "Estimate Hash Table Sizes").
+  double table_load_factor = 0.5;
+
+  /// Bin contigs by read count before batching so co-scheduled warps have
+  /// similar work (Fig. 3 "Contig Binning"); off for the ablation bench.
+  bool bin_contigs = true;
+
+  /// Device-memory budget per batch; contigs are offloaded in batches whose
+  /// combined hash tables, reads and walk buffers fit (Fig. 3 "Create
+  /// Batches").
+  std::uint64_t batch_mem_budget_bytes = 1ULL << 30;
+
+  /// Overrides the device warp/sub-group width when nonzero (used for the
+  /// SYCL sub-group sweep; the paper settled on 16).
+  std::uint32_t subgroup_override = 0;
+
+  /// Phred score at or above which an extension vote counts as high
+  /// quality.
+  int hi_qual_threshold = bio::kHiQualThreshold;
+
+  /// Minimum high-quality votes for an extension to be viable.
+  int min_viable_votes = bio::kMinViableVotes;
+};
+
+}  // namespace lassm::core

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "core/input.hpp"
+#include "core/options.hpp"
+
+namespace lassm::core {
+
+/// Serial CPU reference implementation of local assembly with the same
+/// semantics as the simulated GPU kernel (shared vote accounting via
+/// choose_extension, same mer ladder and acceptance rules). Serves two
+/// roles:
+///  * correctness oracle — the kernel's extensions must match these
+///    bit-for-bit on every input and every device/programming model;
+///  * the CPU baseline the paper's §III references (the GPU port sped the
+///    local assembly phase up ~7x).
+std::vector<bio::ContigExtension> reference_extend(
+    const AssemblyInput& in, const AssemblyOptions& opts = {});
+
+/// Multithreaded CPU reference (MetaHipMer's CPU local assembly is
+/// OpenMP-parallel over contigs; this uses std::thread with a static
+/// contig partition). Bit-identical to reference_extend — contigs are
+/// independent — and used as the stronger CPU baseline in the benches.
+/// n_threads == 0 picks std::thread::hardware_concurrency().
+std::vector<bio::ContigExtension> reference_extend_parallel(
+    const AssemblyInput& in, const AssemblyOptions& opts = {},
+    unsigned n_threads = 0);
+
+}  // namespace lassm::core

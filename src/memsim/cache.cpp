@@ -1,0 +1,94 @@
+#include "memsim/cache.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace lassm::memsim {
+
+namespace {
+/// Largest power of two <= x (0 maps to 0).
+std::uint64_t floor_pow2(std::uint64_t x) noexcept {
+  return x == 0 ? 0 : std::uint64_t{1} << (63 - std::countl_zero(x));
+}
+}  // namespace
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  std::uint64_t lines = cfg.num_lines();
+  if (lines == 0) {
+    num_sets_ = 0;
+    ways_ = 0;
+    return;
+  }
+  ways_ = std::min<std::uint64_t>(cfg.ways == 0 ? 1 : cfg.ways, lines);
+  // Set count must be a power of two for cheap indexing; round the
+  // capacity down if needed (documented behaviour, verified in tests).
+  std::uint64_t sets = floor_pow2(lines / ways_);
+  if (sets == 0) sets = 1;
+  num_sets_ = static_cast<std::uint32_t>(sets);
+  ways_storage_.assign(static_cast<std::size_t>(num_sets_) * ways_, Way{});
+}
+
+Cache::AccessResult Cache::access(std::uint64_t line_addr,
+                                  bool is_write) noexcept {
+  AccessResult result;
+  if (num_sets_ == 0) {
+    ++stats_.misses;
+    return result;  // capacity 0: every access misses, nothing cached
+  }
+  // Mix the line address before set selection so that power-of-two strides
+  // (hash-table entries are power-of-two sized) do not alias into one set.
+  std::uint64_t mixed = line_addr * 0x9e3779b97f4a7c15ULL;
+  mixed ^= mixed >> 29;
+  const std::uint64_t set = mixed & (num_sets_ - 1);
+  Way* ways = set_begin(set);
+
+  ++tick_;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (ways[w].valid && ways[w].tag == line_addr) {
+      ways[w].lru = tick_;
+      ways[w].dirty = ways[w].dirty || is_write;
+      ++stats_.hits;
+      result.hit = true;
+      return result;
+    }
+  }
+
+  ++stats_.misses;
+  // Choose victim: an invalid way if present, else true LRU.
+  Way* victim = &ways[0];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (!ways[w].valid) {
+      victim = &ways[w];
+      break;
+    }
+    if (ways[w].lru < victim->lru) victim = &ways[w];
+  }
+  if (victim->valid && victim->dirty) {
+    ++stats_.writebacks;
+    result.writeback = true;
+    result.victim_line = victim->tag;
+  }
+  victim->tag = line_addr;
+  victim->valid = true;
+  victim->dirty = is_write;
+  victim->lru = tick_;
+  return result;
+}
+
+void Cache::invalidate_all() noexcept {
+  for (Way& w : ways_storage_) w = Way{};
+}
+
+std::uint64_t Cache::resident_lines() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::count_if(ways_storage_.begin(), ways_storage_.end(),
+                    [](const Way& w) { return w.valid; }));
+}
+
+std::uint64_t Cache::dirty_lines() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::count_if(ways_storage_.begin(), ways_storage_.end(),
+                    [](const Way& w) { return w.valid && w.dirty; }));
+}
+
+}  // namespace lassm::memsim

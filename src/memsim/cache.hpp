@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+/// Cache and memory-hierarchy simulation.
+///
+/// The paper's entire cross-vendor analysis reduces to how the local
+/// assembly working set (per-contig hash tables + read buffers) interacts
+/// with each GPU's cache capacities (Table III: A100 40 MB L2, MI250X
+/// 8 MB/die, Max 1550 204 MB/tile). We therefore simulate capacity and
+/// associativity faithfully and count HBM traffic exactly; latencies are
+/// applied later by the SIMT performance model.
+namespace lassm::memsim {
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 0;  ///< total capacity
+  std::uint32_t line_bytes = 64; ///< line (transaction) granularity
+  std::uint32_t ways = 8;        ///< associativity; clamped to #lines
+
+  std::uint64_t num_lines() const noexcept {
+    return line_bytes == 0 ? 0 : size_bytes / line_bytes;
+  }
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;  ///< dirty lines evicted
+
+  std::uint64_t accesses() const noexcept { return hits + misses; }
+  double hit_rate() const noexcept {
+    const auto a = accesses();
+    return a == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(a);
+  }
+};
+
+/// Set-associative, write-back, write-allocate cache with true-LRU
+/// replacement. Operates on line addresses (byte address / line size is the
+/// caller's job via TieredMemory). A zero-capacity config degenerates to a
+/// cache that misses every access — useful for "no cache" ablations.
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& cfg);
+
+  struct AccessResult {
+    bool hit = false;
+    bool writeback = false;            ///< a dirty victim was evicted
+    std::uint64_t victim_line = 0;     ///< line address of the victim
+  };
+
+  /// Touches one line. On miss the line is allocated (evicting LRU).
+  AccessResult access(std::uint64_t line_addr, bool is_write) noexcept;
+
+  /// Removes all lines (e.g. between kernel launches); keeps stats.
+  void invalidate_all() noexcept;
+
+  const CacheConfig& config() const noexcept { return cfg_; }
+  const CacheStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+  /// Number of valid lines currently resident (for occupancy tests).
+  std::uint64_t resident_lines() const noexcept;
+
+  /// Number of resident dirty lines (pending writebacks).
+  std::uint64_t dirty_lines() const noexcept;
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  ///< global timestamp; smaller == older
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  CacheConfig cfg_;
+  std::uint32_t num_sets_ = 0;
+  std::uint32_t ways_ = 0;
+  std::uint64_t tick_ = 0;
+  std::vector<Way> ways_storage_;  ///< num_sets_ x ways_, row-major
+  CacheStats stats_;
+
+  Way* set_begin(std::uint64_t set) noexcept {
+    return ways_storage_.data() + set * ways_;
+  }
+};
+
+}  // namespace lassm::memsim

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstdint>
+
+#include "memsim/cache.hpp"
+
+namespace lassm::memsim {
+
+/// Which level of the hierarchy serviced an access (worst line of the
+/// access, i.e. the deepest level any of its lines had to reach).
+enum class ServiceLevel : std::uint8_t { kL1 = 0, kL2 = 1, kHbm = 2 };
+
+/// Aggregate traffic counters for one hierarchy.
+struct TrafficStats {
+  std::uint64_t accesses = 0;        ///< logical accesses (read/write calls)
+  std::uint64_t lines_touched = 0;   ///< line-granular probes into L1
+  std::uint32_t line_bytes = 0;      ///< transaction granularity
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t hbm_lines = 0;       ///< line fills from HBM
+  std::uint64_t hbm_read_bytes = 0;
+  std::uint64_t hbm_write_bytes = 0; ///< writebacks reaching HBM
+
+  std::uint64_t hbm_bytes() const noexcept {
+    return hbm_read_bytes + hbm_write_bytes;
+  }
+  /// Bytes serviced by L1 (every line-granular probe).
+  std::uint64_t l1_bytes() const noexcept {
+    return lines_touched * line_bytes;
+  }
+  /// Bytes that had to be serviced below L1 (L2 traffic).
+  std::uint64_t l2_bytes() const noexcept {
+    return (lines_touched - l1_hits) * line_bytes;
+  }
+  void add(const TrafficStats& o) noexcept {
+    if (line_bytes == 0) line_bytes = o.line_bytes;
+    accesses += o.accesses;
+    lines_touched += o.lines_touched;
+    l1_hits += o.l1_hits;
+    l2_hits += o.l2_hits;
+    hbm_lines += o.hbm_lines;
+    hbm_read_bytes += o.hbm_read_bytes;
+    hbm_write_bytes += o.hbm_write_bytes;
+  }
+};
+
+/// A two-level cache hierarchy over HBM, operating on byte ranges.
+///
+/// This is used in two configurations:
+///  * device-level: full L1 (one slice per CU is modelled by the caller
+///    choosing which hierarchy to route an access through), full L2;
+///  * warp-effective: the SIMT runtime gives each warp a private hierarchy
+///    whose capacities are the per-warp *fair share* of L1 and L2 given the
+///    number of concurrently resident warps. This models the capacity
+///    pressure of concurrent execution without simulating interleaving,
+///    keeping runs deterministic (see DESIGN.md).
+class TieredMemory {
+ public:
+  TieredMemory(const CacheConfig& l1, const CacheConfig& l2);
+
+  /// Reads `size` bytes at simulated address `addr`. Returns the deepest
+  /// level touched.
+  ServiceLevel read(std::uint64_t addr, std::uint32_t size) noexcept {
+    return access(addr, size, /*is_write=*/false);
+  }
+
+  /// Writes `size` bytes (write-allocate; dirty data reaches HBM on
+  /// eviction, counted as hbm_write_bytes).
+  ServiceLevel write(std::uint64_t addr, std::uint32_t size) noexcept {
+    return access(addr, size, /*is_write=*/true);
+  }
+
+  ServiceLevel access(std::uint64_t addr, std::uint32_t size,
+                      bool is_write) noexcept {
+    return access(addr, size, is_write, /*no_fetch=*/false);
+  }
+
+  /// Full-line streaming store (memset-style): on a miss the line is
+  /// allocated dirty without fetching it from HBM, as GPU write-combining
+  /// stores do. Partial lines still behave like write-allocate.
+  ServiceLevel stream_write(std::uint64_t addr, std::uint32_t size) noexcept {
+    return access(addr, size, /*is_write=*/true, /*no_fetch=*/true);
+  }
+
+  ServiceLevel access(std::uint64_t addr, std::uint32_t size, bool is_write,
+                      bool no_fetch) noexcept;
+
+  /// Flushes dirty L1+L2 lines, counting their writebacks to HBM (called at
+  /// kernel end so short kernels are not under-billed for stores).
+  void flush() noexcept;
+
+  const TrafficStats& stats() const noexcept { return stats_; }
+  const Cache& l1() const noexcept { return l1_; }
+  const Cache& l2() const noexcept { return l2_; }
+  std::uint32_t line_bytes() const noexcept { return line_bytes_; }
+
+ private:
+  Cache l1_;
+  Cache l2_;
+  std::uint32_t line_bytes_;
+  TrafficStats stats_;
+  std::uint64_t dirty_resident_estimate_ = 0;
+};
+
+/// Bump allocator for simulated device addresses. Allocations are aligned
+/// and never freed (kernel-lifetime arenas), matching how the GPU code
+/// reserves read buffers and hash-table slabs up front.
+class AddressSpace {
+ public:
+  /// Base > 0 so that address 0 can mean "unassigned" in debug checks.
+  explicit AddressSpace(std::uint64_t base = 0x1000) : next_(base) {}
+
+  std::uint64_t allocate(std::uint64_t bytes, std::uint64_t align = 64) noexcept {
+    next_ = (next_ + align - 1) / align * align;
+    const std::uint64_t addr = next_;
+    next_ += bytes;
+    return addr;
+  }
+
+  std::uint64_t bytes_allocated() const noexcept { return next_; }
+
+ private:
+  std::uint64_t next_;
+};
+
+}  // namespace lassm::memsim

@@ -1,0 +1,185 @@
+#include "model/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace lassm::model {
+
+namespace {
+double safe_log10(double v) {
+  return std::log10(std::max(v, std::numeric_limits<double>::min()));
+}
+}  // namespace
+
+ScatterPlot::ScatterPlot(std::string title, std::string x_label,
+                         std::string y_label)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)) {}
+
+void ScatterPlot::add_series(Series s) { series_.push_back(std::move(s)); }
+
+void ScatterPlot::render(std::ostream& os) const {
+  // Determine ranges.
+  double x_lo = x_lo_, x_hi = x_hi_, y_lo = y_lo_, y_hi = y_hi_;
+  const bool auto_x = x_lo == 0.0 && x_hi == 0.0;
+  const bool auto_y = y_lo == 0.0 && y_hi == 0.0;
+  if (auto_x || auto_y) {
+    double min_x = std::numeric_limits<double>::max(), max_x = -min_x;
+    double min_y = std::numeric_limits<double>::max(), max_y = -min_y;
+    for (const Series& s : series_) {
+      for (double v : s.x) { min_x = std::min(min_x, v); max_x = std::max(max_x, v); }
+      for (double v : s.y) { min_y = std::min(min_y, v); max_y = std::max(max_y, v); }
+    }
+    if (min_x > max_x) { min_x = 0; max_x = 1; }
+    if (min_y > max_y) { min_y = 0; max_y = 1; }
+    if (auto_x) {
+      x_lo = log_x_ ? min_x / 2 : min_x - 0.05 * (max_x - min_x + 1);
+      x_hi = log_x_ ? max_x * 2 : max_x + 0.05 * (max_x - min_x + 1);
+    }
+    if (auto_y) {
+      y_lo = log_y_ ? min_y / 2 : min_y - 0.05 * (max_y - min_y + 1);
+      y_hi = log_y_ ? max_y * 2 : max_y + 0.05 * (max_y - min_y + 1);
+    }
+  }
+  auto tx = [&](double v) { return log_x_ ? safe_log10(v) : v; };
+  auto ty = [&](double v) { return log_y_ ? safe_log10(v) : v; };
+  const double fx_lo = tx(x_lo), fx_hi = tx(x_hi);
+  const double fy_lo = ty(y_lo), fy_hi = ty(y_hi);
+
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  auto plot = [&](double x, double y, char marker) {
+    const double fx = tx(x), fy = ty(y);
+    if (fx < fx_lo || fx > fx_hi || fy < fy_lo || fy > fy_hi) return;
+    const auto col = static_cast<std::int64_t>(
+        std::round((fx - fx_lo) / (fx_hi - fx_lo) * (width_ - 1)));
+    const auto row = static_cast<std::int64_t>(
+        std::round((fy - fy_lo) / (fy_hi - fy_lo) * (height_ - 1)));
+    if (col < 0 || col >= static_cast<std::int64_t>(width_) || row < 0 ||
+        row >= static_cast<std::int64_t>(height_)) {
+      return;
+    }
+    grid[height_ - 1 - static_cast<std::size_t>(row)]
+        [static_cast<std::size_t>(col)] = marker;
+  };
+
+  if (diagonal_) {
+    for (std::uint32_t c = 0; c < width_; ++c) {
+      const double fx = fx_lo + (fx_hi - fx_lo) * c / (width_ - 1);
+      const double x = log_x_ ? std::pow(10.0, fx) : fx;
+      plot(x, x, '.');
+    }
+  }
+  for (const Series& s : series_) {
+    for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      plot(s.x[i], s.y[i], s.marker);
+    }
+  }
+
+  os << "  " << title_ << "\n";
+  std::ostringstream top, bottom;
+  top << (log_y_ ? std::scientific : std::fixed) << std::setprecision(2)
+      << y_hi;
+  bottom << (log_y_ ? std::scientific : std::fixed) << std::setprecision(2)
+         << y_lo;
+  os << "  " << y_label_ << " (top=" << top.str() << ", bottom="
+     << bottom.str() << ")\n";
+  for (const std::string& row : grid) {
+    os << "  |" << row << "|\n";
+  }
+  os << "  +" << std::string(width_, '-') << "+\n";
+  std::ostringstream xl, xr;
+  xl << (log_x_ ? std::scientific : std::fixed) << std::setprecision(2) << x_lo;
+  xr << (log_x_ ? std::scientific : std::fixed) << std::setprecision(2) << x_hi;
+  os << "   " << xl.str() << std::string(width_ > 24 ? width_ - 24 : 1, ' ')
+     << xr.str() << "\n";
+  os << "   x: " << x_label_ << (log_x_ ? " [log]" : "") << "\n";
+  os << "   legend:";
+  for (const Series& s : series_) os << "  '" << s.marker << "'=" << s.name;
+  if (diagonal_) os << "  '.'=y=x";
+  os << "\n";
+}
+
+GroupedBarChart::GroupedBarChart(std::string title, std::string value_label)
+    : title_(std::move(title)), value_label_(std::move(value_label)) {}
+
+void GroupedBarChart::set_groups(std::vector<std::string> group_labels) {
+  groups_ = std::move(group_labels);
+}
+
+void GroupedBarChart::add_series(std::string name, std::vector<double> values) {
+  names_.push_back(std::move(name));
+  values_.push_back(std::move(values));
+}
+
+void GroupedBarChart::render(std::ostream& os) const {
+  os << "  " << title_ << "  (" << value_label_ << ")\n";
+  double max_v = 0.0;
+  for (const auto& vs : values_) {
+    for (double v : vs) max_v = std::max(max_v, v);
+  }
+  if (max_v <= 0.0) max_v = 1.0;
+  constexpr int kBarWidth = 50;
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    os << "  " << groups_[g] << "\n";
+    for (std::size_t s = 0; s < names_.size(); ++s) {
+      const double v = g < values_[s].size() ? values_[s][g] : 0.0;
+      const int len = static_cast<int>(std::round(v / max_v * kBarWidth));
+      os << "    " << std::setw(8) << std::left << names_[s] << " |"
+         << std::string(static_cast<std::size_t>(len), '#')
+         << std::string(static_cast<std::size_t>(kBarWidth - len), ' ')
+         << "| " << std::setprecision(4) << std::fixed << v << "\n";
+    }
+  }
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::render(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = header_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << "  |";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& v = i < cells.size() ? cells[i] : std::string{};
+      os << ' ' << std::setw(static_cast<int>(widths[i])) << std::left << v
+         << " |";
+    }
+    os << "\n";
+  };
+  line(header_);
+  os << "  |";
+  for (std::size_t w : widths) os << std::string(w + 2, '-') << "|";
+  os << "\n";
+  for (const auto& row : rows_) line(row);
+}
+
+std::string TextTable::fmt(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+std::string TextTable::pct(double fraction, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << fraction * 100.0 << "%";
+  return ss.str();
+}
+
+}  // namespace lassm::model

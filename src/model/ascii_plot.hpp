@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// Terminal rendering of the paper's figures: log/linear scatter plots
+/// (rooflines, correlation plots, the potential speed-up plot) and grouped
+/// bar charts (kernel times). Benches print these alongside CSV so the
+/// reproduction is inspectable without a plotting stack.
+namespace lassm::model {
+
+struct Series {
+  std::string name;
+  char marker = '*';
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+class ScatterPlot {
+ public:
+  ScatterPlot(std::string title, std::string x_label, std::string y_label);
+
+  void set_log_x(bool on) noexcept { log_x_ = on; }
+  void set_log_y(bool on) noexcept { log_y_ = on; }
+  void set_size(std::uint32_t width, std::uint32_t height) noexcept {
+    width_ = width;
+    height_ = height;
+  }
+  /// Fixes the axis range instead of auto-scaling to the data.
+  void set_x_range(double lo, double hi) noexcept { x_lo_ = lo; x_hi_ = hi; }
+  void set_y_range(double lo, double hi) noexcept { y_lo_ = lo; y_hi_ = hi; }
+
+  void add_series(Series s);
+
+  /// Adds y = x (useful for the correlation plots of Figs. 7 and 8).
+  void add_diagonal() noexcept { diagonal_ = true; }
+
+  void render(std::ostream& os) const;
+
+ private:
+  std::string title_, x_label_, y_label_;
+  std::vector<Series> series_;
+  bool log_x_ = false, log_y_ = false, diagonal_ = false;
+  std::uint32_t width_ = 72, height_ = 24;
+  double x_lo_ = 0, x_hi_ = 0, y_lo_ = 0, y_hi_ = 0;  // 0,0 == auto
+};
+
+/// Grouped bar chart: one group per category (k-mer size), one bar per
+/// series (device) inside each group.
+class GroupedBarChart {
+ public:
+  GroupedBarChart(std::string title, std::string value_label);
+
+  /// values[series][group].
+  void set_groups(std::vector<std::string> group_labels);
+  void add_series(std::string name, std::vector<double> values);
+  void render(std::ostream& os) const;
+
+ private:
+  std::string title_, value_label_;
+  std::vector<std::string> groups_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> values_;
+};
+
+/// Fixed-width table printer for the paper's tables.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  void render(std::ostream& os) const;
+
+  static std::string fmt(double v, int precision = 3);
+  static std::string pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lassm::model

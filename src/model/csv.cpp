@@ -1,0 +1,36 @@
+#include "model/csv.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+
+namespace lassm::model {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : path_(path), out_(path) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  std::string line;
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i > 0) line += ',';
+    line += header[i];
+  }
+  write_line(line);
+}
+
+void CsvWriter::write_line(const std::string& line) {
+  out_ << line << '\n';
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: write failed for " + path_);
+  }
+}
+
+std::string results_dir() {
+  const char* env = std::getenv("LASSM_RESULTS_DIR");
+  std::string dir = env != nullptr && *env != '\0' ? env : "results";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+}  // namespace lassm::model

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+/// Minimal CSV emission so every reproduced table/figure also lands on disk
+/// as machine-readable data (bench binaries write these next to their
+/// stdout rendering).
+namespace lassm::model {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on failure.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// Appends one row; values are stringified with operator<<.
+  template <typename... Ts>
+  void row(const Ts&... values) {
+    std::ostringstream ss;
+    bool first = true;
+    auto emit = [&](const auto& v) {
+      if (!first) ss << ',';
+      first = false;
+      ss << v;
+    };
+    (emit(values), ...);
+    write_line(ss.str());
+  }
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  void write_line(const std::string& line);
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+/// Directory benches write their CSV artifacts to; created on demand.
+/// Defaults to "results/" under the current directory, overridable via the
+/// LASSM_RESULTS_DIR environment variable.
+std::string results_dir();
+
+}  // namespace lassm::model

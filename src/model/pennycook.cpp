@@ -1,0 +1,31 @@
+#include "model/pennycook.hpp"
+
+namespace lassm::model {
+
+double performance_portability(std::span<const double> efficiencies) noexcept {
+  if (efficiencies.empty()) return 0.0;
+  double denom = 0.0;
+  for (double e : efficiencies) {
+    if (e <= 0.0) return 0.0;  // fails to run on some platform in H
+    denom += 1.0 / e;
+  }
+  return static_cast<double>(efficiencies.size()) / denom;
+}
+
+PortabilityTable portability_table(
+    const std::vector<std::vector<double>>& efficiencies) {
+  PortabilityTable t;
+  t.per_dataset_p.reserve(efficiencies.size());
+  double sum = 0.0;
+  for (const auto& row : efficiencies) {
+    const double p = performance_portability(row);
+    t.per_dataset_p.push_back(p);
+    sum += p;
+  }
+  if (!efficiencies.empty()) {
+    t.average_p = sum / static_cast<double>(efficiencies.size());
+  }
+  return t;
+}
+
+}  // namespace lassm::model

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+/// Pennycook performance-portability metric (refs [8, 19] of the paper):
+/// the harmonic mean of an application's performance efficiency across a
+/// platform set H, defined to be zero when the application does not run on
+/// every platform in H.
+namespace lassm::model {
+
+/// P(a, p, H) = |H| / sum_i 1/e_i, or 0 if any e_i == 0.
+/// Efficiencies are fractions in (0, 1].
+double performance_portability(std::span<const double> efficiencies) noexcept;
+
+/// Per-dataset portability rows plus their average, as Tables IV and VII
+/// report (a P value per k, and an "Average P" across datasets).
+struct PortabilityTable {
+  std::vector<double> per_dataset_p;  ///< P across devices, one per dataset
+  double average_p = 0.0;             ///< mean of per-dataset P values
+};
+
+/// efficiencies[dataset][device].
+PortabilityTable portability_table(
+    const std::vector<std::vector<double>>& efficiencies);
+
+}  // namespace lassm::model

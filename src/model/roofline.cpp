@@ -1,0 +1,76 @@
+#include "model/roofline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lassm::model {
+
+double roofline_ceiling(const simt::DeviceSpec& dev,
+                        double intensity) noexcept {
+  if (intensity <= 0.0) return 0.0;
+  return std::min(dev.peak_gintops, intensity * dev.hbm_bw_gbps);
+}
+
+RooflineBound classify(const simt::DeviceSpec& dev,
+                       double intensity) noexcept {
+  return intensity < dev.machine_balance() ? RooflineBound::kMemory
+                                           : RooflineBound::kCompute;
+}
+
+double architectural_efficiency(const simt::DeviceSpec& dev,
+                                const RooflinePoint& p) noexcept {
+  const double ceiling = roofline_ceiling(dev, p.intensity);
+  if (ceiling <= 0.0) return 0.0;
+  return std::min(1.0, p.gintops / ceiling);
+}
+
+double algorithm_efficiency(double achieved_intensity,
+                            double theoretical_intensity) noexcept {
+  if (theoretical_intensity <= 0.0) return 0.0;
+  return std::min(1.0, achieved_intensity / theoretical_intensity);
+}
+
+std::vector<LevelCeiling> hierarchy_ceilings(const simt::DeviceSpec& dev) {
+  std::vector<LevelCeiling> out;
+  out.push_back({"HBM", dev.hbm_bw_gbps});
+  if (dev.l2_bw_gbps > 0) out.push_back({"L2", dev.l2_bw_gbps});
+  if (dev.l1_bw_gbps > 0) out.push_back({"L1", dev.l1_bw_gbps});
+  return out;
+}
+
+double level_ceiling(const simt::DeviceSpec& dev, double ii,
+                     double bw_gbps) noexcept {
+  if (ii <= 0.0 || bw_gbps <= 0.0) return 0.0;
+  return std::min(dev.peak_gintops, ii * bw_gbps);
+}
+
+HierarchicalPoint hierarchical_point(const simt::LaunchStats& stats,
+                                     double time_s) {
+  HierarchicalPoint p;
+  const auto ops = static_cast<double>(stats.intop_count());
+  const auto& t = stats.traffic;
+  if (t.l1_bytes() > 0) p.ii_l1 = ops / static_cast<double>(t.l1_bytes());
+  if (t.l2_bytes() > 0) p.ii_l2 = ops / static_cast<double>(t.l2_bytes());
+  if (t.hbm_bytes() > 0) p.ii_hbm = ops / static_cast<double>(t.hbm_bytes());
+  if (time_s > 0.0) p.gintops = ops / time_s / 1e9;
+  return p;
+}
+
+RooflineCurve sample_roofline(const simt::DeviceSpec& dev, double ii_min,
+                              double ii_max, std::size_t samples) {
+  RooflineCurve curve;
+  if (samples < 2 || ii_min <= 0.0 || ii_max <= ii_min) return curve;
+  curve.intensity.reserve(samples);
+  curve.gintops.reserve(samples);
+  const double log_min = std::log10(ii_min);
+  const double step = (std::log10(ii_max) - log_min) /
+                      static_cast<double>(samples - 1);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double ii = std::pow(10.0, log_min + step * static_cast<double>(i));
+    curve.intensity.push_back(ii);
+    curve.gintops.push_back(roofline_ceiling(dev, ii));
+  }
+  return curve;
+}
+
+}  // namespace lassm::model

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simt/counters.hpp"
+#include "simt/device.hpp"
+
+/// The Instruction Roofline Model simplified to integer operations, as the
+/// paper does (§V.B): performance in GINTOP/s as a function of "INTOP
+/// Intensity" (integer operations per HBM byte), bounded by the device's
+/// integer-issue peak and HBM bandwidth.
+namespace lassm::model {
+
+/// One measured kernel on the INTOP roofline.
+struct RooflinePoint {
+  double gintops = 0.0;    ///< achieved useful INTOP/s (x1e9)
+  double intensity = 0.0;  ///< achieved INTOPs per HBM byte
+};
+
+enum class RooflineBound : std::uint8_t { kMemory, kCompute };
+
+/// Attainable GINTOP/s at the given intensity:
+/// min(peak_gintops, II x HBM bandwidth).
+double roofline_ceiling(const simt::DeviceSpec& dev, double intensity) noexcept;
+
+/// A point left of the machine balance (ridge) is memory bound.
+RooflineBound classify(const simt::DeviceSpec& dev, double intensity) noexcept;
+
+/// Architectural efficiency: achieved performance as a fraction of the
+/// roofline ceiling at the achieved intensity (Table IV's cell metric).
+double architectural_efficiency(const simt::DeviceSpec& dev,
+                                const RooflinePoint& p) noexcept;
+
+/// Algorithm efficiency: achieved intensity as a fraction of the
+/// theoretical INTOP intensity of the algorithm (Table VII's cell metric),
+/// capped at 1.
+double algorithm_efficiency(double achieved_intensity,
+                            double theoretical_intensity) noexcept;
+
+/// One bandwidth ceiling of the hierarchical instruction roofline
+/// (Ding & Williams plot L1/L2/HBM ceilings on the same axes).
+struct LevelCeiling {
+  const char* level;   ///< "L1", "L2", "HBM"
+  double bw_gbps;
+};
+
+/// The device's memory-level ceilings, outermost (HBM) first.
+std::vector<LevelCeiling> hierarchy_ceilings(const simt::DeviceSpec& dev);
+
+/// Attainable GINTOP/s at intensity `ii` against a specific level's
+/// bandwidth: min(peak, ii * bw).
+double level_ceiling(const simt::DeviceSpec& dev, double ii,
+                     double bw_gbps) noexcept;
+
+/// Per-level achieved intensities of a run: INTOPs per byte moved at each
+/// level (L1 intensity uses all line-granular traffic, L2 the L1 misses,
+/// HBM the DRAM bytes). Mirrors nsight's hierarchical roofline view.
+struct HierarchicalPoint {
+  double ii_l1 = 0.0;
+  double ii_l2 = 0.0;
+  double ii_hbm = 0.0;
+  double gintops = 0.0;
+};
+HierarchicalPoint hierarchical_point(const simt::LaunchStats& stats,
+                                     double time_s);
+
+/// Points on the roofline curve itself, for plotting: (II, ceiling) pairs
+/// sampled log-uniformly over [ii_min, ii_max].
+struct RooflineCurve {
+  std::vector<double> intensity;
+  std::vector<double> gintops;
+};
+RooflineCurve sample_roofline(const simt::DeviceSpec& dev, double ii_min,
+                              double ii_max, std::size_t samples);
+
+}  // namespace lassm::model

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/assembler.hpp"
+#include "model/roofline.hpp"
+#include "simt/device.hpp"
+#include "workload/dataset.hpp"
+
+/// The cross-vendor study harness: runs the local assembly kernel on every
+/// (device, dataset-k) pair exactly as the paper's evaluation does, and
+/// derives every metric the tables and figures report. All benches build on
+/// this so they agree on one set of measurements.
+namespace lassm::model {
+
+struct StudyConfig {
+  /// Dataset scale relative to Table II (1.0 = full size). Benches default
+  /// to a reduced scale for turnaround; override with LASSM_STUDY_SCALE.
+  double scale = 0.2;
+  std::uint64_t seed = 20240731;
+  std::vector<std::uint32_t> ks{21, 33, 55, 77};
+  core::AssemblyOptions opts;
+  /// When true (default) each device runs its native programming model
+  /// (CUDA / HIP / SYCL), as the study did.
+  bool native_models = true;
+};
+
+/// Reads LASSM_STUDY_SCALE / LASSM_STUDY_SEED from the environment.
+StudyConfig study_config_from_env();
+
+/// One (device, k) measurement with every derived metric.
+struct StudyCell {
+  std::string device_name;
+  simt::Vendor vendor = simt::Vendor::kNvidia;
+  simt::ProgrammingModel pm = simt::ProgrammingModel::kCuda;
+  std::uint32_t k = 0;
+
+  double time_s = 0.0;        ///< Fig. 5
+  double gintops = 0.0;       ///< Figs. 6-8
+  double intensity = 0.0;     ///< Figs. 6, 9 (HBM level)
+  double ii_l1 = 0.0;         ///< hierarchical roofline: L1-level intensity
+  double ii_l2 = 0.0;         ///< hierarchical roofline: L2-level intensity
+  double hbm_gbytes = 0.0;    ///< Figs. 7b, 8b
+  double arch_eff = 0.0;      ///< Table IV
+  double alg_eff = 0.0;       ///< Table VII
+  double theoretical_ii = 0.0;
+
+  std::uint64_t intops = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t walk_steps = 0;
+  std::uint64_t mer_retries = 0;
+  std::uint64_t extension_bases = 0;
+};
+
+struct StudyResults {
+  StudyConfig config;
+  std::vector<simt::DeviceSpec> devices;  ///< paper order: NVIDIA, AMD, Intel
+  std::vector<StudyCell> cells;           ///< device-major, then k
+
+  const StudyCell& cell(simt::Vendor vendor, std::uint32_t k) const;
+
+  /// efficiencies[dataset][device] matrices for the Pennycook tables.
+  std::vector<std::vector<double>> arch_eff_matrix() const;
+  std::vector<std::vector<double>> alg_eff_matrix() const;
+};
+
+/// Generates the datasets and runs the full grid. Deterministic given the
+/// config. `progress` (optional) receives one line per completed run.
+StudyResults run_study(const StudyConfig& config,
+                       std::ostream* progress = nullptr);
+
+/// Runs a single (device, programming model, k) cell on a caller-provided
+/// dataset — the building block for ablations.
+StudyCell run_cell(const simt::DeviceSpec& dev, simt::ProgrammingModel pm,
+                   const core::AssemblyInput& input,
+                   const core::AssemblyOptions& opts);
+
+}  // namespace lassm::model

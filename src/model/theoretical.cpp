@@ -1,0 +1,24 @@
+#include "model/theoretical.hpp"
+
+namespace lassm::model {
+
+HashOpBreakdown hash_op_breakdown(std::uint32_t k) noexcept {
+  HashOpBreakdown b;
+  b.k = k;
+  b.mix_loop = 25ULL * (k / 4);
+  b.key_feed = static_cast<std::uint64_t>(k) + k / 4;
+  b.intop1 = bio::hash_call_intops(k);
+  return b;
+}
+
+TheoreticalII theoretical_ii(std::uint32_t k) noexcept {
+  TheoreticalII t;
+  t.k = k;
+  t.intops_per_cycle = 2 * bio::hash_call_intops(k);
+  t.bytes_per_cycle = b1_bytes(k) + b2_bytes(k);
+  t.ii = static_cast<double>(t.intops_per_cycle) /
+         static_cast<double>(t.bytes_per_cycle);
+  return t;
+}
+
+}  // namespace lassm::model

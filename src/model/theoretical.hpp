@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+#include "bio/murmur.hpp"
+
+/// Closed forms of the paper's Tables V and VI: theoretical integer
+/// operations and HBM bytes per loop cycle of Algorithms 1 and 2, and the
+/// resulting theoretical INTOP Intensity (II).
+namespace lassm::model {
+
+/// Table V: the hash-function op breakdown per call for a k-byte key.
+struct HashOpBreakdown {
+  std::uint32_t k = 0;
+  std::uint64_t initialization = 33;
+  std::uint64_t mix_loop = 0;       ///< 25 per 4-byte block
+  std::uint64_t cleanup = 31;
+  std::uint64_t key_feed = 0;       ///< byte loads + word folds: k + k/4
+  std::uint64_t intop1 = 0;         ///< total (215/305/457/635)
+};
+
+HashOpBreakdown hash_op_breakdown(std::uint32_t k) noexcept;
+
+/// Table VI: per-loop-cycle theoretical op and byte counts.
+///   INTOP1 = INTOP2 = hash_call_intops(k)
+///   B1 = 2k + 13 (k-mer + quality in, 13-byte entry write)
+///   B2 =  k + 13 (k-mer in, 13-byte entry lookup)
+///   II = (INTOP1 + INTOP2) / (B1 + B2) = 2*INTOP1 / (3k + 26)
+struct TheoreticalII {
+  std::uint32_t k = 0;
+  std::uint64_t intops_per_cycle = 0;  ///< INTOP1 + INTOP2
+  std::uint64_t bytes_per_cycle = 0;   ///< B1 + B2 = 3k + 26
+  double ii = 0.0;
+};
+
+TheoreticalII theoretical_ii(std::uint32_t k) noexcept;
+
+/// Bytes of Algorithm 1 (construction) per insertion: 2k + 13.
+constexpr std::uint64_t b1_bytes(std::uint32_t k) noexcept {
+  return 2ULL * k + 13;
+}
+
+/// Bytes of Algorithm 2 (walk) per lookup: k + 13.
+constexpr std::uint64_t b2_bytes(std::uint32_t k) noexcept {
+  return static_cast<std::uint64_t>(k) + 13;
+}
+
+}  // namespace lassm::model

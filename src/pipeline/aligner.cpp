@@ -1,0 +1,152 @@
+#include "pipeline/aligner.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "bio/kmer.hpp"
+
+namespace lassm::pipeline {
+
+namespace {
+
+struct SeedHit {
+  std::uint32_t contig = 0;
+  std::uint32_t pos = 0;  ///< contig coordinate of the seed
+};
+
+using SeedIndex =
+    std::unordered_map<bio::PackedKmer, std::vector<SeedHit>,
+                       bio::PackedKmerHash>;
+
+/// Highly repetitive seeds are useless and quadratic; drop them.
+constexpr std::size_t kMaxHitsPerSeed = 8;
+
+SeedIndex build_end_index(const bio::ContigSet& contigs,
+                          const AlignerOptions& opts) {
+  SeedIndex index;
+  for (std::uint32_t c = 0; c < contigs.size(); ++c) {
+    const std::string& seq = contigs[c].seq;
+    if (seq.size() < opts.seed_len) continue;
+    auto add_window = [&](std::uint64_t begin, std::uint64_t end) {
+      end = std::min<std::uint64_t>(end, seq.size() - opts.seed_len + 1);
+      for (std::uint64_t pos = begin; pos < end; ++pos) {
+        const bio::PackedKmer seed = bio::PackedKmer::pack(
+            std::string_view(seq).substr(pos, opts.seed_len));
+        auto& hits = index[seed];
+        if (hits.size() <= kMaxHitsPerSeed) {
+          hits.push_back({c, static_cast<std::uint32_t>(pos)});
+        }
+      }
+    };
+    if (seq.size() <= 2ULL * opts.end_window) {
+      add_window(0, seq.size());
+    } else {
+      add_window(0, opts.end_window);
+      add_window(seq.size() - opts.end_window - opts.seed_len + 1, seq.size());
+    }
+  }
+  // Drop over-full seeds entirely (repeat-induced).
+  for (auto it = index.begin(); it != index.end();) {
+    if (it->second.size() > kMaxHitsPerSeed) {
+      it = index.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return index;
+}
+
+/// Mismatches between the read and the contig over their overlapping span
+/// when the read is placed at contig coordinate `offset` (may be negative).
+std::uint32_t overlap_mismatches(std::string_view read, std::string_view contig,
+                                 std::int64_t offset) {
+  const std::int64_t begin = std::max<std::int64_t>(0, offset);
+  const std::int64_t end = std::min<std::int64_t>(
+      static_cast<std::int64_t>(contig.size()),
+      offset + static_cast<std::int64_t>(read.size()));
+  std::uint32_t mism = 0;
+  for (std::int64_t q = begin; q < end; ++q) {
+    if (contig[static_cast<std::size_t>(q)] !=
+        read[static_cast<std::size_t>(q - offset)]) {
+      ++mism;
+    }
+  }
+  return mism;
+}
+
+}  // namespace
+
+core::AssemblyInput align_reads_to_ends(bio::ContigSet contigs,
+                                        const bio::ReadSet& reads,
+                                        std::uint32_t assembly_k,
+                                        const AlignerOptions& opts,
+                                        AlignStats* stats) {
+  core::AssemblyInput in;
+  in.kmer_len = assembly_k;
+  in.contigs = std::move(contigs);
+  in.left_reads.resize(in.contigs.size());
+  in.right_reads.resize(in.contigs.size());
+
+  const SeedIndex index = build_end_index(in.contigs, opts);
+  AlignStats local;
+
+  for (std::size_t r = 0; r < reads.size(); ++r) {
+    const std::string_view seq = reads.seq(r);
+    if (seq.size() < opts.seed_len) {
+      ++local.unaligned;
+      in.reads.append(seq, reads.qual(r));
+      continue;
+    }
+    bool placed = false;
+    bool interior = false;
+    for (std::uint32_t p = 0;
+         !placed && p + opts.seed_len <= seq.size();
+         p += opts.seed_stride) {
+      const bio::PackedKmer seed =
+          bio::PackedKmer::pack(seq.substr(p, opts.seed_len));
+      const auto it = index.find(seed);
+      if (it == index.end()) continue;
+      for (const SeedHit& hit : it->second) {
+        const std::string& cseq = in.contigs[hit.contig].seq;
+        const std::int64_t offset =
+            static_cast<std::int64_t>(hit.pos) - static_cast<std::int64_t>(p);
+        if (overlap_mismatches(seq, cseq, offset) > opts.max_mismatches) {
+          continue;
+        }
+        const std::int64_t read_end =
+            offset + static_cast<std::int64_t>(seq.size());
+        const std::int64_t right_overhang =
+            read_end - static_cast<std::int64_t>(cseq.size());
+        const std::int64_t left_overhang = -offset;
+        if (right_overhang >= static_cast<std::int64_t>(opts.min_overhang) &&
+            right_overhang >= left_overhang) {
+          in.right_reads[hit.contig].push_back(static_cast<std::uint32_t>(r));
+          ++local.aligned_right;
+          placed = true;
+        } else if (left_overhang >=
+                   static_cast<std::int64_t>(opts.min_overhang)) {
+          in.left_reads[hit.contig].push_back(static_cast<std::uint32_t>(r));
+          ++local.aligned_left;
+          placed = true;
+        } else {
+          interior = true;  // aligned but fully contained
+        }
+        if (placed) break;
+      }
+    }
+    if (!placed) {
+      if (interior) {
+        ++local.interior;
+      } else {
+        ++local.unaligned;
+      }
+    }
+    in.reads.append(seq, reads.qual(r));
+  }
+
+  if (stats != nullptr) *stats = local;
+  return in;
+}
+
+}  // namespace lassm::pipeline

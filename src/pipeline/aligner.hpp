@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/input.hpp"
+
+/// Alignment stage of the pipeline (Fig. 2): locate each read on a contig
+/// via exact k-mer seeds, verify the overlap with a bounded-mismatch
+/// extension, and keep the reads that hang off a contig end — the inputs
+/// of local assembly.
+namespace lassm::pipeline {
+
+struct AlignerOptions {
+  std::uint32_t seed_len = 21;      ///< seed k-mer length for the index
+  std::uint32_t seed_stride = 8;    ///< sample every Nth read position
+  std::uint32_t max_mismatches = 4; ///< allowed over the overlapping span
+  /// A read must extend at least this many bases past the contig end to be
+  /// useful for extension.
+  std::uint32_t min_overhang = 2;
+  /// Only contig-terminal windows of this many bases are indexed (reads in
+  /// the interior cannot extend anything).
+  std::uint32_t end_window = 512;
+};
+
+struct AlignStats {
+  std::uint64_t aligned_left = 0;
+  std::uint64_t aligned_right = 0;
+  std::uint64_t interior = 0;     ///< aligned but fully contained
+  std::uint64_t unaligned = 0;
+};
+
+/// Builds an AssemblyInput from contigs and reads: every read is placed on
+/// at most one contig end (first best seed wins, deterministically).
+core::AssemblyInput align_reads_to_ends(bio::ContigSet contigs,
+                                        const bio::ReadSet& reads,
+                                        std::uint32_t assembly_k,
+                                        const AlignerOptions& opts = {},
+                                        AlignStats* stats = nullptr);
+
+}  // namespace lassm::pipeline

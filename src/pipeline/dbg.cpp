@@ -1,0 +1,114 @@
+#include "pipeline/dbg.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+namespace lassm::pipeline {
+
+namespace {
+
+using KmerSet =
+    std::unordered_set<bio::PackedKmer, bio::PackedKmerHash>;
+
+int out_degree(const KmerSet& nodes, const bio::PackedKmer& km,
+               int* only_code = nullptr) {
+  int degree = 0;
+  for (int code = 0; code < bio::kNumBases; ++code) {
+    if (nodes.contains(km.successor(code))) {
+      ++degree;
+      if (only_code != nullptr) *only_code = code;
+    }
+  }
+  return degree;
+}
+
+int in_degree(const KmerSet& nodes, const bio::PackedKmer& km,
+              bio::PackedKmer* only_pred = nullptr) {
+  int degree = 0;
+  for (int code = 0; code < bio::kNumBases; ++code) {
+    const bio::PackedKmer pred = km.predecessor(code);
+    if (nodes.contains(pred)) {
+      ++degree;
+      if (only_pred != nullptr) *only_pred = pred;
+    }
+  }
+  return degree;
+}
+
+}  // namespace
+
+bio::ContigSet generate_contigs(const KmerCounts& counts, std::uint32_t k,
+                                std::uint32_t min_len, DbgStats* stats) {
+  // Deterministic traversal order: sorted k-mers.
+  std::vector<bio::PackedKmer> order;
+  order.reserve(counts.size());
+  KmerSet nodes;
+  nodes.reserve(counts.size());
+  for (const auto& [km, c] : counts) {
+    (void)c;
+    order.push_back(km);
+    nodes.insert(km);
+  }
+  std::sort(order.begin(), order.end());
+
+  DbgStats local_stats;
+  local_stats.nodes = nodes.size();
+
+  KmerSet visited;
+  visited.reserve(nodes.size());
+  bio::ContigSet contigs;
+
+  auto emit_path = [&](const bio::PackedKmer& start) {
+    if (visited.contains(start)) return;
+    std::string seq = start.unpack();
+    double depth_sum = static_cast<double>(counts.at(start));
+    std::uint64_t path_nodes = 1;
+    visited.insert(start);
+
+    bio::PackedKmer cur = start;
+    while (true) {
+      int only_code = -1;
+      const int out = out_degree(nodes, cur, &only_code);
+      if (out != 1) break;  // dead end or fork: path stops here
+      const bio::PackedKmer next = cur.successor(only_code);
+      if (visited.contains(next)) break;        // cycle or join already used
+      if (in_degree(nodes, next) != 1) break;   // join: next starts new path
+      seq.push_back(bio::code_to_base(only_code));
+      depth_sum += static_cast<double>(counts.at(next));
+      visited.insert(next);
+      cur = next;
+      ++path_nodes;
+    }
+
+    if (seq.size() >= min_len) {
+      bio::Contig c;
+      c.id = contigs.size();
+      c.seq = std::move(seq);
+      c.depth = depth_sum / static_cast<double>(path_nodes);
+      contigs.push_back(std::move(c));
+    }
+  };
+
+  // Pass 1: start from canonical path heads (in-degree != 1 or the unique
+  // predecessor branches).
+  for (const bio::PackedKmer& km : order) {
+    bio::PackedKmer only_pred;
+    const int in = in_degree(nodes, km, &only_pred);
+    const bool is_head =
+        in != 1 || out_degree(nodes, only_pred) > 1;
+    if (is_head) emit_path(km);
+    const int out = out_degree(nodes, km);
+    if (out > 1) ++local_stats.forks;
+    if (out == 0) ++local_stats.dead_ends;
+  }
+  // Pass 2: anything left is inside a perfect cycle; break it at the
+  // smallest unvisited k-mer.
+  for (const bio::PackedKmer& km : order) emit_path(km);
+
+  local_stats.contigs = contigs.size();
+  if (stats != nullptr) *stats = local_stats;
+  return contigs;
+}
+
+}  // namespace lassm::pipeline

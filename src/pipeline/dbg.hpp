@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+
+#include "bio/contig.hpp"
+#include "pipeline/kmer_analysis.hpp"
+
+/// Global de Bruijn graph construction and contig generation (Fig. 2): the
+/// filtered k-mer set forms a graph whose maximal non-branching paths are
+/// the contigs that local assembly later extends.
+namespace lassm::pipeline {
+
+struct DbgStats {
+  std::uint64_t nodes = 0;
+  std::uint64_t forks = 0;        ///< nodes with out-degree > 1
+  std::uint64_t dead_ends = 0;    ///< nodes with out-degree 0
+  std::uint64_t contigs = 0;
+};
+
+/// Emits one contig per maximal unambiguous path in the k-mer graph.
+/// Paths stop at forks (out-degree > 1), joins (next node in-degree > 1),
+/// dead ends, and when a cycle closes. Contigs shorter than min_len are
+/// dropped. Deterministic: start nodes are processed in lexicographic
+/// k-mer order.
+bio::ContigSet generate_contigs(const KmerCounts& counts, std::uint32_t k,
+                                std::uint32_t min_len = 0,
+                                DbgStats* stats = nullptr);
+
+}  // namespace lassm::pipeline

@@ -1,0 +1,46 @@
+#include "pipeline/kmer_analysis.hpp"
+
+#include <vector>
+
+namespace lassm::pipeline {
+
+KmerCounts count_kmers(const bio::ReadSet& reads, std::uint32_t k,
+                       bool canonical) {
+  KmerCounts counts;
+  counts.reserve(reads.total_bases());
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    const std::string_view seq = reads.seq(i);
+    if (seq.size() < k) continue;
+    for (std::size_t pos = 0; pos + k <= seq.size(); ++pos) {
+      bio::PackedKmer km = bio::PackedKmer::pack(seq.substr(pos, k));
+      if (canonical) km = km.canonical();
+      ++counts[km];
+    }
+  }
+  return counts;
+}
+
+std::size_t filter_low_count(KmerCounts& counts, std::uint32_t min_count) {
+  std::size_t removed = 0;
+  for (auto it = counts.begin(); it != counts.end();) {
+    if (it->second < min_count) {
+      it = counts.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::vector<std::uint64_t> count_histogram(const KmerCounts& counts,
+                                           std::uint32_t max_bucket) {
+  std::vector<std::uint64_t> hist(max_bucket + 1, 0);
+  for (const auto& [km, c] : counts) {
+    (void)km;
+    hist[std::min(c, max_bucket)] += 1;
+  }
+  return hist;
+}
+
+}  // namespace lassm::pipeline

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "bio/kmer.hpp"
+#include "bio/read.hpp"
+
+/// K-mer analysis stage of the MetaHipMer pipeline (Fig. 2): count k-mers
+/// across all reads and drop likely-erroneous ones (those seen only once).
+namespace lassm::pipeline {
+
+using KmerCounts =
+    std::unordered_map<bio::PackedKmer, std::uint32_t, bio::PackedKmerHash>;
+
+/// Counts every k-mer of every read. The pipeline is strand-specific (the
+/// synthetic workloads emit reads in contig orientation); set `canonical`
+/// to count strand-insensitively instead.
+KmerCounts count_kmers(const bio::ReadSet& reads, std::uint32_t k,
+                       bool canonical = false);
+
+/// Removes k-mers with count < min_count (MetaHipMer's error filter;
+/// singletons are overwhelmingly sequencing errors). Returns the number of
+/// k-mers removed.
+std::size_t filter_low_count(KmerCounts& counts, std::uint32_t min_count = 2);
+
+/// Histogram of counts (capped at the last bucket), for diagnostics.
+std::vector<std::uint64_t> count_histogram(const KmerCounts& counts,
+                                           std::uint32_t max_bucket = 16);
+
+}  // namespace lassm::pipeline

@@ -1,0 +1,108 @@
+#include "pipeline/multi_gpu.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/binning.hpp"
+
+namespace lassm::pipeline {
+
+std::vector<core::AssemblyInput> partition_input(
+    const core::AssemblyInput& in, std::uint32_t num_ranks,
+    std::vector<std::uint32_t>* rank_of) {
+  if (num_ranks == 0) {
+    throw std::invalid_argument("partition_input: num_ranks must be > 0");
+  }
+  num_ranks = std::min<std::uint32_t>(
+      num_ranks, std::max<std::size_t>(1, in.contigs.size()));
+
+  // Greedy LPT: heaviest contigs first onto the least-loaded rank.
+  std::vector<std::uint32_t> order(in.contigs.size());
+  std::iota(order.begin(), order.end(), 0U);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return core::contig_work_estimate(in, a) >
+                            core::contig_work_estimate(in, b);
+                   });
+
+  std::vector<std::uint64_t> load(num_ranks, 0);
+  std::vector<std::vector<std::uint32_t>> members(num_ranks);
+  for (std::uint32_t id : order) {
+    const auto rank = static_cast<std::uint32_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    members[rank].push_back(id);
+    load[rank] += core::contig_work_estimate(in, id) + 1;
+  }
+  // Keep each rank's contigs in input order (determinism of downstream
+  // binning does not depend on it, but reports read better).
+  for (auto& m : members) std::sort(m.begin(), m.end());
+
+  if (rank_of != nullptr) {
+    rank_of->assign(in.contigs.size(), 0);
+    for (std::uint32_t r = 0; r < num_ranks; ++r) {
+      for (std::uint32_t id : members[r]) (*rank_of)[id] = r;
+    }
+  }
+
+  std::vector<core::AssemblyInput> parts(num_ranks);
+  for (std::uint32_t r = 0; r < num_ranks; ++r) {
+    core::AssemblyInput& part = parts[r];
+    part.kmer_len = in.kmer_len;
+    part.left_reads.resize(members[r].size());
+    part.right_reads.resize(members[r].size());
+    for (std::size_t local = 0; local < members[r].size(); ++local) {
+      const std::uint32_t id = members[r][local];
+      part.contigs.push_back(in.contigs[id]);
+      auto copy_side = [&](const std::vector<std::uint32_t>& src,
+                           std::vector<std::uint32_t>& dst) {
+        for (std::uint32_t read_id : src) {
+          dst.push_back(static_cast<std::uint32_t>(part.reads.append(
+              in.reads.seq(read_id), in.reads.qual(read_id))));
+        }
+      };
+      copy_side(in.left_reads[id], part.left_reads[local]);
+      copy_side(in.right_reads[id], part.right_reads[local]);
+    }
+  }
+  return parts;
+}
+
+MultiGpuResult run_multi_gpu(const core::AssemblyInput& in,
+                             const simt::DeviceSpec& device,
+                             std::uint32_t num_ranks,
+                             const core::AssemblyOptions& opts) {
+  std::vector<std::uint32_t> rank_of;
+  const auto parts = partition_input(in, num_ranks, &rank_of);
+
+  MultiGpuResult result;
+  result.extensions.resize(in.contigs.size());
+
+  std::vector<std::size_t> next_local(parts.size(), 0);
+  core::LocalAssembler assembler(device, opts);
+
+  std::vector<std::vector<bio::ContigExtension>> per_rank_ext(parts.size());
+  for (std::uint32_t r = 0; r < parts.size(); ++r) {
+    const core::AssemblyResult rr = assembler.run(parts[r]);
+    per_rank_ext[r] = rr.extensions;
+    RankReport rep;
+    rep.rank = r;
+    rep.contigs = parts[r].contigs.size();
+    rep.reads = parts[r].reads.size();
+    rep.time_s = rr.total_time_s;
+    result.makespan_s = std::max(result.makespan_s, rr.total_time_s);
+    result.total_gpu_s += rr.total_time_s;
+    result.ranks.push_back(rep);
+  }
+
+  // Scatter extensions back to input order.
+  for (std::size_t id = 0; id < in.contigs.size(); ++id) {
+    const std::uint32_t r = rank_of[id];
+    bio::ContigExtension ext = per_rank_ext[r][next_local[r]++];
+    ext.contig_id = in.contigs[id].id;
+    result.extensions[id] = std::move(ext);
+  }
+  return result;
+}
+
+}  // namespace lassm::pipeline

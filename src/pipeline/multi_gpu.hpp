@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/assembler.hpp"
+
+/// Multi-GPU distribution of local assembly. MetaHipMer runs one rank per
+/// GPU and keeps contigs and their aligned reads node-local (§II.B-C:
+/// "all the reads and the contigs to which they align are localized on the
+/// same nodes"), so the phase is embarrassingly parallel across ranks up
+/// to load balance. This module partitions an AssemblyInput across N
+/// simulated devices with greedy longest-processing-time balancing and
+/// models the phase's makespan.
+namespace lassm::pipeline {
+
+struct RankReport {
+  std::uint32_t rank = 0;
+  std::uint64_t contigs = 0;
+  std::uint64_t reads = 0;
+  double time_s = 0.0;        ///< modelled kernel time on this rank's GPU
+};
+
+struct MultiGpuResult {
+  /// Extensions in the original input's contig order.
+  std::vector<bio::ContigExtension> extensions;
+  std::vector<RankReport> ranks;
+  double makespan_s = 0.0;    ///< max rank time (ranks run concurrently)
+  double total_gpu_s = 0.0;   ///< sum of rank times (resource cost)
+
+  /// Load balance: mean rank time / max rank time (1.0 == perfect).
+  double balance() const noexcept {
+    return makespan_s <= 0.0 || ranks.empty()
+               ? 0.0
+               : total_gpu_s / static_cast<double>(ranks.size()) / makespan_s;
+  }
+};
+
+/// Splits the input into per-rank inputs (contigs + only their mapped
+/// reads, reindexed). Greedy LPT on the per-contig read count. Exposed for
+/// testing; run_multi_gpu uses it internally. rank_of (optional, size =
+/// contigs) receives each contig's rank.
+std::vector<core::AssemblyInput> partition_input(
+    const core::AssemblyInput& in, std::uint32_t num_ranks,
+    std::vector<std::uint32_t>* rank_of = nullptr);
+
+/// Runs local assembly on `num_ranks` copies of the device model and
+/// merges the extensions back into input order. Results are identical to
+/// a single-device run (verified in tests): partitioning cannot change
+/// per-contig outcomes because contigs are independent.
+MultiGpuResult run_multi_gpu(const core::AssemblyInput& in,
+                             const simt::DeviceSpec& device,
+                             std::uint32_t num_ranks,
+                             const core::AssemblyOptions& opts = {});
+
+}  // namespace lassm::pipeline

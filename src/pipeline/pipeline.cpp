@@ -1,0 +1,74 @@
+#include "pipeline/pipeline.hpp"
+
+#include <ostream>
+
+#include "core/reference.hpp"
+#include "pipeline/kmer_analysis.hpp"
+
+namespace lassm::pipeline {
+
+PipelineResult run_pipeline(const bio::ReadSet& reads,
+                            const simt::DeviceSpec& device,
+                            const PipelineOptions& opts, std::ostream* log) {
+  PipelineResult result;
+
+  // Stage 1: k-mer analysis with error filtering.
+  KmerCounts counts = count_kmers(reads, opts.contig_k);
+  result.kmers_total = counts.size();
+  result.kmers_filtered = filter_low_count(counts, opts.min_kmer_count);
+  if (log != nullptr) {
+    *log << "[pipeline] k-mer analysis: " << result.kmers_total
+         << " distinct k-mers, " << result.kmers_filtered
+         << " filtered as likely errors\n";
+  }
+
+  // Stage 2: global de Bruijn graph -> contigs.
+  result.contigs =
+      generate_contigs(counts, opts.contig_k, opts.min_contig_len,
+                       &result.dbg);
+  if (log != nullptr) {
+    *log << "[pipeline] contig generation: " << result.contigs.size()
+         << " contigs, " << bio::total_contig_bases(result.contigs)
+         << " bases, N50=" << bio::n50(result.contigs) << "\n";
+  }
+
+  // Stage 3: iterative {alignment -> local assembly} over the k ladder.
+  for (std::uint32_t k : opts.k_iterations) {
+    AlignStats astats;
+    core::AssemblyInput input = align_reads_to_ends(
+        std::move(result.contigs), reads, k, opts.aligner, &astats);
+
+    IterationReport report;
+    report.k = k;
+    report.mapped_reads = astats.aligned_left + astats.aligned_right;
+
+    if (opts.use_reference) {
+      const auto exts = core::reference_extend(input, opts.assembly);
+      for (std::size_t i = 0; i < input.contigs.size(); ++i) {
+        report.extension_bases += exts[i].left.size() + exts[i].right.size();
+        bio::apply_extension(input.contigs[i], exts[i]);
+      }
+    } else {
+      core::LocalAssembler assembler(device, opts.assembly);
+      core::AssemblyResult ar = assembler.run(input);
+      report.extension_bases = ar.total_extension_bases();
+      report.kernel_time_s = ar.total_time_s;
+      core::LocalAssembler::apply(input, ar);
+    }
+
+    result.contigs = std::move(input.contigs);
+    report.contigs = result.contigs.size();
+    report.total_bases = bio::total_contig_bases(result.contigs);
+    report.n50 = bio::n50(result.contigs);
+    result.iterations.push_back(report);
+    if (log != nullptr) {
+      *log << "[pipeline] local assembly k=" << k << ": mapped "
+           << report.mapped_reads << " reads, +" << report.extension_bases
+           << " bases, N50=" << report.n50
+           << ", kernel time=" << report.kernel_time_s * 1e3 << " ms\n";
+    }
+  }
+  return result;
+}
+
+}  // namespace lassm::pipeline

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/assembler.hpp"
+#include "pipeline/aligner.hpp"
+#include "pipeline/dbg.hpp"
+
+/// The end-to-end mini-MetaHipMer pipeline (Fig. 2): k-mer analysis ->
+/// global de Bruijn contig generation -> per-iteration {alignment -> local
+/// assembly} over the production k ladder {21, 33, 55, 77}.
+namespace lassm::pipeline {
+
+struct PipelineOptions {
+  /// Mer sizes of the iterative local-assembly rounds (Fig. 2's loop).
+  std::vector<std::uint32_t> k_iterations{21, 33, 55, 77};
+  std::uint32_t contig_k = 21;        ///< k of the global de Bruijn graph
+  std::uint32_t min_kmer_count = 2;   ///< k-mer analysis error filter
+  std::uint32_t min_contig_len = 100;
+  AlignerOptions aligner;
+  core::AssemblyOptions assembly;
+  /// Run local assembly on the CPU reference instead of a simulated device
+  /// (faster; no performance counters).
+  bool use_reference = false;
+};
+
+struct IterationReport {
+  std::uint32_t k = 0;
+  std::uint64_t contigs = 0;
+  std::uint64_t total_bases = 0;
+  std::uint64_t n50 = 0;
+  std::uint64_t mapped_reads = 0;
+  std::uint64_t extension_bases = 0;
+  double kernel_time_s = 0.0;  ///< modelled device time (0 for reference)
+};
+
+struct PipelineResult {
+  bio::ContigSet contigs;
+  DbgStats dbg;
+  std::uint64_t kmers_total = 0;
+  std::uint64_t kmers_filtered = 0;
+  std::vector<IterationReport> iterations;
+};
+
+/// Assembles `reads` on the given device model. `log` (optional) receives a
+/// line per stage.
+PipelineResult run_pipeline(const bio::ReadSet& reads,
+                            const simt::DeviceSpec& device,
+                            const PipelineOptions& opts = {},
+                            std::ostream* log = nullptr);
+
+}  // namespace lassm::pipeline

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "memsim/tiered.hpp"
+#include "simt/device.hpp"
+
+namespace lassm::simt {
+
+/// Latency charged for an access serviced at the given level.
+constexpr std::uint32_t latency_cycles(const PerfParams& p,
+                                       memsim::ServiceLevel lvl) noexcept {
+  switch (lvl) {
+    case memsim::ServiceLevel::kL1: return p.l1_latency_cycles;
+    case memsim::ServiceLevel::kL2: return p.l2_latency_cycles;
+    case memsim::ServiceLevel::kHbm: return p.hbm_latency_cycles;
+  }
+  return 0;
+}
+
+/// Per-warp execution accounting, filled in by the kernel as it runs.
+///
+/// Two op counts are kept:
+///  * `intops`       — useful integer operations: ops x active lanes. This
+///    is what the paper plots on the roofline (the profiler counters in the
+///    artifact appendix are warp-level op sums).
+///  * `issue_slots`  — ops x warp width: lane slots consumed whether or not
+///    a lane is predicated off. The gap between the two is the thread
+///    predication (load imbalance) the paper discusses; it feeds the issue
+///    time of the performance model.
+struct WarpCounters {
+  std::uint64_t cycles = 0;        ///< serial cycles: issue + exposed latency
+  std::uint64_t intops = 0;
+  std::uint64_t issue_slots = 0;
+  std::uint64_t instructions = 0;  ///< warp-level instruction issues
+  std::uint64_t probes = 0;        ///< hash-table probe rounds
+  std::uint64_t insertions = 0;    ///< committed k-mer insertions
+  std::uint64_t walk_steps = 0;    ///< mer-walk iterations
+  std::uint64_t atomics = 0;       ///< atomicCAS issues
+  std::uint64_t mer_retries = 0;   ///< re-walks with a different mer size
+
+  /// Records `ops_per_lane` integer ops executed by `active` lanes of a
+  /// `width`-wide warp. Issue time: the warp spends ops_per_lane cycles
+  /// regardless of how many lanes are on.
+  constexpr void add_ops(std::uint64_t ops_per_lane, std::uint32_t active,
+                         std::uint32_t width) noexcept {
+    intops += ops_per_lane * active;
+    issue_slots += ops_per_lane * width;
+    instructions += ops_per_lane;
+    cycles += ops_per_lane;
+  }
+
+  /// Records one exposed memory round serviced at `lvl` (lanes of a warp
+  /// overlap their accesses, so one lockstep round costs one latency).
+  constexpr void add_mem_round(const PerfParams& p,
+                               memsim::ServiceLevel lvl) noexcept {
+    cycles += latency_cycles(p, lvl);
+  }
+
+  constexpr void add_atomic(const PerfParams& p) noexcept {
+    ++atomics;
+    cycles += p.atomic_overhead_cycles;
+  }
+
+  constexpr void merge(const WarpCounters& o) noexcept {
+    cycles += o.cycles;
+    intops += o.intops;
+    issue_slots += o.issue_slots;
+    instructions += o.instructions;
+    probes += o.probes;
+    insertions += o.insertions;
+    walk_steps += o.walk_steps;
+    atomics += o.atomics;
+    mer_retries += o.mer_retries;
+  }
+};
+
+/// Aggregated result of one simulated kernel launch (one batch, one
+/// extension direction) or of a whole local-assembly run (merged batches).
+struct LaunchStats {
+  WarpCounters totals;               ///< sums over all warps
+  std::vector<std::uint64_t> warp_cycles;  ///< per warp, scheduling order
+  memsim::TrafficStats traffic;      ///< HBM / cache traffic
+  std::uint64_t num_warps = 0;
+  std::uint64_t num_kernel_launches = 0;
+
+  void merge(const LaunchStats& o) {
+    totals.merge(o.totals);
+    warp_cycles.insert(warp_cycles.end(), o.warp_cycles.begin(),
+                       o.warp_cycles.end());
+    traffic.add(o.traffic);
+    num_warps += o.num_warps;
+    num_kernel_launches += o.num_kernel_launches;
+  }
+
+  /// The roofline "INTOP" count. The paper's peaks (358/374/105 GINTOPS)
+  /// equal SMs x schedulers x clock, i.e. warp-level *instruction* rates
+  /// (the artifact's NVIDIA recipe literally sums smsp__inst_executed), so
+  /// the metric counts one op per warp instruction regardless of how many
+  /// lanes are active.
+  std::uint64_t intop_count() const noexcept { return totals.instructions; }
+
+  /// Achieved INTOP intensity: warp-level integer ops per HBM byte.
+  double intop_intensity() const noexcept {
+    const auto bytes = traffic.hbm_bytes();
+    return bytes == 0 ? 0.0
+                      : static_cast<double>(intop_count()) /
+                            static_cast<double>(bytes);
+  }
+};
+
+}  // namespace lassm::simt

@@ -1,0 +1,123 @@
+#include "simt/device.hpp"
+
+namespace lassm::simt {
+
+const char* vendor_name(Vendor v) noexcept {
+  switch (v) {
+    case Vendor::kNvidia: return "NVIDIA";
+    case Vendor::kAmd: return "AMD";
+    case Vendor::kIntel: return "INTEL";
+  }
+  return "?";
+}
+
+const char* model_name(ProgrammingModel m) noexcept {
+  switch (m) {
+    case ProgrammingModel::kCuda: return "CUDA";
+    case ProgrammingModel::kHip: return "HIP";
+    case ProgrammingModel::kSycl: return "SYCL";
+  }
+  return "?";
+}
+
+memsim::CacheConfig DeviceSpec::l1_slice_config(std::uint64_t) const {
+  memsim::CacheConfig cfg;
+  cfg.size_bytes = l1_slice_bytes();
+  cfg.line_bytes = line_bytes;
+  cfg.ways = 8;
+  return cfg;
+}
+
+memsim::CacheConfig DeviceSpec::l2_slice_config(std::uint64_t concurrent) const {
+  memsim::CacheConfig cfg;
+  cfg.size_bytes = l2_slice_bytes(concurrent);
+  cfg.line_bytes = line_bytes;
+  cfg.ways = 16;
+  return cfg;
+}
+
+DeviceSpec DeviceSpec::a100() {
+  DeviceSpec d;
+  d.name = "NVIDIA A100";
+  d.vendor = Vendor::kNvidia;
+  d.native_model = ProgrammingModel::kCuda;
+  d.warp_width = 32;
+  d.num_cus = 108;
+  d.l1_per_cu_bytes = 192ULL * 1024;       // Table III: 192 KB/SM
+  d.l2_bytes = 40ULL * 1024 * 1024;        // Table III: 40 MB
+  d.line_bytes = 32;                       // 32 B DRAM sectors
+  d.hbm_bytes = 40ULL * 1024 * 1024 * 1024;
+  d.peak_gintops = 358.0;                  // Fig. 6a
+  d.hbm_bw_gbps = 1555.0;                  // Fig. 6a
+  d.l1_bw_gbps = 19400.0;                  // ~108 SM x 128 B/cycle
+  d.l2_bw_gbps = 4500.0;
+  d.perf.clock_ghz = 1.41;
+  d.perf.l1_latency_cycles = 35;
+  d.perf.l2_latency_cycles = 215;
+  d.perf.hbm_latency_cycles = 500;
+  d.perf.intops_per_cycle_per_cu = 64;     // 4 schedulers x 16 INT32 lanes
+  d.perf.resident_warps_per_cu = 8;
+  d.perf.atomic_overhead_cycles = 20;
+  d.perf.cache_dilution = 1.0;
+  return d;
+}
+
+DeviceSpec DeviceSpec::mi250x_gcd() {
+  DeviceSpec d;
+  d.name = "AMD MI250X (1 GCD)";
+  d.vendor = Vendor::kAmd;
+  d.native_model = ProgrammingModel::kHip;
+  d.warp_width = 64;
+  d.num_cus = 110;                          // 220 CUs per board / 2 GCDs
+  d.l1_per_cu_bytes = 16ULL * 1024;         // Table III: 16 KB/CU
+  d.l2_bytes = 8ULL * 1024 * 1024;          // 8 MB per die (Fig. 6 caption)
+  d.line_bytes = 128;                       // MI200 L2 line
+  d.hbm_bytes = 64ULL * 1024 * 1024 * 1024;
+  d.peak_gintops = 374.0;                   // Fig. 6b
+  d.hbm_bw_gbps = 1600.0;                   // Fig. 6b
+  d.l1_bw_gbps = 11000.0;
+  d.l2_bw_gbps = 3200.0;
+  d.perf.clock_ghz = 1.7;
+  d.perf.l1_latency_cycles = 60;
+  d.perf.l2_latency_cycles = 290;
+  d.perf.hbm_latency_cycles = 1400;         // loaded (queued) latency
+  d.perf.intops_per_cycle_per_cu = 64;
+  d.perf.resident_warps_per_cu = 8;
+  d.perf.atomic_overhead_cycles = 30;
+  d.perf.cache_dilution = 8.0;
+  return d;
+}
+
+DeviceSpec DeviceSpec::max1550_tile() {
+  DeviceSpec d;
+  d.name = "Intel Max 1550 (1 tile)";
+  d.vendor = Vendor::kIntel;
+  d.native_model = ProgrammingModel::kSycl;
+  d.warp_width = 16;                        // sub-group size the paper chose
+  d.num_cus = 64;                           // Xe-cores per tile (128/board)
+  d.l1_per_cu_bytes = 512ULL * 1024;        // Table III: 64 MB aggregate/board
+  d.l2_bytes = 204ULL * 1024 * 1024;        // 204 MB per tile (Fig. 6 caption)
+  d.line_bytes = 64;
+  d.hbm_bytes = 64ULL * 1024 * 1024 * 1024;
+  d.peak_gintops = 105.0;                   // Fig. 6c
+  d.hbm_bw_gbps = 1176.21;                  // Fig. 6c
+  d.l1_bw_gbps = 10000.0;
+  d.l2_bw_gbps = 3270.0;
+  d.perf.clock_ghz = 1.6;
+  d.perf.l1_latency_cycles = 45;
+  d.perf.l2_latency_cycles = 230;
+  d.perf.hbm_latency_cycles = 650;
+  d.perf.intops_per_cycle_per_cu = 32;      // lower INT issue (105 GINTOPS peak)
+  d.perf.resident_warps_per_cu = 16;        // many sub-groups per Xe-core
+  d.perf.atomic_overhead_cycles = 25;
+  d.perf.cache_dilution = 1.0;
+  return d;
+}
+
+const std::array<DeviceSpec, 3>& DeviceSpec::study_devices() {
+  static const std::array<DeviceSpec, 3> devices = {
+      DeviceSpec::a100(), DeviceSpec::mi250x_gcd(), DeviceSpec::max1550_tile()};
+  return devices;
+}
+
+}  // namespace lassm::simt

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <algorithm>
+#include <string>
+
+#include "memsim/cache.hpp"
+
+namespace lassm::simt {
+
+enum class Vendor : std::uint8_t { kNvidia, kAmd, kIntel };
+
+/// Programming model used for the port running on a device. Each model has
+/// a distinct atomic hash-insertion protocol (paper Appendix A).
+enum class ProgrammingModel : std::uint8_t { kCuda, kHip, kSycl };
+
+const char* vendor_name(Vendor v) noexcept;
+const char* model_name(ProgrammingModel m) noexcept;
+
+/// Latency and issue parameters of the performance model. These are the
+/// calibration surface of the simulator: capacities and peaks come straight
+/// from Table III / Figure 6, while latencies/occupancy are set to publicly
+/// reported microbenchmark values and then nudged so that the reproduced
+/// figures match the paper's qualitative shape (see EXPERIMENTS.md).
+struct PerfParams {
+  double clock_ghz = 1.4;
+  std::uint32_t l1_latency_cycles = 40;
+  std::uint32_t l2_latency_cycles = 250;
+  std::uint32_t hbm_latency_cycles = 600;
+  /// Integer operations one CU can issue per cycle across its schedulers
+  /// (per-lane ops, i.e. warp_width lanes issuing counts warp_width).
+  std::uint32_t intops_per_cycle_per_cu = 64;
+  /// Warps of this kernel resident per CU (occupancy is register/LDS bound
+  /// for the local-assembly kernel, far below the architectural maximum).
+  std::uint32_t resident_warps_per_cu = 8;
+  /// Extra cycles charged per atomicCAS beyond the memory access itself.
+  std::uint32_t atomic_overhead_cycles = 20;
+  /// How much worse than its fair share a warp's effective cache slice is.
+  /// Fair share (capacity / resident warps) is an upper bound: between two
+  /// accesses of one warp, hundreds of other warps stream the same cache,
+  /// so lines rarely survive a full fair-share working set. Calibrated per
+  /// device against the paper's measured traffic (see EXPERIMENTS.md).
+  double cache_dilution = 1.0;
+};
+
+/// One GPU as the study configures it (single GCD for MI250X, single tile
+/// for Max 1550). Capacities follow Table III; peaks follow Figure 6.
+struct DeviceSpec {
+  std::string name;
+  Vendor vendor = Vendor::kNvidia;
+  ProgrammingModel native_model = ProgrammingModel::kCuda;
+
+  std::uint32_t warp_width = 32;    ///< warp / wavefront / sub-group size
+  std::uint32_t num_cus = 0;        ///< SMs / CUs / Xe-cores
+  std::uint64_t l1_per_cu_bytes = 0;
+  std::uint64_t l2_bytes = 0;
+  std::uint32_t line_bytes = 64;    ///< memory transaction granularity
+  std::uint64_t hbm_bytes = 0;
+
+  double peak_gintops = 0.0;        ///< integer-op roofline ceiling (Fig. 6)
+  double hbm_bw_gbps = 0.0;         ///< HBM bandwidth ceiling (Fig. 6)
+  /// Aggregate cache bandwidths for the hierarchical instruction roofline
+  /// (Ding & Williams include L1/L2 ceilings); approximate public numbers.
+  double l1_bw_gbps = 0.0;
+  double l2_bw_gbps = 0.0;
+
+  PerfParams perf;
+
+  /// Ridge point of the INTOP roofline (paper: 0.23 / 0.23 / 0.09).
+  double machine_balance() const noexcept {
+    return hbm_bw_gbps == 0.0 ? 0.0 : peak_gintops / hbm_bw_gbps;
+  }
+
+  /// Maximum concurrently resident warps for this kernel.
+  std::uint64_t max_concurrent_warps() const noexcept {
+    return static_cast<std::uint64_t>(num_cus) * perf.resident_warps_per_cu;
+  }
+
+  /// Effective (dilution-adjusted) L1 capacity per resident warp.
+  std::uint64_t l1_slice_bytes() const noexcept {
+    const double share = static_cast<double>(l1_per_cu_bytes) /
+                         perf.resident_warps_per_cu /
+                         std::max(1.0, perf.cache_dilution);
+    return static_cast<std::uint64_t>(share);
+  }
+
+  /// Effective L2 capacity per warp when `concurrent` warps are resident.
+  std::uint64_t l2_slice_bytes(std::uint64_t concurrent) const noexcept {
+    const double share =
+        static_cast<double>(l2_bytes) /
+        static_cast<double>(concurrent == 0 ? 1 : concurrent) /
+        std::max(1.0, perf.cache_dilution);
+    return static_cast<std::uint64_t>(share);
+  }
+
+  memsim::CacheConfig l1_slice_config(std::uint64_t concurrent_unused = 0) const;
+  memsim::CacheConfig l2_slice_config(std::uint64_t concurrent) const;
+
+  /// NVIDIA A100 (Perlmutter, CUDA 12.0). 108 SMs, 192 KB L1/SM, 40 MB L2,
+  /// 40 GB HBM2e @ 1555 GB/s; INTOP peak 358 GINTOPS (Fig. 6a).
+  static DeviceSpec a100();
+
+  /// AMD MI250X single GCD (Frontier, ROCm 5.3.0). 110 CUs, 16 KB L1/CU,
+  /// 8 MB L2/die, 64 GB HBM2e @ 1600 GB/s; INTOP peak 374 GINTOPS (Fig. 6b).
+  static DeviceSpec mi250x_gcd();
+
+  /// Intel Data Center GPU Max 1550 single tile (Sunspot, DPC++ 2023).
+  /// 64 Xe-cores, 512 KB L1/core, 204 MB L2/tile, 64 GB HBM2e @ 1176 GB/s;
+  /// INTOP peak 105 GINTOPS (Fig. 6c). Sub-group size 16 (paper's choice).
+  static DeviceSpec max1550_tile();
+
+  /// The three study devices in paper order (NVIDIA, AMD, Intel).
+  static const std::array<DeviceSpec, 3>& study_devices();
+};
+
+}  // namespace lassm::simt

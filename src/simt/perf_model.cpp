@@ -1,0 +1,60 @@
+#include "simt/perf_model.hpp"
+
+#include <algorithm>
+
+namespace lassm::simt {
+
+TimeBreakdown estimate_time(const DeviceSpec& dev, const LaunchStats& stats) {
+  TimeBreakdown t;
+
+  // Compute (issue) ceiling. peak_gintops is the INTOP roofline; issue
+  // slots include predicated-off lanes, so low occupancy of the mask makes
+  // this ceiling harder to reach for the same useful work.
+  const double peak_ops_per_s = dev.peak_gintops * 1e9;
+  if (peak_ops_per_s > 0.0) {
+    t.issue_s = static_cast<double>(stats.intop_count()) / peak_ops_per_s;
+  }
+
+  // Memory (bandwidth) ceiling.
+  const double bw_bytes_per_s = dev.hbm_bw_gbps * 1e9;
+  if (bw_bytes_per_s > 0.0) {
+    t.mem_s = static_cast<double>(stats.traffic.hbm_bytes()) / bw_bytes_per_s;
+  }
+
+  // Latency / occupancy bound: schedule warps in waves.
+  const std::uint64_t concurrency =
+      std::max<std::uint64_t>(1, dev.max_concurrent_warps());
+  t.concurrency = concurrency;
+  std::uint64_t wave_cycles = 0;
+  const auto& wc = stats.warp_cycles;
+  for (std::size_t begin = 0; begin < wc.size(); begin += concurrency) {
+    const std::size_t end = std::min(wc.size(), begin + concurrency);
+    wave_cycles += *std::max_element(wc.begin() + begin, wc.begin() + end);
+    ++t.waves;
+  }
+  const double clock_hz = dev.perf.clock_ghz * 1e9;
+  if (clock_hz > 0.0) {
+    t.wave_s = static_cast<double>(wave_cycles) / clock_hz;
+  }
+
+  t.launch_overhead_s =
+      static_cast<double>(stats.num_kernel_launches) * kKernelLaunchOverheadS;
+
+  t.total_s = std::max({t.issue_s, t.mem_s, t.wave_s}) + t.launch_overhead_s;
+  if (t.total_s == t.issue_s + t.launch_overhead_s) {
+    t.bound = TimeBreakdown::Bound::kIssue;
+  } else if (t.total_s == t.mem_s + t.launch_overhead_s) {
+    t.bound = TimeBreakdown::Bound::kMemory;
+  } else {
+    t.bound = TimeBreakdown::Bound::kLatency;
+  }
+  return t;
+}
+
+double achieved_gintops(const LaunchStats& stats, const TimeBreakdown& t) {
+  return t.total_s <= 0.0
+             ? 0.0
+             : static_cast<double>(stats.intop_count()) / t.total_s / 1e9;
+}
+
+}  // namespace lassm::simt

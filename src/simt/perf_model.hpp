@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+
+#include "simt/counters.hpp"
+#include "simt/device.hpp"
+
+namespace lassm::simt {
+
+/// Decomposition of a kernel's modelled execution time. The kernel runs at
+/// the slowest of three ceilings:
+///  * issue  — warp-level instructions / device issue rate (the roofline
+///             compute ceiling; predication hurts because a one-lane walk
+///             instruction costs the same slot as a full-warp one);
+///  * memory — HBM bytes / HBM bandwidth (the roofline memory ceiling);
+///  * waves  — latency-bound lower bound: warps are scheduled in waves of
+///             at most `concurrency`, each wave takes as long as its
+///             slowest warp (this is where load imbalance / binning shows).
+struct TimeBreakdown {
+  double issue_s = 0.0;
+  double mem_s = 0.0;
+  double wave_s = 0.0;
+  double launch_overhead_s = 0.0;
+  double total_s = 0.0;
+  std::uint64_t waves = 0;
+  std::uint64_t concurrency = 0;
+
+  /// Which ceiling bound the kernel.
+  enum class Bound : std::uint8_t { kIssue, kMemory, kLatency } bound =
+      Bound::kLatency;
+};
+
+/// Per-launch fixed overhead (driver + dispatch), seconds. The local
+/// assembly workflow launches one kernel per contig bin per direction, so
+/// this term is visible for the small study datasets.
+inline constexpr double kKernelLaunchOverheadS = 8.0e-6;
+
+/// Models the execution time of a simulated launch on `dev`.
+///
+/// `stats.warp_cycles` must be in scheduling order: the runtime schedules
+/// contigs exactly in the order the host binning produced, so sorted bins
+/// yield homogeneous waves (less straggler time) — reproducing why
+/// MetaHipMer bins contigs by read count before offload.
+TimeBreakdown estimate_time(const DeviceSpec& dev, const LaunchStats& stats);
+
+/// Achieved useful-INTOP throughput in GINTOP/s under the modelled time.
+double achieved_gintops(const LaunchStats& stats, const TimeBreakdown& t);
+
+}  // namespace lassm::simt

@@ -1,0 +1,49 @@
+#include "simt/warp.hpp"
+
+#include <cassert>
+
+namespace lassm::simt {
+
+LaneMask ballot(LaneMask active, std::span<const std::uint8_t> preds) noexcept {
+  LaneMask out = 0;
+  for (std::uint32_t lane = 0; lane < preds.size(); ++lane) {
+    if (lane_active(active, lane) && preds[lane] != 0) out |= lane_bit(lane);
+  }
+  return out;
+}
+
+bool all_sync(LaneMask active, std::span<const std::uint8_t> preds) noexcept {
+  for (std::uint32_t lane = 0; lane < preds.size(); ++lane) {
+    if (lane_active(active, lane) && preds[lane] == 0) return false;
+  }
+  return true;
+}
+
+bool any_sync(LaneMask active, std::span<const std::uint8_t> preds) noexcept {
+  for (std::uint32_t lane = 0; lane < preds.size(); ++lane) {
+    if (lane_active(active, lane) && preds[lane] != 0) return true;
+  }
+  return false;
+}
+
+LaneMask match_any(LaneMask active, std::span<const std::uint64_t> keys,
+                   std::uint32_t lane) noexcept {
+  assert(lane_active(active, lane));
+  const std::uint64_t my_key = keys[lane];
+  LaneMask out = 0;
+  for (std::uint32_t other = 0; other < keys.size(); ++other) {
+    if (lane_active(active, other) && keys[other] == my_key) {
+      out |= lane_bit(other);
+    }
+  }
+  return out;
+}
+
+std::uint64_t shfl(LaneMask active, std::span<const std::uint64_t> values,
+                   std::uint32_t src_lane) noexcept {
+  assert(lane_active(active, src_lane) && "shfl from inactive lane");
+  (void)active;
+  return values[src_lane];
+}
+
+}  // namespace lassm::simt

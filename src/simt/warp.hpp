@@ -1,0 +1,66 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+
+/// Warp-level execution primitives of the SIMT abstract machine.
+///
+/// Kernels in this library are written in "lockstep style": per-lane state
+/// lives in arrays indexed by lane id, and warp intrinsics are free
+/// functions over a LaneMask. This reproduces the semantics of
+/// __match_any_sync / __ballot_sync / __shfl_sync (CUDA), __all (HIP) and
+/// sub-group collectives (SYCL) exactly, while the host executes lanes
+/// sequentially inside each lockstep step.
+namespace lassm::simt {
+
+/// Bit i set <=> lane i participates. Warp widths up to 64 (AMD wavefront).
+using LaneMask = std::uint64_t;
+
+inline constexpr std::uint32_t kMaxWarpWidth = 64;
+
+/// Mask with the low `width` lanes active (CUDA's FULL_MASK generalised).
+constexpr LaneMask full_mask(std::uint32_t width) noexcept {
+  return width >= 64 ? ~LaneMask{0} : (LaneMask{1} << width) - 1;
+}
+
+constexpr LaneMask lane_bit(std::uint32_t lane) noexcept {
+  return LaneMask{1} << lane;
+}
+
+constexpr bool lane_active(LaneMask m, std::uint32_t lane) noexcept {
+  return (m & lane_bit(lane)) != 0;
+}
+
+constexpr std::uint32_t active_count(LaneMask m) noexcept {
+  return static_cast<std::uint32_t>(std::popcount(m));
+}
+
+/// Lowest-numbered active lane (the "leader"); 64 when the mask is empty.
+constexpr std::uint32_t leader_lane(LaneMask m) noexcept {
+  return static_cast<std::uint32_t>(std::countr_zero(m));
+}
+
+/// __ballot_sync: bit per lane of `active` whose predicate is true.
+/// preds is indexed by lane id and must cover every active lane.
+LaneMask ballot(LaneMask active, std::span<const std::uint8_t> preds) noexcept;
+
+/// __all_sync: true iff the predicate holds on every active lane.
+bool all_sync(LaneMask active, std::span<const std::uint8_t> preds) noexcept;
+
+/// __any_sync.
+bool any_sync(LaneMask active, std::span<const std::uint8_t> preds) noexcept;
+
+/// __match_any_sync: for lane `lane`, the mask of active lanes whose key
+/// equals keys[lane]. keys is indexed by lane id.
+LaneMask match_any(LaneMask active, std::span<const std::uint64_t> keys,
+                   std::uint32_t lane) noexcept;
+
+/// __shfl_sync: value held by src_lane (broadcast pattern used by the
+/// kernel to share walk state). Returns values[src_lane]; src_lane must be
+/// active — enforced by assert in debug builds, mirroring CUDA's undefined
+/// behaviour for inactive sources.
+std::uint64_t shfl(LaneMask active, std::span<const std::uint64_t> values,
+                   std::uint32_t src_lane) noexcept;
+
+}  // namespace lassm::simt

@@ -1,0 +1,68 @@
+#include "workload/dataset.hpp"
+
+#include <stdexcept>
+
+#include "core/reference.hpp"
+
+namespace lassm::workload {
+
+DatasetParams table2_params(std::uint32_t k) {
+  DatasetParams p;
+  p.kmer_len = k;
+  switch (k) {
+    case 21:
+      p.num_contigs = 14195;
+      p.num_reads = 74159;
+      p.read_len = 155;
+      p.target_avg_extn = 48.2;
+      break;
+    case 33:
+      p.num_contigs = 4394;
+      p.num_reads = 20421;
+      p.read_len = 159;
+      p.target_avg_extn = 88.2;
+      break;
+    case 55:
+      p.num_contigs = 3319;
+      p.num_reads = 13160;
+      p.read_len = 166;
+      p.target_avg_extn = 161.0;
+      break;
+    case 77:
+      p.num_contigs = 2544;
+      p.num_reads = 7838;
+      p.read_len = 175;
+      p.target_avg_extn = 227.0;
+      break;
+    default:
+      throw std::invalid_argument(
+          "table2_params: the study uses k in {21, 33, 55, 77}");
+  }
+  return p;
+}
+
+DatasetStats dataset_stats(const core::AssemblyInput& in) {
+  DatasetStats s;
+  s.kmer_len = in.kmer_len;
+  s.total_contigs = in.contigs.size();
+  s.total_reads = in.reads.size();
+  if (!in.reads.empty()) {
+    s.avg_read_length = static_cast<double>(in.reads.total_bases()) /
+                        static_cast<double>(in.reads.size());
+  }
+  s.total_hash_insertions = in.total_insertions();
+  return s;
+}
+
+void fill_extension_stats(const core::AssemblyInput& in, DatasetStats& stats) {
+  const auto exts = core::reference_extend(in);
+  std::uint64_t bases = 0;
+  for (const auto& e : exts) bases += e.left.size() + e.right.size();
+  stats.total_extns = bases;
+  stats.avg_extn_length =
+      in.contigs.empty()
+          ? 0.0
+          : static_cast<double>(bases) / static_cast<double>(in.contigs.size());
+}
+
+}  // namespace lassm::workload

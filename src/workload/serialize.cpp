@@ -1,0 +1,99 @@
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "workload/dataset.hpp"
+
+namespace lassm::workload {
+
+namespace {
+constexpr const char* kMagic = "LASSM_DATASET";
+constexpr int kVersion = 1;
+}  // namespace
+
+void save_dataset(std::ostream& os, const core::AssemblyInput& in) {
+  os << kMagic << ' ' << kVersion << '\n';
+  os << "k " << in.kmer_len << '\n';
+  os << "contigs " << in.contigs.size() << '\n';
+  for (const auto& c : in.contigs) {
+    os << c.id << ' ' << c.depth << ' ' << c.seq << '\n';
+  }
+  os << "reads " << in.reads.size() << '\n';
+  for (std::size_t i = 0; i < in.reads.size(); ++i) {
+    os << in.reads.seq(i) << ' ' << in.reads.qual(i) << '\n';
+  }
+  std::uint64_t n_mappings = 0;
+  for (const auto& v : in.left_reads) n_mappings += v.size();
+  for (const auto& v : in.right_reads) n_mappings += v.size();
+  os << "mappings " << n_mappings << '\n';
+  for (std::size_t c = 0; c < in.contigs.size(); ++c) {
+    for (std::uint32_t r : in.left_reads[c]) os << c << " L " << r << '\n';
+    for (std::uint32_t r : in.right_reads[c]) os << c << " R " << r << '\n';
+  }
+}
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::runtime_error("load_dataset: malformed input: " + what);
+}
+
+void expect_token(std::istream& is, const char* token) {
+  std::string got;
+  if (!(is >> got) || got != token) bad(std::string("expected '") + token + "'");
+}
+
+}  // namespace
+
+core::AssemblyInput load_dataset(std::istream& is) {
+  core::AssemblyInput in;
+  expect_token(is, kMagic);
+  int version = 0;
+  if (!(is >> version) || version != kVersion) bad("unsupported version");
+
+  expect_token(is, "k");
+  if (!(is >> in.kmer_len) || in.kmer_len == 0) bad("k");
+
+  expect_token(is, "contigs");
+  std::size_t n_contigs = 0;
+  if (!(is >> n_contigs)) bad("contig count");
+  in.contigs.reserve(n_contigs);
+  for (std::size_t i = 0; i < n_contigs; ++i) {
+    bio::Contig c;
+    if (!(is >> c.id >> c.depth >> c.seq)) bad("contig record");
+    in.contigs.push_back(std::move(c));
+  }
+
+  expect_token(is, "reads");
+  std::size_t n_reads = 0;
+  if (!(is >> n_reads)) bad("read count");
+  for (std::size_t i = 0; i < n_reads; ++i) {
+    std::string seq, qual;
+    if (!(is >> seq >> qual)) bad("read record");
+    in.reads.append(seq, qual);
+  }
+
+  in.left_reads.resize(n_contigs);
+  in.right_reads.resize(n_contigs);
+  expect_token(is, "mappings");
+  std::uint64_t n_mappings = 0;
+  if (!(is >> n_mappings)) bad("mapping count");
+  for (std::uint64_t i = 0; i < n_mappings; ++i) {
+    std::size_t c = 0;
+    char side = 0;
+    std::uint32_t r = 0;
+    if (!(is >> c >> side >> r)) bad("mapping record");
+    if (c >= n_contigs || r >= n_reads) bad("mapping out of range");
+    if (side == 'L') {
+      in.left_reads[c].push_back(r);
+    } else if (side == 'R') {
+      in.right_reads[c].push_back(r);
+    } else {
+      bad("mapping side");
+    }
+  }
+  return in;
+}
+
+}  // namespace lassm::workload

@@ -1,0 +1,59 @@
+#include "bio/contig.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lassm::bio {
+namespace {
+
+ContigSet make_set(std::initializer_list<std::size_t> lengths) {
+  ContigSet set;
+  std::uint64_t id = 0;
+  for (std::size_t len : lengths) {
+    set.push_back(Contig{id++, std::string(len, 'A'), 1.0});
+  }
+  return set;
+}
+
+TEST(Contig, ApplyExtension) {
+  Contig c{0, "CCCC", 1.0};
+  ContigExtension e;
+  e.left = "AA";
+  e.right = "GGG";
+  apply_extension(c, e);
+  EXPECT_EQ(c.seq, "AACCCCGGG");
+  EXPECT_EQ(c.length(), 9U);
+}
+
+TEST(Contig, ApplyEmptyExtensionIsNoop) {
+  Contig c{0, "ACGT", 1.0};
+  apply_extension(c, ContigExtension{});
+  EXPECT_EQ(c.seq, "ACGT");
+}
+
+TEST(Contig, TotalBases) {
+  EXPECT_EQ(total_contig_bases(make_set({10, 20, 30})), 60U);
+  EXPECT_EQ(total_contig_bases({}), 0U);
+}
+
+TEST(Contig, N50Basic) {
+  // total 100; sorted desc 40,30,20,10; cumulative 40,70 >= 50 -> 30
+  EXPECT_EQ(n50(make_set({10, 20, 30, 40})), 30U);
+}
+
+TEST(Contig, N50SingleContig) {
+  EXPECT_EQ(n50(make_set({123})), 123U);
+}
+
+TEST(Contig, N50AllEqual) {
+  EXPECT_EQ(n50(make_set({50, 50, 50})), 50U);
+}
+
+TEST(Contig, N50Empty) { EXPECT_EQ(n50({}), 0U); }
+
+TEST(Contig, N50DominatedByLargest) {
+  // 900 covers >= half of 1000 on its own.
+  EXPECT_EQ(n50(make_set({900, 50, 50})), 900U);
+}
+
+}  // namespace
+}  // namespace lassm::bio

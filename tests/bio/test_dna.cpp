@@ -1,0 +1,76 @@
+#include "bio/dna.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace lassm::bio {
+namespace {
+
+TEST(Dna, BaseCodeRoundTrip) {
+  for (int code = 0; code < kNumBases; ++code) {
+    EXPECT_EQ(base_to_code(code_to_base(code)), code);
+  }
+}
+
+TEST(Dna, InvalidBasesMapToNegative) {
+  for (char c : std::string("acgtNnXU -1@")) {
+    EXPECT_LT(base_to_code(c), 0) << "char: " << c;
+  }
+}
+
+TEST(Dna, ComplementIsInvolution) {
+  for (char b : std::string("ACGT")) {
+    EXPECT_EQ(complement(complement(b)), b);
+  }
+  EXPECT_EQ(complement('N'), 'N');
+  EXPECT_EQ(complement('x'), 'N');
+}
+
+TEST(Dna, ComplementPairs) {
+  EXPECT_EQ(complement('A'), 'T');
+  EXPECT_EQ(complement('C'), 'G');
+  EXPECT_EQ(complement('G'), 'C');
+  EXPECT_EQ(complement('T'), 'A');
+}
+
+TEST(Dna, IsValidSequence) {
+  EXPECT_TRUE(is_valid_sequence(""));
+  EXPECT_TRUE(is_valid_sequence("ACGTACGT"));
+  EXPECT_FALSE(is_valid_sequence("ACGN"));
+  EXPECT_FALSE(is_valid_sequence("acgt"));
+}
+
+TEST(Dna, ReverseComplementKnown) {
+  EXPECT_EQ(reverse_complement("ACGT"), "ACGT");  // palindrome
+  EXPECT_EQ(reverse_complement("AAAA"), "TTTT");
+  EXPECT_EQ(reverse_complement("AGCC"), "GGCT");
+  EXPECT_EQ(reverse_complement(""), "");
+  EXPECT_EQ(reverse_complement("A"), "T");
+}
+
+TEST(Dna, ReverseComplementIsInvolution) {
+  const std::string s = "ACGTTGCAACGTGGGTACC";
+  EXPECT_EQ(reverse_complement(reverse_complement(s)), s);
+}
+
+TEST(Dna, ReverseComplementInplaceMatchesFreeFunction) {
+  for (const char* input : {"A", "AC", "ACG", "ACGT", "AGCCTGGTA"}) {
+    std::string s = input;
+    const std::string expected = reverse_complement(s);
+    reverse_complement_inplace(s.data(), s.data() + s.size());
+    EXPECT_EQ(s, expected) << "input: " << input;
+  }
+}
+
+TEST(Dna, HammingDistance) {
+  EXPECT_EQ(hamming_distance("ACGT", "ACGT"), 0U);
+  EXPECT_EQ(hamming_distance("ACGT", "ACGA"), 1U);
+  EXPECT_EQ(hamming_distance("AAAA", "TTTT"), 4U);
+  // Length differences count as mismatches.
+  EXPECT_EQ(hamming_distance("ACGT", "AC"), 2U);
+  EXPECT_EQ(hamming_distance("", "ACG"), 3U);
+}
+
+}  // namespace
+}  // namespace lassm::bio

@@ -1,0 +1,72 @@
+#include "bio/fasta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace lassm::bio {
+namespace {
+
+TEST(Fasta, WriteReadRoundTrip) {
+  ContigSet contigs;
+  contigs.push_back({0, std::string(200, 'A'), 2.5});
+  contigs.push_back({1, "ACGTACGT", 1.0});
+  std::stringstream ss;
+  write_fasta(ss, contigs);
+  const auto records = read_fasta(ss);
+  ASSERT_EQ(records.size(), 2U);
+  EXPECT_EQ(records[0].seq, contigs[0].seq);  // 200 chars re-joined from wraps
+  EXPECT_EQ(records[1].seq, "ACGTACGT");
+  EXPECT_NE(records[0].name.find("contig0"), std::string::npos);
+}
+
+TEST(Fasta, ToleratesBlankLines) {
+  std::stringstream ss(">a\nACGT\n\nGGTT\n>b\n\nAA\n");
+  const auto records = read_fasta(ss);
+  ASSERT_EQ(records.size(), 2U);
+  EXPECT_EQ(records[0].seq, "ACGTGGTT");
+  EXPECT_EQ(records[1].seq, "AA");
+}
+
+TEST(Fasta, RejectsSequenceBeforeHeader) {
+  std::stringstream ss("ACGT\n>a\n");
+  EXPECT_THROW(read_fasta(ss), std::runtime_error);
+}
+
+TEST(Fastq, WriteReadRoundTrip) {
+  ReadSet reads;
+  reads.append("ACGTACGT", "IIIIIIII");
+  reads.append("TTGGCCAA", "!!!!!!!!");
+  std::stringstream ss;
+  write_fastq(ss, reads);
+  const ReadSet parsed = read_fastq(ss);
+  ASSERT_EQ(parsed.size(), 2U);
+  EXPECT_EQ(parsed.seq(0), "ACGTACGT");
+  EXPECT_EQ(parsed.qual(1), "!!!!!!!!");
+}
+
+TEST(Fastq, DropsAmbiguousReads) {
+  std::stringstream ss("@a\nACGN\n+\nIIII\n@b\nACGT\n+\nIIII\n");
+  std::size_t dropped = 0;
+  const ReadSet parsed = read_fastq(ss, &dropped);
+  EXPECT_EQ(parsed.size(), 1U);
+  EXPECT_EQ(dropped, 1U);
+}
+
+TEST(Fastq, RejectsTruncatedRecord) {
+  std::stringstream ss("@a\nACGT\n+\n");
+  EXPECT_THROW(read_fastq(ss), std::runtime_error);
+}
+
+TEST(Fastq, RejectsLengthMismatch) {
+  std::stringstream ss("@a\nACGT\n+\nII\n");
+  EXPECT_THROW(read_fastq(ss), std::runtime_error);
+}
+
+TEST(Fastq, RejectsBadSeparator) {
+  std::stringstream ss("@a\nACGT\nX\nIIII\n");
+  EXPECT_THROW(read_fastq(ss), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lassm::bio

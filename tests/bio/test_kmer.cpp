@@ -1,0 +1,127 @@
+#include "bio/kmer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "bio/dna.hpp"
+#include "bio/rng.hpp"
+
+namespace lassm::bio {
+namespace {
+
+std::string random_seq(Xoshiro256& rng, std::size_t len) {
+  std::string s(len, 'A');
+  for (char& c : s) c = code_to_base(static_cast<int>(rng.below(4)));
+  return s;
+}
+
+TEST(KmerView, EqualityComparesBytes) {
+  const std::string buf = "ACGTACGTAA";
+  KmerView a{buf.data(), 4, 100};
+  KmerView b{buf.data() + 4, 4, 200};  // same bytes, different address
+  KmerView c{buf.data() + 1, 4, 101};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(KmerView, HashIgnoresAddress) {
+  const std::string buf = "ACGTACGT";
+  KmerView a{buf.data(), 4, 0};
+  KmerView b{buf.data() + 4, 4, 999};
+  EXPECT_EQ(a.hash(1024), b.hash(1024));
+}
+
+class PackedKmerRoundTrip : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PackedKmerRoundTrip, PackUnpack) {
+  Xoshiro256 rng(GetParam());
+  const std::string s = random_seq(rng, GetParam());
+  EXPECT_EQ(PackedKmer::pack(s).unpack(), s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, PackedKmerRoundTrip,
+                         ::testing::Values(1, 2, 21, 31, 32, 33, 55, 63, 64,
+                                           77, 127, 128));
+
+TEST(PackedKmer, CodeAt) {
+  const PackedKmer km = PackedKmer::pack("ACGT");
+  EXPECT_EQ(km.code_at(0), 0);
+  EXPECT_EQ(km.code_at(1), 1);
+  EXPECT_EQ(km.code_at(2), 2);
+  EXPECT_EQ(km.code_at(3), 3);
+}
+
+TEST(PackedKmer, SuccessorShifts) {
+  const PackedKmer km = PackedKmer::pack("ACGTA");
+  EXPECT_EQ(km.successor(base_to_code('G')).unpack(), "CGTAG");
+}
+
+TEST(PackedKmer, PredecessorShifts) {
+  const PackedKmer km = PackedKmer::pack("ACGTA");
+  EXPECT_EQ(km.predecessor(base_to_code('T')).unpack(), "TACGT");
+}
+
+TEST(PackedKmer, SuccessorPredecessorInverse) {
+  Xoshiro256 rng(9);
+  const std::string s = random_seq(rng, 33);
+  const PackedKmer km = PackedKmer::pack(s);
+  // successor then predecessor with the dropped base restores the k-mer
+  const int first = km.code_at(0);
+  EXPECT_EQ(km.successor(2).predecessor(first), km);
+}
+
+TEST(PackedKmer, ReverseComplementMatchesStringVersion) {
+  Xoshiro256 rng(21);
+  for (std::uint32_t len : {5U, 21U, 33U, 77U}) {
+    const std::string s = random_seq(rng, len);
+    EXPECT_EQ(PackedKmer::pack(s).reverse_complement().unpack(),
+              reverse_complement(s));
+  }
+}
+
+TEST(PackedKmer, CanonicalIsStrandInvariant) {
+  Xoshiro256 rng(33);
+  for (int i = 0; i < 50; ++i) {
+    const std::string s = random_seq(rng, 31);
+    const PackedKmer fwd = PackedKmer::pack(s);
+    const PackedKmer rev = PackedKmer::pack(reverse_complement(s));
+    EXPECT_EQ(fwd.canonical(), rev.canonical());
+  }
+}
+
+TEST(PackedKmer, OrderingMatchesLexicographic) {
+  EXPECT_TRUE((PackedKmer::pack("AAAA") <=> PackedKmer::pack("AAAC")) < 0);
+  EXPECT_TRUE((PackedKmer::pack("ACGT") <=> PackedKmer::pack("CAAA")) < 0);
+  EXPECT_TRUE((PackedKmer::pack("GGGG") <=> PackedKmer::pack("GGGG")) == 0);
+}
+
+TEST(PackedKmer, Hash64SpreadsAndIsStable) {
+  Xoshiro256 rng(55);
+  std::set<std::uint64_t> hashes;
+  for (int i = 0; i < 200; ++i) {
+    const PackedKmer km = PackedKmer::pack(random_seq(rng, 21));
+    EXPECT_EQ(km.hash64(), km.hash64());
+    hashes.insert(km.hash64());
+  }
+  EXPECT_GT(hashes.size(), 195U);  // near-zero collisions expected
+}
+
+TEST(PackedKmer, DifferentKDifferentHash) {
+  const PackedKmer a = PackedKmer::pack("AAAA");
+  const PackedKmer b = PackedKmer::pack("AAAAA");
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(a.hash64(), b.hash64());
+}
+
+TEST(KmerCount, Formula) {
+  EXPECT_EQ(kmer_count(155, 21), 135U);
+  EXPECT_EQ(kmer_count(175, 77), 99U);
+  EXPECT_EQ(kmer_count(20, 21), 0U);
+  EXPECT_EQ(kmer_count(21, 21), 1U);
+  EXPECT_EQ(kmer_count(0, 1), 0U);
+}
+
+}  // namespace
+}  // namespace lassm::bio

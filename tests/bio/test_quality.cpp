@@ -1,0 +1,47 @@
+#include "bio/quality.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lassm::bio {
+namespace {
+
+TEST(Quality, AsciiRoundTrip) {
+  for (int q = 0; q <= kMaxPhred; ++q) {
+    EXPECT_EQ(ascii_to_phred(phred_to_ascii(q)), q);
+  }
+}
+
+TEST(Quality, ClampsOutOfRange) {
+  EXPECT_EQ(phred_to_ascii(-5), phred_to_ascii(0));
+  EXPECT_EQ(phred_to_ascii(1000), phred_to_ascii(kMaxPhred));
+  EXPECT_EQ(ascii_to_phred('\x10'), 0);  // below '!' clamps to 0
+}
+
+TEST(Quality, HighQualityThreshold) {
+  EXPECT_FALSE(is_high_quality(phred_to_ascii(kHiQualThreshold - 1)));
+  EXPECT_TRUE(is_high_quality(phred_to_ascii(kHiQualThreshold)));
+  EXPECT_TRUE(is_high_quality(phred_to_ascii(kMaxPhred)));
+  EXPECT_FALSE(is_high_quality(phred_to_ascii(0)));
+}
+
+TEST(Quality, ErrorProbDecades) {
+  EXPECT_DOUBLE_EQ(phred_error_prob(0), 1.0);
+  EXPECT_NEAR(phred_error_prob(10), 0.1, 1e-9);
+  EXPECT_NEAR(phred_error_prob(20), 0.01, 1e-9);
+  EXPECT_NEAR(phred_error_prob(30), 0.001, 1e-9);
+}
+
+TEST(Quality, ErrorProbMonotone) {
+  for (int q = 0; q < kMaxPhred; ++q) {
+    EXPECT_GT(phred_error_prob(q), phred_error_prob(q + 1));
+  }
+}
+
+TEST(Quality, ErrorProbIntermediate) {
+  // Q13 ~ 0.05; the approximation is exact at table points.
+  EXPECT_NEAR(phred_error_prob(13), 0.0501187, 1e-4);
+  EXPECT_NEAR(phred_error_prob(3), 0.501187, 1e-4);
+}
+
+}  // namespace
+}  // namespace lassm::bio

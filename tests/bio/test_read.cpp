@@ -1,0 +1,94 @@
+#include "bio/read.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "bio/quality.hpp"
+
+namespace lassm::bio {
+namespace {
+
+TEST(ReadSet, AppendAndAccess) {
+  ReadSet rs;
+  rs.append("ACGT", "IIII");
+  rs.append("GGGCC", 30);
+  ASSERT_EQ(rs.size(), 2U);
+  EXPECT_EQ(rs.seq(0), "ACGT");
+  EXPECT_EQ(rs.qual(0), "IIII");
+  EXPECT_EQ(rs.seq(1), "GGGCC");
+  EXPECT_EQ(rs.qual(1), std::string(5, phred_to_ascii(30)));
+  EXPECT_EQ(rs[0].len, 4U);
+  EXPECT_EQ(rs[1].id, 1U);
+  EXPECT_EQ(rs.total_bases(), 9U);
+}
+
+TEST(ReadSet, RejectsMismatchedQual) {
+  ReadSet rs;
+  EXPECT_THROW(rs.append("ACGT", "II"), std::invalid_argument);
+}
+
+TEST(ReadSet, RejectsInvalidBases) {
+  ReadSet rs;
+  EXPECT_THROW(rs.append("ACGN", "IIII"), std::invalid_argument);
+  EXPECT_THROW(rs.append("acgt", "IIII"), std::invalid_argument);
+}
+
+TEST(ReadSet, KmerViewsPointIntoArena) {
+  ReadSet rs;
+  rs.reserve_bases(64);
+  rs.append("ACGTACGTAC", 35);
+  rs.append("TTTTGGGG", 35);
+  const KmerView km = rs.kmer(1, 2, 4, /*sim_base=*/1000);
+  EXPECT_EQ(km.sv(), "TTGG");
+  EXPECT_EQ(km.sim_addr, 1000 + 10 + 2);  // second read offset + pos
+}
+
+TEST(ReadSet, QualAt) {
+  ReadSet rs;
+  rs.append("ACGT", "!5I+");
+  EXPECT_EQ(rs.qual_at(0, 0), '!');
+  EXPECT_EQ(rs.qual_at(0, 2), 'I');
+}
+
+TEST(ReadSet, TotalKmers) {
+  ReadSet rs;
+  rs.append(std::string(155, 'A'), 30);
+  rs.append(std::string(20, 'C'), 30);  // shorter than k: contributes 0
+  EXPECT_EQ(rs.total_kmers(21), 135U);
+  EXPECT_EQ(rs.total_kmers(156), 0U);
+}
+
+TEST(ReadSet, ReverseComplementedPreservesOrderAndQualities) {
+  ReadSet rs;
+  rs.append("AACCG", "ABCDE");
+  rs.append("TTTT", "FFFH");
+  const ReadSet rc = rs.reverse_complemented();
+  ASSERT_EQ(rc.size(), 2U);
+  EXPECT_EQ(rc.seq(0), "CGGTT");
+  EXPECT_EQ(rc.qual(0), "EDCBA");  // qualities follow their bases
+  EXPECT_EQ(rc.seq(1), "AAAA");
+  EXPECT_EQ(rc.qual(1), "HFFF");
+}
+
+TEST(ReadSet, ReverseComplementTwiceIsIdentity) {
+  ReadSet rs;
+  rs.append("ACGTTGCA", "12345678");
+  rs.append("GGGTTTAA", "abcdefgh");
+  const ReadSet twice = rs.reverse_complemented().reverse_complemented();
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    EXPECT_EQ(twice.seq(i), rs.seq(i));
+    EXPECT_EQ(twice.qual(i), rs.qual(i));
+  }
+}
+
+TEST(ReadSet, EmptySetBehaviour) {
+  ReadSet rs;
+  EXPECT_TRUE(rs.empty());
+  EXPECT_EQ(rs.total_bases(), 0U);
+  EXPECT_EQ(rs.total_kmers(21), 0U);
+  EXPECT_EQ(rs.reverse_complemented().size(), 0U);
+}
+
+}  // namespace
+}  // namespace lassm::bio

@@ -1,0 +1,89 @@
+#include "bio/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+namespace lassm::bio {
+namespace {
+
+TEST(Rng, SplitMixDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SplitMixDistinctSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next() == b.next() ? 1 : 0;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, XoshiroDeterministic) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17U);
+  }
+  EXPECT_EQ(rng.below(0), 0U);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0U);
+}
+
+TEST(Rng, BelowCoversRange) {
+  Xoshiro256 rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8U);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(11);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, GaussianMoments) {
+  Xoshiro256 rng(13);
+  double sum = 0, sq = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.05);
+  EXPECT_NEAR(sq / kN, 1.0, 0.05);
+}
+
+TEST(Rng, GeometricMeanApproximatesTarget) {
+  Xoshiro256 rng(17);
+  for (double mean : {2.0, 10.0, 50.0}) {
+    double sum = 0;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i) {
+      sum += static_cast<double>(rng.geometric(mean));
+    }
+    EXPECT_NEAR(sum / kN, mean, mean * 0.1) << "mean " << mean;
+  }
+}
+
+TEST(Rng, GeometricDegenerateMean) {
+  Xoshiro256 rng(19);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric(0.5), 1U);
+}
+
+}  // namespace
+}  // namespace lassm::bio

@@ -1,0 +1,149 @@
+#include "core/binning.hpp"
+
+#include "core/loc_ht.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/dataset.hpp"
+
+namespace lassm::core {
+namespace {
+
+AssemblyInput small_input() {
+  workload::DatasetParams p = workload::table2_params(21);
+  p.num_contigs = 40;
+  p.num_reads = 200;
+  return workload::generate_dataset(p, 99);
+}
+
+TEST(Input, GeneratedInputValidates) {
+  EXPECT_TRUE(small_input().validate());
+}
+
+TEST(Input, ValidateCatchesDoubleMappedRead) {
+  AssemblyInput in = small_input();
+  // Map some read twice.
+  for (std::size_t c = 0; c < in.contigs.size(); ++c) {
+    if (!in.right_reads[c].empty()) {
+      in.left_reads[(c + 1) % in.contigs.size()].push_back(
+          in.right_reads[c][0]);
+      break;
+    }
+  }
+  EXPECT_FALSE(in.validate());
+}
+
+TEST(Input, ValidateCatchesOutOfRangeRead) {
+  AssemblyInput in = small_input();
+  in.right_reads[0].push_back(static_cast<std::uint32_t>(in.reads.size()));
+  EXPECT_FALSE(in.validate());
+}
+
+TEST(Input, ValidateCatchesSizeMismatch) {
+  AssemblyInput in = small_input();
+  in.left_reads.pop_back();
+  EXPECT_FALSE(in.validate());
+}
+
+TEST(Input, TotalInsertionsMatchesFormula) {
+  const AssemblyInput in = small_input();
+  std::uint64_t expected = 0;
+  for (const auto& side : {in.left_reads, in.right_reads}) {
+    for (const auto& v : side) {
+      for (std::uint32_t r : v) {
+        expected += in.reads[r].len >= in.kmer_len
+                        ? in.reads[r].len - in.kmer_len + 1
+                        : 0;
+      }
+    }
+  }
+  EXPECT_EQ(in.total_insertions(), expected);
+}
+
+TEST(Binning, EveryContigAppearsExactlyOnce) {
+  const AssemblyInput in = small_input();
+  const auto batches = make_batches(in, {});
+  std::set<std::uint32_t> seen;
+  for (const auto& b : batches) {
+    for (std::uint32_t id : b.contig_ids) {
+      EXPECT_TRUE(seen.insert(id).second) << "duplicate contig " << id;
+    }
+  }
+  EXPECT_EQ(seen.size(), in.contigs.size());
+}
+
+TEST(Binning, BatchesAreWorkMonotone) {
+  const AssemblyInput in = small_input();
+  const auto batches = make_batches(in, {});
+  std::uint64_t prev = 0;
+  for (const auto& b : batches) {
+    for (std::uint32_t id : b.contig_ids) {
+      const std::uint64_t w = contig_work_estimate(in, id);
+      EXPECT_GE(w, prev);
+      prev = w;
+    }
+  }
+}
+
+TEST(Binning, BatchesRespectMemoryBudget) {
+  const AssemblyInput in = small_input();
+  AssemblyOptions opts;
+  opts.batch_mem_budget_bytes = 1 << 18;  // 256 KiB: forces splitting
+  const auto batches = make_batches(in, opts);
+  EXPECT_GT(batches.size(), 1U);
+  for (const auto& b : batches) {
+    if (b.contig_ids.size() > 1) {
+      EXPECT_LE(b.device_bytes, opts.batch_mem_budget_bytes);
+    }
+  }
+}
+
+TEST(Binning, PowerOfTwoBinsSeparateReadCounts) {
+  const AssemblyInput in = small_input();
+  const auto batches = make_batches(in, {});
+  // Within a batch all work estimates share a power-of-two bucket.
+  for (const auto& b : batches) {
+    std::set<int> buckets;
+    for (std::uint32_t id : b.contig_ids) {
+      std::uint64_t w = contig_work_estimate(in, id);
+      int bucket = 0;
+      while (w > 1) {
+        w >>= 1;
+        ++bucket;
+      }
+      buckets.insert(bucket);
+    }
+    EXPECT_EQ(buckets.size(), 1U);
+  }
+}
+
+TEST(Binning, DisabledKeepsInputOrder) {
+  const AssemblyInput in = small_input();
+  AssemblyOptions opts;
+  opts.bin_contigs = false;
+  const auto batches = make_batches(in, opts);
+  std::uint32_t expected = 0;
+  for (const auto& b : batches) {
+    for (std::uint32_t id : b.contig_ids) {
+      EXPECT_EQ(id, expected++);
+    }
+  }
+}
+
+TEST(Binning, DeviceBytesCoverTableAndReads) {
+  const AssemblyInput in = small_input();
+  const AssemblyOptions opts;
+  for (std::uint32_t c = 0; c < in.contigs.size(); ++c) {
+    const std::uint64_t bytes = contig_device_bytes(in, c, opts);
+    // At least the contig itself and both walk buffers.
+    EXPECT_GE(bytes, in.contigs[c].length());
+    if (!in.right_reads[c].empty()) {
+      EXPECT_GE(bytes, 16U * kEntryBytes);  // minimum table
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lassm::core

@@ -1,0 +1,160 @@
+// Edge cases of the simulated kernel beyond the bulk kernel-vs-reference
+// equivalence: degenerate inputs, walk caps, table pressure, and counter
+// invariants under unusual configurations.
+
+#include <gtest/gtest.h>
+
+#include "core/assembler.hpp"
+#include "core/reference.hpp"
+#include "bio/rng.hpp"
+
+namespace lassm::core {
+namespace {
+
+std::string random_seq(std::uint64_t seed, std::size_t len) {
+  bio::Xoshiro256 rng(seed);
+  std::string s(len, 'A');
+  for (char& c : s) c = bio::code_to_base(static_cast<int>(rng.below(4)));
+  return s;
+}
+
+AssemblyInput one_contig(std::string contig,
+                         std::vector<std::string> right_reads,
+                         std::uint32_t k = 21) {
+  AssemblyInput in;
+  in.kmer_len = k;
+  in.contigs.push_back({0, std::move(contig), 1.0});
+  in.left_reads.resize(1);
+  in.right_reads.resize(1);
+  for (auto& r : right_reads) {
+    in.right_reads[0].push_back(
+        static_cast<std::uint32_t>(in.reads.append(r, 35)));
+  }
+  return in;
+}
+
+simt::DeviceSpec dev() { return simt::DeviceSpec::a100(); }
+
+TEST(KernelEdge, ContigShorterThanEveryRung) {
+  auto in = one_contig(random_seq(1, 12), {random_seq(2, 80)});
+  const auto r = LocalAssembler(dev()).run(in);
+  EXPECT_TRUE(r.extensions[0].right.empty());
+  // No reads processed: no insertions at all.
+  EXPECT_EQ(r.stats.totals.insertions, 0U);
+}
+
+TEST(KernelEdge, ReadShorterThanMerContributesNothing) {
+  auto in = one_contig(random_seq(3, 100), {random_seq(4, 15)});  // len < k
+  const auto r = LocalAssembler(dev()).run(in);
+  EXPECT_EQ(r.stats.totals.insertions, 0U);
+  EXPECT_TRUE(r.extensions[0].right.empty());
+}
+
+TEST(KernelEdge, WalkCapAcceptedAsLimit) {
+  // A long perfect chain hits max_walk_len and is accepted at that length.
+  const std::string tmpl = random_seq(5, 900);
+  std::vector<std::string> reads;
+  for (std::size_t off = 60; off + 150 <= tmpl.size(); off += 60) {
+    reads.push_back(tmpl.substr(off, 150));
+  }
+  auto in = one_contig(tmpl.substr(0, 100), reads);
+  AssemblyOptions opts;
+  opts.max_walk_len = 37;
+  const auto r = LocalAssembler(dev(), opts).run(in);
+  EXPECT_EQ(r.extensions[0].right.size(), 37U);
+  // And the reference agrees under the same cap.
+  const auto ref = reference_extend(in, opts);
+  EXPECT_EQ(ref[0].right, r.extensions[0].right);
+}
+
+TEST(KernelEdge, DuplicateReadsAccumulateVotesNotEntries) {
+  const std::string tmpl = random_seq(7, 200);
+  const std::string read = tmpl.substr(60, 100);
+  auto in = one_contig(tmpl.substr(0, 100), {read, read, read});
+  const auto r = LocalAssembler(dev()).run(in);
+  // Three identical reads triple the insertions but the walk result is the
+  // same as with one read.
+  auto in1 = one_contig(tmpl.substr(0, 100), {read});
+  const auto r1 = LocalAssembler(dev()).run(in1);
+  EXPECT_EQ(r.extensions[0].right, r1.extensions[0].right);
+  EXPECT_EQ(r.stats.totals.insertions, 3 * r1.stats.totals.insertions);
+}
+
+TEST(KernelEdge, TinyLoadFactorStillCorrect) {
+  AssemblyOptions opts;
+  opts.table_load_factor = 0.95;  // near-full tables: long probe chains
+  const std::string tmpl = random_seq(9, 300);
+  auto in = one_contig(tmpl.substr(0, 100),
+                       {tmpl.substr(40, 120), tmpl.substr(100, 120)});
+  const auto r = LocalAssembler(dev(), opts).run(in);
+  const auto ref = reference_extend(in, opts);
+  EXPECT_EQ(ref[0].right, r.extensions[0].right);
+  // Higher load factor means more probes than the default configuration.
+  const auto r_default = LocalAssembler(dev()).run(in);
+  EXPECT_GE(r.stats.totals.probes, r_default.stats.totals.probes);
+}
+
+TEST(KernelEdge, SingleRungLadderDisablesRetries) {
+  AssemblyOptions opts;
+  opts.max_mer_rungs = 1;
+  const std::string tmpl = random_seq(11, 300);
+  auto in = one_contig(tmpl.substr(0, 100), {tmpl.substr(60, 120)}, 55);
+  const auto r = LocalAssembler(dev(), opts).run(in);
+  EXPECT_EQ(r.stats.totals.mer_retries, 0U);
+}
+
+TEST(KernelEdge, WiderLadderNeverShortensExtensions) {
+  // More rungs can only add recovery opportunities.
+  const std::string tmpl = random_seq(13, 400);
+  std::string read = tmpl.substr(50, 150);
+  read[20] = bio::complement(read[20]);  // corrupt the large-mer junction
+  auto in = one_contig(tmpl.substr(0, 100), {read}, 55);
+  AssemblyOptions one, four;
+  one.max_mer_rungs = 1;
+  four.max_mer_rungs = 4;
+  const auto r1 = LocalAssembler(dev(), one).run(in);
+  const auto r4 = LocalAssembler(dev(), four).run(in);
+  EXPECT_GE(r4.extensions[0].right.size(), r1.extensions[0].right.size());
+}
+
+TEST(KernelEdge, CountersScaleWithWork) {
+  const std::string tmpl = random_seq(15, 400);
+  auto small = one_contig(tmpl.substr(0, 100), {tmpl.substr(60, 120)});
+  auto big = one_contig(tmpl.substr(0, 100),
+                        {tmpl.substr(60, 120), tmpl.substr(80, 120),
+                         tmpl.substr(120, 120)});
+  const auto rs = LocalAssembler(dev()).run(small);
+  const auto rb = LocalAssembler(dev()).run(big);
+  EXPECT_GT(rb.stats.totals.insertions, rs.stats.totals.insertions);
+  EXPECT_GT(rb.stats.intop_count(), rs.stats.intop_count());
+  EXPECT_GT(rb.stats.totals.intops, rs.stats.totals.intops);
+  EXPECT_GE(rb.stats.totals.issue_slots, rb.stats.totals.intops);
+}
+
+TEST(KernelEdge, TrafficOrderingInvariant) {
+  // For any run: L1 bytes >= L2 bytes >= HBM read bytes (each level filters
+  // the one above).
+  const std::string tmpl = random_seq(17, 500);
+  auto in = one_contig(tmpl.substr(0, 150),
+                       {tmpl.substr(80, 150), tmpl.substr(150, 150)});
+  for (const auto& d : simt::DeviceSpec::study_devices()) {
+    const auto r = LocalAssembler(d).run(in);
+    const auto& t = r.stats.traffic;
+    EXPECT_GE(t.l1_bytes(), t.l2_bytes()) << d.name;
+    EXPECT_GE(t.l2_bytes(), t.hbm_read_bytes) << d.name;
+  }
+}
+
+TEST(KernelEdge, ZeroWalkBudget) {
+  AssemblyOptions opts;
+  opts.max_walk_len = 0;
+  const std::string tmpl = random_seq(19, 300);
+  auto in = one_contig(tmpl.substr(0, 100), {tmpl.substr(60, 120)});
+  const auto r = LocalAssembler(dev(), opts).run(in);
+  EXPECT_TRUE(r.extensions[0].right.empty());
+  const auto ref = reference_extend(in, opts);
+  EXPECT_TRUE(ref[0].right.empty());
+}
+
+}  // namespace
+}  // namespace lassm::core

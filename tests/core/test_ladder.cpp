@@ -1,0 +1,57 @@
+#include "core/ladder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lassm::core {
+namespace {
+
+TEST(Ladder, ProductionKValues) {
+  const AssemblyOptions opts;  // step 8, floor 21, max 4 rungs
+  EXPECT_EQ(mer_ladder(21, opts), (std::vector<std::uint32_t>{21}));
+  EXPECT_EQ(mer_ladder(33, opts), (std::vector<std::uint32_t>{33, 25}));
+  EXPECT_EQ(mer_ladder(55, opts),
+            (std::vector<std::uint32_t>{55, 47, 39, 31}));
+  EXPECT_EQ(mer_ladder(77, opts),
+            (std::vector<std::uint32_t>{77, 69, 61, 53}));
+}
+
+TEST(Ladder, RungCapRespected) {
+  AssemblyOptions opts;
+  opts.max_mer_rungs = 2;
+  EXPECT_EQ(mer_ladder(77, opts), (std::vector<std::uint32_t>{77, 69}));
+  opts.max_mer_rungs = 100;
+  // Unbounded rungs stop at the floor.
+  const auto rungs = mer_ladder(77, opts);
+  EXPECT_EQ(rungs.back(), 21U);
+  EXPECT_EQ(rungs.size(), 8U);
+}
+
+TEST(Ladder, FloorAboveKClampsToK) {
+  AssemblyOptions opts;
+  opts.min_mer_len = 50;
+  EXPECT_EQ(mer_ladder(33, opts), (std::vector<std::uint32_t>{33}));
+}
+
+TEST(Ladder, DescendingAndAboveFloor) {
+  AssemblyOptions opts;
+  opts.max_mer_rungs = 16;
+  for (std::uint32_t k : {21U, 33U, 55U, 77U, 99U}) {
+    const auto rungs = mer_ladder(k, opts);
+    ASSERT_FALSE(rungs.empty());
+    EXPECT_EQ(rungs.front(), k);
+    for (std::size_t i = 1; i < rungs.size(); ++i) {
+      EXPECT_EQ(rungs[i - 1] - rungs[i], opts.mer_ladder_step);
+    }
+    EXPECT_GE(rungs.back(), std::min(opts.min_mer_len, k));
+  }
+}
+
+TEST(Ladder, MinMerMatchesLastRung) {
+  const AssemblyOptions opts;
+  for (std::uint32_t k : {21U, 33U, 55U, 77U}) {
+    EXPECT_EQ(ladder_min_mer(k, opts), mer_ladder(k, opts).back());
+  }
+}
+
+}  // namespace
+}  // namespace lassm::core

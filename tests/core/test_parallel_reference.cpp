@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "core/reference.hpp"
+#include "workload/dataset.hpp"
+
+namespace lassm::core {
+namespace {
+
+AssemblyInput dataset(std::uint32_t k, std::uint32_t contigs,
+                      std::uint64_t seed) {
+  workload::DatasetParams p = workload::table2_params(k);
+  const double ratio =
+      static_cast<double>(p.num_reads) / static_cast<double>(p.num_contigs);
+  p.num_contigs = contigs;
+  p.num_reads = static_cast<std::uint32_t>(contigs * ratio);
+  return workload::generate_dataset(p, seed);
+}
+
+void expect_equal(const std::vector<bio::ContigExtension>& a,
+                  const std::vector<bio::ContigExtension>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].left, b[i].left) << i;
+    EXPECT_EQ(a[i].right, b[i].right) << i;
+    EXPECT_EQ(a[i].contig_id, b[i].contig_id) << i;
+  }
+}
+
+class ParallelReference : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParallelReference, MatchesSerialAtAnyThreadCount) {
+  const AssemblyInput in = dataset(33, 60, 3);
+  expect_equal(reference_extend(in),
+               reference_extend_parallel(in, {}, GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelReference,
+                         ::testing::Values(1U, 2U, 3U, 7U, 64U));
+
+TEST(ParallelReferenceEdge, DefaultThreadCount) {
+  const AssemblyInput in = dataset(21, 40, 5);
+  expect_equal(reference_extend(in), reference_extend_parallel(in));
+}
+
+TEST(ParallelReferenceEdge, MoreThreadsThanContigs) {
+  const AssemblyInput in = dataset(21, 3, 7);
+  expect_equal(reference_extend(in),
+               reference_extend_parallel(in, {}, 16));
+}
+
+TEST(ParallelReferenceEdge, EmptyInput) {
+  AssemblyInput in;
+  in.kmer_len = 21;
+  EXPECT_TRUE(reference_extend_parallel(in).empty());
+}
+
+}  // namespace
+}  // namespace lassm::core

@@ -1,0 +1,157 @@
+#include "core/reference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bio/dna.hpp"
+#include "bio/rng.hpp"
+
+namespace lassm::core {
+namespace {
+
+std::string random_seq(std::uint64_t seed, std::size_t len) {
+  bio::Xoshiro256 rng(seed);
+  std::string s(len, 'A');
+  for (char& c : s) c = bio::code_to_base(static_cast<int>(rng.below(4)));
+  return s;
+}
+
+/// Builds a one-contig input whose right side has the given reads.
+AssemblyInput one_contig(std::string contig,
+                         std::vector<std::string> right_reads,
+                         std::vector<std::string> left_reads = {},
+                         std::uint32_t k = 21) {
+  AssemblyInput in;
+  in.kmer_len = k;
+  in.contigs.push_back({0, std::move(contig), 1.0});
+  in.left_reads.resize(1);
+  in.right_reads.resize(1);
+  for (auto& r : right_reads) {
+    in.right_reads[0].push_back(
+        static_cast<std::uint32_t>(in.reads.append(r, 35)));
+  }
+  for (auto& r : left_reads) {
+    in.left_reads[0].push_back(
+        static_cast<std::uint32_t>(in.reads.append(r, 35)));
+  }
+  return in;
+}
+
+TEST(Reference, ExtendsToReadEnd) {
+  const std::string tmpl = random_seq(1, 120);
+  // Contig = first 80 bases; read covers [50, 110): extends 30 beyond.
+  auto in = one_contig(tmpl.substr(0, 80), {tmpl.substr(50, 60)});
+  const auto ext = reference_extend(in);
+  EXPECT_EQ(ext[0].right, tmpl.substr(80, 30));
+  EXPECT_TRUE(ext[0].left.empty());
+}
+
+TEST(Reference, LeftExtensionViaReverseComplement) {
+  const std::string tmpl = random_seq(2, 120);
+  // Contig = last 80 bases; read covers [10, 70): extends left by 30.
+  auto in = one_contig(tmpl.substr(40, 80), {}, {tmpl.substr(10, 60)});
+  const auto ext = reference_extend(in);
+  EXPECT_EQ(ext[0].left, tmpl.substr(10, 30));
+  EXPECT_TRUE(ext[0].right.empty());
+}
+
+TEST(Reference, ChainedReadsExtendFurther) {
+  const std::string tmpl = random_seq(3, 300);
+  auto in = one_contig(tmpl.substr(0, 100),
+                       {tmpl.substr(70, 60),    // extends to 130
+                        tmpl.substr(100, 60)}); // overlaps, extends to 160
+  const auto ext = reference_extend(in);
+  EXPECT_EQ(ext[0].right, tmpl.substr(100, 60));
+}
+
+TEST(Reference, NoReadsNoExtension) {
+  auto in = one_contig(random_seq(4, 100), {});
+  const auto ext = reference_extend(in);
+  EXPECT_TRUE(ext[0].right.empty());
+  EXPECT_TRUE(ext[0].left.empty());
+}
+
+TEST(Reference, ReadNotCoveringJunctionGivesNothing) {
+  const std::string tmpl = random_seq(5, 300);
+  // Read lies entirely beyond the junction: the contig's terminal k-mer is
+  // absent from the table, so the walk is missing at step 0.
+  auto in = one_contig(tmpl.substr(0, 100), {tmpl.substr(150, 60)});
+  const auto ext = reference_extend(in);
+  EXPECT_TRUE(ext[0].right.empty());
+}
+
+TEST(Reference, ForkStopsWalk) {
+  const std::string stem = random_seq(6, 100);
+  // Two reads agree on the contig overlap, then diverge immediately after
+  // position 110 with equal-quality votes -> fork at the divergence.
+  const std::string shared = stem.substr(60, 40) + random_seq(7, 10);
+  std::string branch_a = shared + "A" + random_seq(8, 9);
+  std::string branch_b = shared + "T" + random_seq(9, 9);
+  auto in = one_contig(stem, {branch_a, branch_b});
+  const auto ext = reference_extend(in);
+  // The walk extends through the shared 10 novel bases and stops at the
+  // fork (possibly earlier if a chance k-mer repeat intervenes).
+  EXPECT_EQ(ext[0].right, random_seq(7, 10));
+}
+
+TEST(Reference, LoopStopsWalk) {
+  // Tandem repeat with unit longer than k: the walk revisits a k-mer.
+  const std::string stem = random_seq(10, 80);
+  const std::string unit = random_seq(11, 25);
+  const std::string read_tail = unit + unit + unit;
+  // One read: contig tail + repeats. k = 21 < 25 = unit length.
+  const std::string read = stem.substr(stem.size() - 40) + read_tail;
+  auto in = one_contig(stem, {read});
+  AssemblyOptions opts;
+  opts.max_mer_rungs = 1;  // disable ladder rescue for this test
+  const auto ext = reference_extend(in, opts);
+  // Walk enters the repeat and stops when the first k-mer recurs: it can
+  // never emit more than read length of sequence, and with a pure loop it
+  // stops within ~2 units.
+  EXPECT_LE(ext[0].right.size(), 2 * unit.size() + 40);
+  EXPECT_GT(ext[0].right.size(), 0U);
+}
+
+TEST(Reference, LadderRecoversShorterMer) {
+  // Contig tail has an error-free junction only for smaller mer: make the
+  // single read's copy of the junction corrupt beyond mer 21 positions.
+  const std::string tmpl = random_seq(12, 200);
+  std::string read = tmpl.substr(60, 80);  // covers [60,140), contig is 100
+  read[10] = bio::complement(read[10]);    // error at template position 70
+  auto in = one_contig(tmpl.substr(0, 100), {read}, {}, 33);
+  // At mer 33 the terminal window [67,100) includes the error -> missing;
+  // the ladder rung at 25 starts at [75,100), past the error.
+  const auto ext = reference_extend(in);
+  EXPECT_GT(ext[0].right.size(), 0U);
+  EXPECT_EQ(ext[0].right_mer_len, 25U);
+}
+
+TEST(Reference, MaxWalkLenCapsExtension) {
+  const std::string tmpl = random_seq(13, 600);
+  AssemblyOptions opts;
+  opts.max_walk_len = 25;
+  auto in = one_contig(tmpl.substr(0, 100),
+                       {tmpl.substr(60, 150), tmpl.substr(180, 150)});
+  const auto ext = reference_extend(in, opts);
+  EXPECT_LE(ext[0].right.size(), 25U);
+}
+
+TEST(Reference, ContigShorterThanKIsSkipped) {
+  auto in = one_contig(random_seq(14, 15), {random_seq(15, 60)});
+  const auto ext = reference_extend(in);
+  EXPECT_TRUE(ext[0].right.empty());
+}
+
+TEST(Reference, ExtensionAppliesCleanly) {
+  const std::string tmpl = random_seq(16, 150);
+  auto in = one_contig(tmpl.substr(0, 100), {tmpl.substr(60, 80)});
+  const auto ext = reference_extend(in);
+  ASSERT_FALSE(ext[0].right.empty());
+  bio::apply_extension(in.contigs[0], ext[0]);
+  // The extended contig is a prefix of the true template.
+  EXPECT_EQ(in.contigs[0].seq, tmpl.substr(0, in.contigs[0].seq.size()));
+}
+
+}  // namespace
+}  // namespace lassm::core

@@ -1,0 +1,125 @@
+#include "memsim/tiered.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lassm::memsim {
+namespace {
+
+CacheConfig cfg(std::uint64_t size, std::uint32_t line = 64,
+                std::uint32_t ways = 8) {
+  return CacheConfig{size, line, ways};
+}
+
+TEST(Tiered, ColdReadReachesHbm) {
+  TieredMemory mem(cfg(1024), cfg(8192));
+  EXPECT_EQ(mem.read(0, 8), ServiceLevel::kHbm);
+  EXPECT_EQ(mem.stats().hbm_read_bytes, 64U);
+  EXPECT_EQ(mem.stats().hbm_lines, 1U);
+}
+
+TEST(Tiered, SecondReadHitsL1) {
+  TieredMemory mem(cfg(1024), cfg(8192));
+  mem.read(0, 8);
+  EXPECT_EQ(mem.read(0, 8), ServiceLevel::kL1);
+  EXPECT_EQ(mem.stats().l1_hits, 1U);
+  EXPECT_EQ(mem.stats().hbm_read_bytes, 64U);  // unchanged
+}
+
+TEST(Tiered, EvictedFromL1HitsL2) {
+  // L1 has 2 lines; L2 has 128 lines.
+  TieredMemory mem(cfg(2 * 64, 64, 2), cfg(128 * 64, 64, 16));
+  for (std::uint64_t a = 0; a < 16 * 64; a += 64) mem.read(a, 4);
+  // Address 0 has been evicted from tiny L1 but remains in L2.
+  EXPECT_EQ(mem.read(0, 4), ServiceLevel::kL2);
+}
+
+TEST(Tiered, MultiLineAccessCountsEveryLine) {
+  TieredMemory mem(cfg(4096), cfg(65536));
+  // 100 bytes starting mid-line touches 3 lines.
+  mem.read(32, 100);
+  EXPECT_EQ(mem.stats().lines_touched, 3U);
+  EXPECT_EQ(mem.stats().hbm_read_bytes, 3U * 64);
+}
+
+TEST(Tiered, ZeroSizeAccessIsFree) {
+  TieredMemory mem(cfg(4096), cfg(65536));
+  mem.read(0, 0);
+  EXPECT_EQ(mem.stats().lines_touched, 0U);
+  EXPECT_EQ(mem.stats().hbm_bytes(), 0U);
+}
+
+TEST(Tiered, WriteAllocatesAndFlushWritesBack) {
+  TieredMemory mem(cfg(4096), cfg(65536));
+  mem.write(0, 16);
+  const auto before = mem.stats().hbm_write_bytes;
+  mem.flush();
+  EXPECT_GT(mem.stats().hbm_write_bytes, before);
+}
+
+TEST(Tiered, StreamWriteSkipsFetch) {
+  TieredMemory full_line(cfg(4096), cfg(65536));
+  full_line.stream_write(0, 64);
+  EXPECT_EQ(full_line.stats().hbm_read_bytes, 0U);  // no fill traffic
+
+  TieredMemory normal(cfg(4096), cfg(65536));
+  normal.write(0, 64);
+  EXPECT_EQ(normal.stats().hbm_read_bytes, 64U);  // write-allocate fill
+}
+
+TEST(Tiered, StreamWritesStillWriteBackOnFlush) {
+  TieredMemory mem(cfg(4096), cfg(65536));
+  for (std::uint64_t a = 0; a < 8 * 64; a += 64) mem.stream_write(a, 64);
+  mem.flush();
+  EXPECT_GE(mem.stats().hbm_write_bytes, 8U * 64);
+}
+
+TEST(Tiered, ReadAfterFlushMissesAgain) {
+  TieredMemory mem(cfg(4096), cfg(65536));
+  mem.read(0, 4);
+  mem.flush();
+  EXPECT_EQ(mem.read(0, 4), ServiceLevel::kHbm);
+}
+
+TEST(Tiered, CapacityCliffDrivesHbmTraffic) {
+  // The central mechanism of the reproduction: a working set that fits L2
+  // produces almost no steady-state HBM traffic; one that exceeds it pays
+  // per-access. Working set: 256 lines.
+  auto run = [](std::uint64_t l2_lines) {
+    TieredMemory mem(cfg(4 * 64, 64, 4), cfg(l2_lines * 64, 64, 16));
+    for (int pass = 0; pass < 4; ++pass) {
+      for (std::uint64_t l = 0; l < 256; ++l) mem.read(l * 64, 32);
+    }
+    return mem.stats().hbm_read_bytes;
+  };
+  const auto fits = run(512);
+  const auto thrashes = run(64);
+  EXPECT_LE(fits, 256U * 64);        // compulsory misses only
+  EXPECT_GT(thrashes, 3U * fits);    // capacity misses dominate
+}
+
+TEST(Tiered, StatsAddMerges) {
+  TrafficStats a, b;
+  a.l1_hits = 3;
+  a.hbm_read_bytes = 100;
+  b.l1_hits = 4;
+  b.hbm_write_bytes = 7;
+  a.add(b);
+  EXPECT_EQ(a.l1_hits, 7U);
+  EXPECT_EQ(a.hbm_bytes(), 107U);
+}
+
+TEST(AddressSpaceTest, AlignedMonotoneAllocation) {
+  AddressSpace as;
+  const auto a = as.allocate(100, 64);
+  const auto b = as.allocate(10, 64);
+  const auto c = as.allocate(1, 128);
+  EXPECT_EQ(a % 64, 0U);
+  EXPECT_EQ(b % 64, 0U);
+  EXPECT_EQ(c % 128, 0U);
+  EXPECT_GE(b, a + 100);
+  EXPECT_GE(c, b + 10);
+  EXPECT_GT(a, 0U);  // address 0 reserved as "unassigned"
+}
+
+}  // namespace
+}  // namespace lassm::memsim

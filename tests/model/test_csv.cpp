@@ -1,0 +1,56 @@
+#include "model/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace lassm::model {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = temp_path("lassm_csv_test1.csv");
+  {
+    CsvWriter w(path, {"k", "device", "time"});
+    w.row(21, "A100", 1.5);
+    w.row(33, "MI250X", 2.25);
+  }
+  EXPECT_EQ(slurp(path), "k,device,time\n21,A100,1.5\n33,MI250X,2.25\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv", {"a"}),
+               std::runtime_error);
+}
+
+TEST(Csv, SingleColumn) {
+  const std::string path = temp_path("lassm_csv_test2.csv");
+  {
+    CsvWriter w(path, {"only"});
+    w.row("value");
+  }
+  EXPECT_EQ(slurp(path), "only\nvalue\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ResultsDirCreated) {
+  ::setenv("LASSM_RESULTS_DIR", temp_path("lassm_results_test").c_str(), 1);
+  const std::string dir = results_dir();
+  EXPECT_TRUE(std::filesystem::exists(dir));
+  std::filesystem::remove_all(dir);
+  ::unsetenv("LASSM_RESULTS_DIR");
+}
+
+}  // namespace
+}  // namespace lassm::model

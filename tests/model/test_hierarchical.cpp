@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "model/roofline.hpp"
+
+#include "core/assembler.hpp"
+#include "workload/dataset.hpp"
+
+namespace lassm::model {
+namespace {
+
+TEST(Hierarchy, CeilingsOrderedOutermostFirst) {
+  const auto devs = simt::DeviceSpec::study_devices();
+  for (const auto& d : devs) {
+    const auto levels = hierarchy_ceilings(d);
+    ASSERT_EQ(levels.size(), 3U);
+    EXPECT_STREQ(levels[0].level, "HBM");
+    EXPECT_STREQ(levels[1].level, "L2");
+    EXPECT_STREQ(levels[2].level, "L1");
+    // Bandwidth grows toward the core.
+    EXPECT_LT(levels[0].bw_gbps, levels[1].bw_gbps);
+    EXPECT_LT(levels[1].bw_gbps, levels[2].bw_gbps);
+  }
+}
+
+TEST(Hierarchy, LevelCeilingClampsAtPeak) {
+  const auto dev = simt::DeviceSpec::a100();
+  EXPECT_DOUBLE_EQ(level_ceiling(dev, 100.0, dev.l1_bw_gbps),
+                   dev.peak_gintops);
+  EXPECT_DOUBLE_EQ(level_ceiling(dev, 0.01, dev.l2_bw_gbps),
+                   0.01 * dev.l2_bw_gbps);
+  EXPECT_DOUBLE_EQ(level_ceiling(dev, 0.0, dev.l1_bw_gbps), 0.0);
+}
+
+TEST(Hierarchy, TrafficLevelBytesAreConsistent) {
+  memsim::TrafficStats t;
+  t.line_bytes = 64;
+  t.lines_touched = 100;
+  t.l1_hits = 70;
+  t.l2_hits = 20;
+  t.hbm_read_bytes = 10 * 64;
+  EXPECT_EQ(t.l1_bytes(), 6400U);
+  EXPECT_EQ(t.l2_bytes(), 30U * 64);     // 30 L1 misses reach L2
+  EXPECT_EQ(t.hbm_bytes(), 640U);        // 10 of those reach HBM
+  EXPECT_GE(t.l1_bytes(), t.l2_bytes());
+  EXPECT_GE(t.l2_bytes(), t.hbm_bytes());
+}
+
+TEST(Hierarchy, PointIntensitiesIncreaseOutward) {
+  // Real run: deeper levels service fewer bytes, so per-level intensity
+  // must satisfy II_L1 <= II_L2 <= II_HBM.
+  workload::DatasetParams p = workload::table2_params(21);
+  p.num_contigs = 40;
+  p.num_reads = 200;
+  const auto in = workload::generate_dataset(p, 3);
+  for (const auto& dev : simt::DeviceSpec::study_devices()) {
+    const auto r = core::LocalAssembler(dev).run(in);
+    const HierarchicalPoint hp = hierarchical_point(r.stats, r.total_time_s);
+    EXPECT_GT(hp.ii_l1, 0.0);
+    EXPECT_LE(hp.ii_l1, hp.ii_l2) << dev.name;
+    EXPECT_LE(hp.ii_l2, hp.ii_hbm * 1.0001) << dev.name;
+    EXPECT_GT(hp.gintops, 0.0);
+  }
+}
+
+TEST(Hierarchy, EmptyStatsGiveZeroPoint) {
+  const HierarchicalPoint hp = hierarchical_point(simt::LaunchStats{}, 0.0);
+  EXPECT_DOUBLE_EQ(hp.ii_l1, 0.0);
+  EXPECT_DOUBLE_EQ(hp.ii_hbm, 0.0);
+  EXPECT_DOUBLE_EQ(hp.gintops, 0.0);
+}
+
+}  // namespace
+}  // namespace lassm::model

@@ -1,0 +1,72 @@
+#include "model/pennycook.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace lassm::model {
+namespace {
+
+TEST(Pennycook, EqualEfficienciesPassThrough) {
+  const std::array<double, 3> e = {0.15, 0.15, 0.15};
+  EXPECT_NEAR(performance_portability(e), 0.15, 1e-12);
+}
+
+TEST(Pennycook, HarmonicMeanKnownValue) {
+  const std::array<double, 2> e = {0.5, 0.25};
+  // 2 / (2 + 4) = 1/3
+  EXPECT_NEAR(performance_portability(e), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Pennycook, ZeroAnywhereMakesZero) {
+  const std::array<double, 3> e = {0.5, 0.0, 0.9};
+  EXPECT_DOUBLE_EQ(performance_portability(e), 0.0);
+}
+
+TEST(Pennycook, EmptySetIsZero) {
+  EXPECT_DOUBLE_EQ(performance_portability({}), 0.0);
+}
+
+TEST(Pennycook, DominatedByWorstPlatform) {
+  const std::array<double, 3> good = {0.9, 0.9, 0.01};
+  EXPECT_LT(performance_portability(good), 0.03);
+}
+
+TEST(Pennycook, BoundedByMinAndMax) {
+  const std::array<double, 3> e = {0.128, 0.151, 0.156};  // Table IV, k=21
+  const double p = performance_portability(e);
+  EXPECT_GE(p, 0.128);
+  EXPECT_LE(p, 0.156);
+  // The paper reports 14.4% for this row.
+  EXPECT_NEAR(p, 0.144, 0.001);
+}
+
+TEST(Pennycook, TableAveragesRows) {
+  const std::vector<std::vector<double>> eff = {
+      {0.2, 0.2, 0.2},
+      {0.4, 0.4, 0.4},
+  };
+  const PortabilityTable t = portability_table(eff);
+  ASSERT_EQ(t.per_dataset_p.size(), 2U);
+  EXPECT_NEAR(t.per_dataset_p[0], 0.2, 1e-12);
+  EXPECT_NEAR(t.per_dataset_p[1], 0.4, 1e-12);
+  EXPECT_NEAR(t.average_p, 0.3, 1e-12);
+}
+
+TEST(Pennycook, PaperTableIVReproduced) {
+  // All four rows of Table IV; P column: 14.4 / 15.9 / 16.3 / 15.6 (%).
+  const std::vector<std::vector<double>> eff = {
+      {0.128, 0.151, 0.156},
+      {0.149, 0.158, 0.173},
+      {0.145, 0.188, 0.161},
+      {0.156, 0.161, 0.153},
+  };
+  const PortabilityTable t = portability_table(eff);
+  EXPECT_NEAR(t.per_dataset_p[0], 0.144, 0.001);
+  EXPECT_NEAR(t.per_dataset_p[1], 0.159, 0.001);
+  EXPECT_NEAR(t.per_dataset_p[2], 0.163, 0.001);
+  EXPECT_NEAR(t.per_dataset_p[3], 0.156, 0.001);
+}
+
+}  // namespace
+}  // namespace lassm::model

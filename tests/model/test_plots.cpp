@@ -1,0 +1,100 @@
+#include "model/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace lassm::model {
+namespace {
+
+TEST(ScatterPlot, RendersMarkersAndLegend) {
+  ScatterPlot plot("title", "x", "y");
+  plot.add_series({"alpha", 'a', {1, 2, 3}, {1, 2, 3}});
+  plot.add_series({"beta", 'b', {3, 2, 1}, {1, 2, 3}});
+  std::ostringstream os;
+  plot.render(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("title"), std::string::npos);
+  EXPECT_NE(out.find('a'), std::string::npos);
+  EXPECT_NE(out.find('b'), std::string::npos);
+  EXPECT_NE(out.find("'a'=alpha"), std::string::npos);
+}
+
+TEST(ScatterPlot, LogAxesHandleDecades) {
+  ScatterPlot plot("log", "ii", "gintops");
+  plot.set_log_x(true);
+  plot.set_log_y(true);
+  plot.add_series({"s", '*', {0.01, 0.1, 1, 10}, {1e9, 1e10, 1e11, 1e12}});
+  std::ostringstream os;
+  plot.render(os);
+  EXPECT_NE(os.str().find("[log]"), std::string::npos);
+}
+
+TEST(ScatterPlot, DiagonalDrawn) {
+  ScatterPlot plot("diag", "x", "y");
+  plot.add_series({"s", '*', {1, 10}, {1, 10}});
+  plot.add_diagonal();
+  std::ostringstream os;
+  plot.render(os);
+  EXPECT_NE(os.str().find("'.'=y=x"), std::string::npos);
+}
+
+TEST(ScatterPlot, EmptySeriesDoesNotCrash) {
+  ScatterPlot plot("empty", "x", "y");
+  std::ostringstream os;
+  plot.render(os);
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(ScatterPlot, FixedRangeClipsOutliers) {
+  ScatterPlot plot("clip", "x", "y");
+  plot.set_x_range(0, 10);
+  plot.set_y_range(0, 10);
+  plot.add_series({"s", '#', {5, 1000}, {5, 1000}});
+  std::ostringstream os;
+  plot.render(os);  // must not crash; outlier silently clipped
+  EXPECT_NE(os.str().find('#'), std::string::npos);
+}
+
+TEST(GroupedBars, RendersEveryGroupAndSeries) {
+  GroupedBarChart chart("times", "ms");
+  chart.set_groups({"k=21", "k=33"});
+  chart.add_series("NVIDIA", {1.0, 2.0});
+  chart.add_series("AMD", {2.0, 4.0});
+  std::ostringstream os;
+  chart.render(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("k=21"), std::string::npos);
+  EXPECT_NE(out.find("k=33"), std::string::npos);
+  EXPECT_NE(out.find("NVIDIA"), std::string::npos);
+  EXPECT_NE(out.find("AMD"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(GroupedBars, ZeroValuesRender) {
+  GroupedBarChart chart("zeros", "x");
+  chart.set_groups({"g"});
+  chart.add_series("s", {0.0});
+  std::ostringstream os;
+  chart.render(os);
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"a", "long_header"});
+  t.add_row({"xxxxxxxx", "1"});
+  std::ostringstream os;
+  t.render(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| a "), std::string::npos);
+  EXPECT_NE(out.find("xxxxxxxx"), std::string::npos);
+}
+
+TEST(TextTableTest, Formatters) {
+  EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::pct(0.155), "15.5%");
+  EXPECT_EQ(TextTable::pct(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace lassm::model

@@ -1,0 +1,79 @@
+#include "model/roofline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lassm::model {
+namespace {
+
+TEST(Roofline, CeilingBelowRidgeIsBandwidthLimited) {
+  const auto dev = simt::DeviceSpec::a100();
+  const double ii = 0.1;  // < 0.23 machine balance
+  EXPECT_DOUBLE_EQ(roofline_ceiling(dev, ii), ii * dev.hbm_bw_gbps);
+}
+
+TEST(Roofline, CeilingAboveRidgeIsPeak) {
+  const auto dev = simt::DeviceSpec::a100();
+  EXPECT_DOUBLE_EQ(roofline_ceiling(dev, 10.0), dev.peak_gintops);
+}
+
+TEST(Roofline, CeilingContinuousAtRidge) {
+  const auto dev = simt::DeviceSpec::a100();
+  const double mb = dev.machine_balance();
+  EXPECT_NEAR(roofline_ceiling(dev, mb), dev.peak_gintops, 1e-6);
+}
+
+TEST(Roofline, NonPositiveIntensity) {
+  const auto dev = simt::DeviceSpec::a100();
+  EXPECT_DOUBLE_EQ(roofline_ceiling(dev, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(roofline_ceiling(dev, -1.0), 0.0);
+}
+
+TEST(Roofline, Classification) {
+  const auto dev = simt::DeviceSpec::max1550_tile();  // balance ~0.089
+  EXPECT_EQ(classify(dev, 0.05), RooflineBound::kMemory);
+  EXPECT_EQ(classify(dev, 0.5), RooflineBound::kCompute);
+}
+
+TEST(Roofline, ArchitecturalEfficiency) {
+  const auto dev = simt::DeviceSpec::a100();
+  // Compute-bound point achieving half of peak.
+  RooflinePoint p{dev.peak_gintops / 2, 1.0};
+  EXPECT_NEAR(architectural_efficiency(dev, p), 0.5, 1e-9);
+  // Memory-bound point at the bandwidth roof.
+  RooflinePoint q{0.1 * dev.hbm_bw_gbps, 0.1};
+  EXPECT_NEAR(architectural_efficiency(dev, q), 1.0, 1e-9);
+}
+
+TEST(Roofline, EfficiencyCappedAtOne) {
+  const auto dev = simt::DeviceSpec::a100();
+  RooflinePoint p{dev.peak_gintops * 2, 5.0};
+  EXPECT_DOUBLE_EQ(architectural_efficiency(dev, p), 1.0);
+}
+
+TEST(Roofline, AlgorithmEfficiency) {
+  EXPECT_NEAR(algorithm_efficiency(1.0, 4.831), 1.0 / 4.831, 1e-9);
+  EXPECT_DOUBLE_EQ(algorithm_efficiency(10.0, 4.831), 1.0);  // capped
+  EXPECT_DOUBLE_EQ(algorithm_efficiency(1.0, 0.0), 0.0);
+}
+
+TEST(Roofline, SampledCurveMonotoneAndBounded) {
+  const auto dev = simt::DeviceSpec::mi250x_gcd();
+  const RooflineCurve c = sample_roofline(dev, 0.01, 10.0, 32);
+  ASSERT_EQ(c.intensity.size(), 32U);
+  for (std::size_t i = 1; i < c.gintops.size(); ++i) {
+    EXPECT_GE(c.gintops[i], c.gintops[i - 1]);
+    EXPECT_LE(c.gintops[i], dev.peak_gintops);
+  }
+  EXPECT_NEAR(c.intensity.front(), 0.01, 1e-9);
+  EXPECT_NEAR(c.intensity.back(), 10.0, 1e-6);
+}
+
+TEST(Roofline, SampledCurveRejectsBadRanges) {
+  const auto dev = simt::DeviceSpec::a100();
+  EXPECT_TRUE(sample_roofline(dev, 1.0, 0.5, 8).intensity.empty());
+  EXPECT_TRUE(sample_roofline(dev, 0.0, 1.0, 8).intensity.empty());
+  EXPECT_TRUE(sample_roofline(dev, 0.1, 1.0, 1).intensity.empty());
+}
+
+}  // namespace
+}  // namespace lassm::model

@@ -1,0 +1,139 @@
+#include "pipeline/aligner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bio/rng.hpp"
+
+namespace lassm::pipeline {
+namespace {
+
+std::string random_seq(std::uint64_t seed, std::size_t len) {
+  bio::Xoshiro256 rng(seed);
+  std::string s(len, 'A');
+  for (char& c : s) c = bio::code_to_base(static_cast<int>(rng.below(4)));
+  return s;
+}
+
+struct Fixture {
+  std::string genome = random_seq(1, 1200);
+  bio::ContigSet contigs;
+  Fixture() {
+    // One contig covering genome[200, 800).
+    contigs.push_back({0, genome.substr(200, 600), 1.0});
+  }
+};
+
+TEST(Aligner, RightOverhangReadMapsRight) {
+  Fixture f;
+  bio::ReadSet reads;
+  reads.append(f.genome.substr(750, 100), 35);  // 50 in, 50 beyond right end
+  AlignStats stats;
+  const auto in =
+      align_reads_to_ends(f.contigs, reads, 21, {}, &stats);
+  EXPECT_EQ(stats.aligned_right, 1U);
+  ASSERT_EQ(in.right_reads[0].size(), 1U);
+  EXPECT_TRUE(in.left_reads[0].empty());
+}
+
+TEST(Aligner, LeftOverhangReadMapsLeft) {
+  Fixture f;
+  bio::ReadSet reads;
+  reads.append(f.genome.substr(150, 100), 35);  // 50 before contig start
+  AlignStats stats;
+  const auto in =
+      align_reads_to_ends(f.contigs, reads, 21, {}, &stats);
+  EXPECT_EQ(stats.aligned_left, 1U);
+  ASSERT_EQ(in.left_reads[0].size(), 1U);
+}
+
+TEST(Aligner, InteriorReadIsNotMapped) {
+  Fixture f;
+  bio::ReadSet reads;
+  reads.append(f.genome.substr(450, 100), 35);  // fully inside
+  AlignStats stats;
+  const auto in =
+      align_reads_to_ends(f.contigs, reads, 21, {}, &stats);
+  EXPECT_EQ(stats.interior, 1U);
+  EXPECT_TRUE(in.left_reads[0].empty());
+  EXPECT_TRUE(in.right_reads[0].empty());
+}
+
+TEST(Aligner, UnrelatedReadIsUnaligned) {
+  Fixture f;
+  bio::ReadSet reads;
+  reads.append(random_seq(99, 100), 35);
+  AlignStats stats;
+  align_reads_to_ends(f.contigs, reads, 21, {}, &stats);
+  EXPECT_EQ(stats.unaligned, 1U);
+}
+
+TEST(Aligner, ToleratesMismatchesWithinBudget) {
+  Fixture f;
+  std::string read = f.genome.substr(750, 100);
+  read[30] = bio::complement(read[30]);
+  read[60] = bio::complement(read[60]);
+  bio::ReadSet reads;
+  reads.append(read, 35);
+  AlignStats stats;
+  AlignerOptions opts;
+  opts.max_mismatches = 4;
+  align_reads_to_ends(f.contigs, reads, 21, opts, &stats);
+  EXPECT_EQ(stats.aligned_right, 1U);
+}
+
+TEST(Aligner, RejectsOverMismatchBudget) {
+  Fixture f;
+  std::string read = f.genome.substr(750, 100);
+  // Corrupt every 8th base of the overlapping half.
+  for (std::size_t i = 0; i < 50; i += 8) {
+    read[i] = bio::complement(read[i]);
+  }
+  bio::ReadSet reads;
+  reads.append(read, 35);
+  AlignStats stats;
+  AlignerOptions opts;
+  opts.max_mismatches = 2;
+  align_reads_to_ends(f.contigs, reads, 21, opts, &stats);
+  EXPECT_EQ(stats.aligned_right, 0U);
+}
+
+TEST(Aligner, OutputValidatesAndKeepsAllReads) {
+  Fixture f;
+  bio::ReadSet reads;
+  reads.append(f.genome.substr(750, 100), 35);
+  reads.append(f.genome.substr(150, 100), 35);
+  reads.append(random_seq(5, 100), 35);
+  const auto in = align_reads_to_ends(f.contigs, reads, 21, {});
+  EXPECT_TRUE(in.validate());
+  EXPECT_EQ(in.reads.size(), 3U);  // unmapped reads retained in the set
+  EXPECT_EQ(in.kmer_len, 21U);
+}
+
+TEST(Aligner, MinOverhangRespected) {
+  Fixture f;
+  bio::ReadSet reads;
+  reads.append(f.genome.substr(701, 100), 35);  // extends exactly 1 beyond
+  AlignStats stats;
+  AlignerOptions opts;
+  opts.min_overhang = 5;
+  align_reads_to_ends(f.contigs, reads, 21, opts, &stats);
+  EXPECT_EQ(stats.aligned_right, 0U);
+  EXPECT_EQ(stats.interior, 1U);
+}
+
+TEST(Aligner, AssignsToCorrectContigAmongMany) {
+  const std::string genome = random_seq(7, 3000);
+  bio::ContigSet contigs;
+  contigs.push_back({0, genome.substr(100, 500), 1.0});
+  contigs.push_back({1, genome.substr(1200, 500), 1.0});
+  contigs.push_back({2, genome.substr(2300, 500), 1.0});
+  bio::ReadSet reads;
+  reads.append(genome.substr(1650, 100), 35);  // right end of contig 1
+  const auto in = align_reads_to_ends(std::move(contigs), reads, 21, {});
+  EXPECT_TRUE(in.right_reads[1].size() == 1U);
+  EXPECT_TRUE(in.right_reads[0].empty());
+  EXPECT_TRUE(in.right_reads[2].empty());
+}
+
+}  // namespace
+}  // namespace lassm::pipeline

@@ -1,0 +1,116 @@
+#include "pipeline/dbg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bio/rng.hpp"
+
+namespace lassm::pipeline {
+namespace {
+
+KmerCounts from_sequence(const std::string& seq, std::uint32_t k) {
+  bio::ReadSet rs;
+  rs.append(seq, 35);
+  return count_kmers(rs, k);
+}
+
+std::string random_seq(std::uint64_t seed, std::size_t len) {
+  bio::Xoshiro256 rng(seed);
+  std::string s(len, 'A');
+  for (char& c : s) c = bio::code_to_base(static_cast<int>(rng.below(4)));
+  return s;
+}
+
+TEST(Dbg, SinglePathReconstructsSequence) {
+  const std::string seq = random_seq(1, 120);
+  const auto contigs = generate_contigs(from_sequence(seq, 21), 21);
+  ASSERT_EQ(contigs.size(), 1U);
+  EXPECT_EQ(contigs[0].seq, seq);
+}
+
+TEST(Dbg, EmptyGraph) {
+  DbgStats stats;
+  const auto contigs = generate_contigs({}, 21, 0, &stats);
+  EXPECT_TRUE(contigs.empty());
+  EXPECT_EQ(stats.nodes, 0U);
+}
+
+TEST(Dbg, ForkSplitsPaths) {
+  // Two sequences sharing a 40-base prefix: the graph forks where they
+  // diverge, so no contig may span the junction.
+  const std::string prefix = random_seq(2, 40);
+  const std::string a = prefix + "A" + random_seq(3, 30);
+  const std::string b = prefix + "C" + random_seq(4, 30);
+  bio::ReadSet rs;
+  rs.append(a, 35);
+  rs.append(b, 35);
+  DbgStats stats;
+  const auto contigs =
+      generate_contigs(count_kmers(rs, 15), 15, 0, &stats);
+  EXPECT_GE(contigs.size(), 3U);  // prefix + two branches
+  EXPECT_GE(stats.forks, 1U);
+  // Every contig is a substring of one of the sources.
+  for (const auto& c : contigs) {
+    EXPECT_TRUE(a.find(c.seq) != std::string::npos ||
+                b.find(c.seq) != std::string::npos)
+        << c.seq;
+  }
+}
+
+TEST(Dbg, MinLengthFilter) {
+  const std::string seq = random_seq(5, 60);
+  const auto all = generate_contigs(from_sequence(seq, 21), 21, 0);
+  const auto filtered = generate_contigs(from_sequence(seq, 21), 21, 100);
+  EXPECT_EQ(all.size(), 1U);
+  EXPECT_TRUE(filtered.empty());
+}
+
+TEST(Dbg, PerfectCycleEmitsOneContig) {
+  // A circular sequence: k-mers of seq+seq's wraparound form a cycle.
+  const std::string unit = random_seq(6, 50);
+  const std::string wrapped = unit + unit.substr(0, 20);
+  const auto contigs = generate_contigs(from_sequence(wrapped, 21), 21);
+  ASSERT_FALSE(contigs.empty());
+  std::uint64_t total = 0;
+  for (const auto& c : contigs) total += c.length();
+  EXPECT_LE(contigs.size(), 2U);
+  EXPECT_GE(total, unit.size());
+}
+
+TEST(Dbg, DepthIsAverageKmerCount) {
+  bio::ReadSet rs;
+  const std::string seq = random_seq(7, 80);
+  rs.append(seq, 35);
+  rs.append(seq, 35);
+  rs.append(seq, 35);
+  const auto contigs = generate_contigs(count_kmers(rs, 21), 21);
+  ASSERT_EQ(contigs.size(), 1U);
+  EXPECT_DOUBLE_EQ(contigs[0].depth, 3.0);
+}
+
+TEST(Dbg, Deterministic) {
+  const std::string seq = random_seq(8, 200);
+  bio::ReadSet rs;
+  rs.append(seq.substr(0, 120), 35);
+  rs.append(seq.substr(80), 35);
+  const auto a = generate_contigs(count_kmers(rs, 21), 21);
+  const auto b = generate_contigs(count_kmers(rs, 21), 21);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].seq, b[i].seq);
+}
+
+TEST(Dbg, OverlappingReadsMergeIntoOneContig) {
+  const std::string seq = random_seq(9, 300);
+  bio::ReadSet rs;
+  for (std::size_t off = 0; off + 100 <= seq.size(); off += 40) {
+    rs.append(seq.substr(off, 100), 35);
+  }
+  const auto contigs = generate_contigs(count_kmers(rs, 21), 21);
+  ASSERT_EQ(contigs.size(), 1U);
+  EXPECT_EQ(contigs[0].seq, seq.substr(0, contigs[0].seq.size()));
+  EXPECT_GT(contigs[0].length(), 250U);
+}
+
+}  // namespace
+}  // namespace lassm::pipeline

@@ -1,0 +1,67 @@
+#include "pipeline/kmer_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lassm::pipeline {
+namespace {
+
+bio::ReadSet reads_of(std::initializer_list<const char*> seqs) {
+  bio::ReadSet rs;
+  for (const char* s : seqs) rs.append(s, 35);
+  return rs;
+}
+
+TEST(KmerAnalysis, CountsEveryWindow) {
+  const auto rs = reads_of({"ACGTACGT"});  // 5 windows of k=4
+  const KmerCounts counts = count_kmers(rs, 4);
+  EXPECT_EQ(counts.size(), 4U);  // ACGT repeats: ACGT,CGTA,GTAC,TACG
+  EXPECT_EQ(counts.at(bio::PackedKmer::pack("ACGT")), 2U);
+  EXPECT_EQ(counts.at(bio::PackedKmer::pack("CGTA")), 1U);
+}
+
+TEST(KmerAnalysis, CountsAcrossReads) {
+  const auto rs = reads_of({"AAAAA", "AAAA"});
+  const KmerCounts counts = count_kmers(rs, 4);
+  EXPECT_EQ(counts.at(bio::PackedKmer::pack("AAAA")), 3U);
+}
+
+TEST(KmerAnalysis, ShortReadsContributeNothing) {
+  const auto rs = reads_of({"ACG"});
+  EXPECT_TRUE(count_kmers(rs, 4).empty());
+}
+
+TEST(KmerAnalysis, CanonicalMergesStrands) {
+  // TTTT's canonical form is AAAA.
+  const auto rs = reads_of({"AAAA", "TTTT"});
+  const KmerCounts plain = count_kmers(rs, 4, /*canonical=*/false);
+  EXPECT_EQ(plain.size(), 2U);
+  const KmerCounts canon = count_kmers(rs, 4, /*canonical=*/true);
+  EXPECT_EQ(canon.size(), 1U);
+  EXPECT_EQ(canon.at(bio::PackedKmer::pack("AAAA")), 2U);
+}
+
+TEST(KmerAnalysis, FilterRemovesSingletons) {
+  const auto rs = reads_of({"ACGTAC", "ACGTA"});
+  KmerCounts counts = count_kmers(rs, 5);  // ACGTA x2, CGTAC x1
+  const std::size_t removed = filter_low_count(counts, 2);
+  EXPECT_EQ(removed, 1U);
+  EXPECT_EQ(counts.size(), 1U);
+  EXPECT_TRUE(counts.contains(bio::PackedKmer::pack("ACGTA")));
+}
+
+TEST(KmerAnalysis, FilterThresholdOneKeepsAll) {
+  const auto rs = reads_of({"ACGTACGT"});
+  KmerCounts counts = count_kmers(rs, 4);
+  EXPECT_EQ(filter_low_count(counts, 1), 0U);
+}
+
+TEST(KmerAnalysis, HistogramBucketsAndCap) {
+  const auto rs = reads_of({"AAAAAAAAAAAAAAAAAAAAAAAA"});  // AAAA x21
+  const KmerCounts counts = count_kmers(rs, 4);
+  const auto hist = count_histogram(counts, 8);
+  ASSERT_EQ(hist.size(), 9U);
+  EXPECT_EQ(hist[8], 1U);  // count 21 capped into the last bucket
+}
+
+}  // namespace
+}  // namespace lassm::pipeline

@@ -1,0 +1,104 @@
+#include "pipeline/multi_gpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/dataset.hpp"
+
+namespace lassm::pipeline {
+namespace {
+
+core::AssemblyInput dataset(std::uint32_t contigs = 60) {
+  workload::DatasetParams p = workload::table2_params(21);
+  p.num_contigs = contigs;
+  p.num_reads = contigs * 5;
+  return workload::generate_dataset(p, 31);
+}
+
+TEST(Partition, CoversEveryContigOnce) {
+  const auto in = dataset();
+  std::vector<std::uint32_t> rank_of;
+  const auto parts = partition_input(in, 4, &rank_of);
+  ASSERT_EQ(parts.size(), 4U);
+  ASSERT_EQ(rank_of.size(), in.contigs.size());
+  std::size_t total = 0;
+  for (const auto& p : parts) {
+    EXPECT_TRUE(p.validate());
+    EXPECT_EQ(p.kmer_len, in.kmer_len);
+    total += p.contigs.size();
+  }
+  EXPECT_EQ(total, in.contigs.size());
+}
+
+TEST(Partition, ReadsFollowTheirContigs) {
+  const auto in = dataset();
+  const auto parts = partition_input(in, 3);
+  std::uint64_t reads = 0, insertions = 0;
+  for (const auto& p : parts) {
+    reads += p.num_mapped_reads();
+    insertions += p.total_insertions();
+  }
+  EXPECT_EQ(reads, in.num_mapped_reads());
+  EXPECT_EQ(insertions, in.total_insertions());
+}
+
+TEST(Partition, LoadIsBalanced) {
+  const auto in = dataset(120);
+  const auto parts = partition_input(in, 4);
+  std::vector<std::uint64_t> loads;
+  for (const auto& p : parts) loads.push_back(p.num_mapped_reads());
+  const auto mx = *std::max_element(loads.begin(), loads.end());
+  const auto mn = *std::min_element(loads.begin(), loads.end());
+  EXPECT_LE(mx - mn, mx / 3 + 4);  // greedy LPT keeps ranks close
+}
+
+TEST(Partition, MoreRanksThanContigsClamps) {
+  const auto in = dataset(3);
+  const auto parts = partition_input(in, 16);
+  EXPECT_EQ(parts.size(), 3U);
+}
+
+TEST(Partition, ZeroRanksThrows) {
+  const auto in = dataset(4);
+  EXPECT_THROW(partition_input(in, 0), std::invalid_argument);
+}
+
+TEST(MultiGpu, ResultsMatchSingleDevice) {
+  const auto in = dataset();
+  core::LocalAssembler single(simt::DeviceSpec::a100());
+  const auto ref = single.run(in);
+  for (std::uint32_t ranks : {1U, 2U, 5U}) {
+    const MultiGpuResult r =
+        run_multi_gpu(in, simt::DeviceSpec::a100(), ranks);
+    ASSERT_EQ(r.extensions.size(), ref.extensions.size());
+    for (std::size_t i = 0; i < ref.extensions.size(); ++i) {
+      EXPECT_EQ(r.extensions[i].left, ref.extensions[i].left) << i;
+      EXPECT_EQ(r.extensions[i].right, ref.extensions[i].right) << i;
+      EXPECT_EQ(r.extensions[i].contig_id, ref.extensions[i].contig_id);
+    }
+  }
+}
+
+TEST(MultiGpu, MakespanShrinksWithRanks) {
+  const auto in = dataset(120);
+  const auto r1 = run_multi_gpu(in, simt::DeviceSpec::a100(), 1);
+  const auto r4 = run_multi_gpu(in, simt::DeviceSpec::a100(), 4);
+  EXPECT_LT(r4.makespan_s, r1.makespan_s);
+  EXPECT_EQ(r1.ranks.size(), 1U);
+  EXPECT_EQ(r4.ranks.size(), 4U);
+  EXPECT_GT(r4.balance(), 0.4);
+  EXPECT_LE(r4.balance(), 1.0 + 1e-9);
+}
+
+TEST(MultiGpu, ReportsAccountEveryContig) {
+  const auto in = dataset(50);
+  const auto r = run_multi_gpu(in, simt::DeviceSpec::mi250x_gcd(), 3);
+  std::uint64_t contigs = 0;
+  for (const auto& rep : r.ranks) contigs += rep.contigs;
+  EXPECT_EQ(contigs, in.contigs.size());
+  EXPECT_NEAR(r.total_gpu_s,
+              r.ranks[0].time_s + r.ranks[1].time_s + r.ranks[2].time_s,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace lassm::pipeline

@@ -1,0 +1,95 @@
+#include "simt/device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lassm::simt {
+namespace {
+
+TEST(Device, PaperPeaksAndBalances) {
+  const DeviceSpec nv = DeviceSpec::a100();
+  const DeviceSpec amd = DeviceSpec::mi250x_gcd();
+  const DeviceSpec intel = DeviceSpec::max1550_tile();
+
+  // Fig. 6 ceilings.
+  EXPECT_DOUBLE_EQ(nv.peak_gintops, 358.0);
+  EXPECT_DOUBLE_EQ(nv.hbm_bw_gbps, 1555.0);
+  EXPECT_DOUBLE_EQ(amd.peak_gintops, 374.0);
+  EXPECT_DOUBLE_EQ(amd.hbm_bw_gbps, 1600.0);
+  EXPECT_DOUBLE_EQ(intel.peak_gintops, 105.0);
+  EXPECT_NEAR(intel.hbm_bw_gbps, 1176.21, 1e-6);
+
+  // Machine balance annotations on the plots: 0.23 / 0.23 / 0.09.
+  EXPECT_NEAR(nv.machine_balance(), 0.23, 0.01);
+  EXPECT_NEAR(amd.machine_balance(), 0.23, 0.01);
+  EXPECT_NEAR(intel.machine_balance(), 0.09, 0.01);
+}
+
+TEST(Device, TableIIIArchitecture) {
+  const DeviceSpec nv = DeviceSpec::a100();
+  EXPECT_EQ(nv.num_cus, 108U);
+  EXPECT_EQ(nv.l1_per_cu_bytes, 192ULL * 1024);
+  EXPECT_EQ(nv.l2_bytes, 40ULL * 1024 * 1024);
+  EXPECT_EQ(nv.warp_width, 32U);
+
+  const DeviceSpec amd = DeviceSpec::mi250x_gcd();
+  EXPECT_EQ(amd.num_cus, 110U);  // 220 per board / 2 GCDs
+  EXPECT_EQ(amd.l1_per_cu_bytes, 16ULL * 1024);
+  EXPECT_EQ(amd.l2_bytes, 8ULL * 1024 * 1024);  // per die
+  EXPECT_EQ(amd.warp_width, 64U);
+
+  const DeviceSpec intel = DeviceSpec::max1550_tile();
+  EXPECT_EQ(intel.num_cus, 64U);  // Xe-cores per tile
+  EXPECT_EQ(intel.l2_bytes, 204ULL * 1024 * 1024);  // per tile
+  EXPECT_EQ(intel.warp_width, 16U);  // the paper's chosen sub-group size
+}
+
+TEST(Device, NativeModels) {
+  EXPECT_EQ(DeviceSpec::a100().native_model, ProgrammingModel::kCuda);
+  EXPECT_EQ(DeviceSpec::mi250x_gcd().native_model, ProgrammingModel::kHip);
+  EXPECT_EQ(DeviceSpec::max1550_tile().native_model, ProgrammingModel::kSycl);
+}
+
+TEST(Device, StudyDevicesOrder) {
+  const auto& devices = DeviceSpec::study_devices();
+  ASSERT_EQ(devices.size(), 3U);
+  EXPECT_EQ(devices[0].vendor, Vendor::kNvidia);
+  EXPECT_EQ(devices[1].vendor, Vendor::kAmd);
+  EXPECT_EQ(devices[2].vendor, Vendor::kIntel);
+}
+
+TEST(Device, SliceScalesWithDilutionAndConcurrency) {
+  DeviceSpec d = DeviceSpec::a100();
+  d.perf.cache_dilution = 1.0;
+  const auto base_l1 = d.l1_slice_bytes();
+  const auto base_l2 = d.l2_slice_bytes(100);
+  d.perf.cache_dilution = 4.0;
+  EXPECT_EQ(d.l1_slice_bytes(), base_l1 / 4);
+  EXPECT_EQ(d.l2_slice_bytes(100), base_l2 / 4);
+  EXPECT_EQ(d.l2_slice_bytes(200), base_l2 / 8);
+  EXPECT_EQ(d.l2_slice_bytes(0), d.l2_bytes / 4);  // degenerate concurrency
+}
+
+TEST(Device, MaxConcurrentWarps) {
+  DeviceSpec d = DeviceSpec::a100();
+  EXPECT_EQ(d.max_concurrent_warps(),
+            static_cast<std::uint64_t>(d.num_cus) *
+                d.perf.resident_warps_per_cu);
+}
+
+TEST(Device, Names) {
+  EXPECT_STREQ(vendor_name(Vendor::kNvidia), "NVIDIA");
+  EXPECT_STREQ(vendor_name(Vendor::kAmd), "AMD");
+  EXPECT_STREQ(vendor_name(Vendor::kIntel), "INTEL");
+  EXPECT_STREQ(model_name(ProgrammingModel::kCuda), "CUDA");
+  EXPECT_STREQ(model_name(ProgrammingModel::kHip), "HIP");
+  EXPECT_STREQ(model_name(ProgrammingModel::kSycl), "SYCL");
+}
+
+TEST(Device, SliceConfigsUseDeviceLine) {
+  const DeviceSpec amd = DeviceSpec::mi250x_gcd();
+  EXPECT_EQ(amd.l1_slice_config().line_bytes, amd.line_bytes);
+  EXPECT_EQ(amd.l2_slice_config(10).line_bytes, amd.line_bytes);
+}
+
+}  // namespace
+}  // namespace lassm::simt

@@ -1,0 +1,145 @@
+#include "simt/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace lassm::simt {
+namespace {
+
+DeviceSpec test_device() {
+  DeviceSpec d = DeviceSpec::a100();
+  d.perf.clock_ghz = 1.0;  // 1 cycle == 1 ns for easy arithmetic
+  return d;
+}
+
+LaunchStats stats_with(std::vector<std::uint64_t> warp_cycles,
+                       std::uint64_t instructions = 0,
+                       std::uint64_t hbm_bytes = 0) {
+  LaunchStats s;
+  s.warp_cycles = std::move(warp_cycles);
+  s.num_warps = s.warp_cycles.size();
+  s.totals.instructions = instructions;
+  s.traffic.hbm_read_bytes = hbm_bytes;
+  s.num_kernel_launches = 0;  // isolate the ceiling terms
+  return s;
+}
+
+TEST(PerfModel, IssueCeiling) {
+  const DeviceSpec d = test_device();
+  // 358e9 instructions at 358 GIPS == 1 second.
+  auto s = stats_with({1}, static_cast<std::uint64_t>(358e9));
+  const auto t = estimate_time(d, s);
+  EXPECT_NEAR(t.issue_s, 1.0, 1e-9);
+  EXPECT_GE(t.total_s, t.issue_s);
+}
+
+TEST(PerfModel, MemoryCeiling) {
+  const DeviceSpec d = test_device();
+  auto s = stats_with({1}, 0, static_cast<std::uint64_t>(1555e9));
+  const auto t = estimate_time(d, s);
+  EXPECT_NEAR(t.mem_s, 1.0, 1e-9);
+  EXPECT_EQ(t.bound, TimeBreakdown::Bound::kMemory);
+}
+
+TEST(PerfModel, WaveSchedulingMaxPerWave) {
+  DeviceSpec d = test_device();
+  d.num_cus = 1;
+  d.perf.resident_warps_per_cu = 2;  // concurrency 2
+  // Waves: {10, 20} -> 20, {30, 5} -> 30; total 50 cycles = 50 ns.
+  auto s = stats_with({10, 20, 30, 5});
+  const auto t = estimate_time(d, s);
+  EXPECT_EQ(t.waves, 2U);
+  EXPECT_EQ(t.concurrency, 2U);
+  EXPECT_NEAR(t.wave_s, 50e-9, 1e-15);
+}
+
+TEST(PerfModel, SortedWarpsBeatUnsortedStragglers) {
+  DeviceSpec d = test_device();
+  d.num_cus = 1;
+  d.perf.resident_warps_per_cu = 2;
+  // Binned (sorted) order: waves {1,1},{100,100} -> 101 cycles.
+  // Interleaved: {1,100},{1,100} -> 200 cycles. Binning wins.
+  const auto sorted_t = estimate_time(d, stats_with({1, 1, 100, 100}));
+  const auto mixed_t = estimate_time(d, stats_with({1, 100, 1, 100}));
+  EXPECT_LT(sorted_t.wave_s, mixed_t.wave_s);
+}
+
+TEST(PerfModel, LaunchOverheadAccumulates) {
+  const DeviceSpec d = test_device();
+  LaunchStats s = stats_with({1});
+  s.num_kernel_launches = 10;
+  const auto t = estimate_time(d, s);
+  EXPECT_NEAR(t.launch_overhead_s, 10 * kKernelLaunchOverheadS, 1e-12);
+}
+
+TEST(PerfModel, TotalIsMaxOfCeilingsPlusOverhead) {
+  const DeviceSpec d = test_device();
+  auto s = stats_with({1000}, static_cast<std::uint64_t>(1e9),
+                      static_cast<std::uint64_t>(100e9));
+  s.num_kernel_launches = 1;
+  const auto t = estimate_time(d, s);
+  const double expected =
+      std::max({t.issue_s, t.mem_s, t.wave_s}) + kKernelLaunchOverheadS;
+  EXPECT_DOUBLE_EQ(t.total_s, expected);
+}
+
+TEST(PerfModel, AchievedGintops) {
+  const DeviceSpec d = test_device();
+  auto s = stats_with({1}, static_cast<std::uint64_t>(358e9));
+  const auto t = estimate_time(d, s);
+  // Issue-bound at peak: achieved == peak.
+  EXPECT_NEAR(achieved_gintops(s, t), 358.0, 1.0);
+}
+
+TEST(PerfModel, EmptyStats) {
+  const DeviceSpec d = test_device();
+  const auto t = estimate_time(d, LaunchStats{});
+  EXPECT_EQ(t.waves, 0U);
+  EXPECT_DOUBLE_EQ(t.wave_s, 0.0);
+  EXPECT_DOUBLE_EQ(achieved_gintops(LaunchStats{}, t), 0.0);
+}
+
+TEST(Counters, AddOpsAccounting) {
+  WarpCounters c;
+  c.add_ops(10, 4, 32);
+  EXPECT_EQ(c.intops, 40U);        // per active lane
+  EXPECT_EQ(c.issue_slots, 320U);  // per full warp width
+  EXPECT_EQ(c.instructions, 10U);  // one instruction per op
+  EXPECT_EQ(c.cycles, 10U);
+}
+
+TEST(Counters, MemRoundLatency) {
+  const PerfParams p = DeviceSpec::a100().perf;
+  WarpCounters c;
+  c.add_mem_round(p, memsim::ServiceLevel::kL1);
+  EXPECT_EQ(c.cycles, p.l1_latency_cycles);
+  c.add_mem_round(p, memsim::ServiceLevel::kHbm);
+  EXPECT_EQ(c.cycles, p.l1_latency_cycles + p.hbm_latency_cycles);
+}
+
+TEST(Counters, MergeSumsEverything) {
+  WarpCounters a, b;
+  a.add_ops(5, 2, 32);
+  a.insertions = 3;
+  b.add_ops(7, 1, 32);
+  b.walk_steps = 9;
+  a.merge(b);
+  EXPECT_EQ(a.instructions, 12U);
+  EXPECT_EQ(a.insertions, 3U);
+  EXPECT_EQ(a.walk_steps, 9U);
+}
+
+TEST(LaunchStatsTest, IntensityUsesInstructions) {
+  LaunchStats s;
+  s.totals.instructions = 500;
+  s.totals.intops = 99999;  // must not be used
+  s.traffic.hbm_read_bytes = 100;
+  s.traffic.hbm_write_bytes = 150;
+  EXPECT_DOUBLE_EQ(s.intop_intensity(), 2.0);
+  EXPECT_EQ(s.intop_count(), 500U);
+}
+
+}  // namespace
+}  // namespace lassm::simt

@@ -1,0 +1,87 @@
+#include "simt/warp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lassm::simt {
+namespace {
+
+TEST(Warp, FullMask) {
+  EXPECT_EQ(full_mask(1), 0x1ULL);
+  EXPECT_EQ(full_mask(16), 0xFFFFULL);
+  EXPECT_EQ(full_mask(32), 0xFFFFFFFFULL);
+  EXPECT_EQ(full_mask(64), ~0ULL);
+}
+
+TEST(Warp, LaneHelpers) {
+  const LaneMask m = lane_bit(0) | lane_bit(3) | lane_bit(63);
+  EXPECT_TRUE(lane_active(m, 0));
+  EXPECT_FALSE(lane_active(m, 1));
+  EXPECT_TRUE(lane_active(m, 63));
+  EXPECT_EQ(active_count(m), 3U);
+  EXPECT_EQ(leader_lane(m), 0U);
+  EXPECT_EQ(leader_lane(lane_bit(5) | lane_bit(9)), 5U);
+  EXPECT_EQ(leader_lane(0), 64U);
+}
+
+TEST(Warp, Ballot) {
+  const std::vector<std::uint8_t> preds = {1, 0, 1, 1};
+  EXPECT_EQ(ballot(full_mask(4), preds), 0b1101ULL);
+  // Inactive lanes do not contribute even with a true predicate.
+  EXPECT_EQ(ballot(lane_bit(0) | lane_bit(1), preds), 0b0001ULL);
+}
+
+TEST(Warp, AllAnySync) {
+  const std::vector<std::uint8_t> preds = {1, 1, 0, 1};
+  EXPECT_FALSE(all_sync(full_mask(4), preds));
+  EXPECT_TRUE(any_sync(full_mask(4), preds));
+  // Restricting the mask to true lanes flips __all.
+  EXPECT_TRUE(all_sync(lane_bit(0) | lane_bit(1) | lane_bit(3), preds));
+  const std::vector<std::uint8_t> zeros(4, 0);
+  EXPECT_FALSE(any_sync(full_mask(4), zeros));
+  EXPECT_TRUE(all_sync(full_mask(4), std::vector<std::uint8_t>{}));
+}
+
+TEST(Warp, MatchAnyGroupsEqualKeys) {
+  // Keys: lanes {0,2} share A, {1,3} share B, lane 4 unique.
+  const std::vector<std::uint64_t> keys = {10, 20, 10, 20, 30};
+  const LaneMask active = full_mask(5);
+  EXPECT_EQ(match_any(active, keys, 0), 0b00101ULL);
+  EXPECT_EQ(match_any(active, keys, 1), 0b01010ULL);
+  EXPECT_EQ(match_any(active, keys, 4), 0b10000ULL);
+}
+
+TEST(Warp, MatchAnyIgnoresInactiveLanes) {
+  const std::vector<std::uint64_t> keys = {10, 10, 10};
+  const LaneMask active = lane_bit(0) | lane_bit(2);
+  EXPECT_EQ(match_any(active, keys, 0), 0b101ULL);
+}
+
+TEST(Warp, MatchAnyPartitionsActiveMask) {
+  // Property: the match groups of all active lanes partition the mask.
+  const std::vector<std::uint64_t> keys = {1, 2, 1, 3, 2, 1, 4, 3};
+  const LaneMask active = full_mask(8) & ~lane_bit(6);
+  LaneMask union_mask = 0;
+  for (std::uint32_t lane = 0; lane < 8; ++lane) {
+    if (!lane_active(active, lane)) continue;
+    const LaneMask group = match_any(active, keys, lane);
+    EXPECT_TRUE(lane_active(group, lane));  // reflexive
+    for (std::uint32_t other = 0; other < 8; ++other) {
+      if (lane_active(group, other)) {
+        EXPECT_EQ(match_any(active, keys, other), group);  // symmetric
+      }
+    }
+    union_mask |= group;
+  }
+  EXPECT_EQ(union_mask, active);
+}
+
+TEST(Warp, ShflBroadcastsSourceLane) {
+  const std::vector<std::uint64_t> vals = {5, 6, 7, 8};
+  EXPECT_EQ(shfl(full_mask(4), vals, 2), 7U);
+  EXPECT_EQ(shfl(full_mask(4), vals, 0), 5U);
+}
+
+}  // namespace
+}  // namespace lassm::simt

@@ -1,0 +1,75 @@
+#include "workload/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lassm::workload {
+namespace {
+
+struct TableIIRow {
+  std::uint32_t k;
+  std::uint32_t contigs;
+  std::uint32_t reads;
+  std::uint32_t read_len;
+  std::uint64_t insertions;
+  double avg_extn;
+};
+
+class Table2Params : public ::testing::TestWithParam<TableIIRow> {};
+
+TEST_P(Table2Params, MatchesPaper) {
+  const TableIIRow row = GetParam();
+  const DatasetParams p = table2_params(row.k);
+  EXPECT_EQ(p.num_contigs, row.contigs);
+  EXPECT_EQ(p.num_reads, row.reads);
+  EXPECT_EQ(p.read_len, row.read_len);
+  EXPECT_NEAR(p.target_avg_extn, row.avg_extn, 0.01);
+  // The paper's insertion totals factor exactly as reads x (len - k + 1).
+  EXPECT_EQ(static_cast<std::uint64_t>(row.reads) *
+                (row.read_len - row.k + 1),
+            row.insertions);
+}
+
+// All four rows of Table II, verbatim.
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, Table2Params,
+    ::testing::Values(TableIIRow{21, 14195, 74159, 155, 10011465, 48.2},
+                      TableIIRow{33, 4394, 20421, 159, 2593467, 88.2},
+                      TableIIRow{55, 3319, 13160, 166, 1473920, 161.0},
+                      TableIIRow{77, 2544, 7838, 175, 775962, 227.0}));
+
+TEST(Table2, RejectsUnknownK) {
+  EXPECT_THROW(table2_params(31), std::invalid_argument);
+  EXPECT_THROW(table2_params(0), std::invalid_argument);
+}
+
+TEST(DatasetStatsTest, CountsStaticCharacteristics) {
+  DatasetParams p = table2_params(21);
+  p.num_contigs = 100;
+  p.num_reads = 522;
+  const auto in = generate_dataset(p, 3);
+  const DatasetStats s = dataset_stats(in);
+  EXPECT_EQ(s.kmer_len, 21U);
+  EXPECT_EQ(s.total_contigs, 100U);
+  EXPECT_EQ(s.total_reads, 522U);
+  EXPECT_DOUBLE_EQ(s.avg_read_length, 155.0);  // uniform read length
+  // Every read is mapped to exactly one side, so:
+  EXPECT_EQ(s.total_hash_insertions, 522ULL * (155 - 21 + 1));
+}
+
+TEST(DatasetStatsTest, ExtensionStatsFromReference) {
+  DatasetParams p = table2_params(21);
+  p.num_contigs = 120;
+  p.num_reads = 627;
+  const auto in = generate_dataset(p, 5);
+  DatasetStats s = dataset_stats(in);
+  fill_extension_stats(in, s);
+  EXPECT_GT(s.total_extns, 0U);
+  EXPECT_NEAR(s.avg_extn_length,
+              static_cast<double>(s.total_extns) / s.total_contigs, 1e-9);
+  // Within a factor of ~2 of the Table II target at this reduced scale.
+  EXPECT_GT(s.avg_extn_length, p.target_avg_extn * 0.5);
+  EXPECT_LT(s.avg_extn_length, p.target_avg_extn * 2.0);
+}
+
+}  // namespace
+}  // namespace lassm::workload

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "core/reference.hpp"
+#include "workload/dataset.hpp"
+
+namespace lassm::workload {
+namespace {
+
+DatasetParams scaled(std::uint32_t k, std::uint32_t contigs) {
+  DatasetParams p = table2_params(k);
+  const double ratio =
+      static_cast<double>(p.num_reads) / static_cast<double>(p.num_contigs);
+  p.num_contigs = contigs;
+  p.num_reads = static_cast<std::uint32_t>(contigs * ratio);
+  return p;
+}
+
+TEST(Generator, Deterministic) {
+  const auto a = generate_dataset(scaled(21, 50), 7);
+  const auto b = generate_dataset(scaled(21, 50), 7);
+  ASSERT_EQ(a.reads.size(), b.reads.size());
+  for (std::size_t i = 0; i < a.reads.size(); ++i) {
+    EXPECT_EQ(a.reads.seq(i), b.reads.seq(i));
+    EXPECT_EQ(a.reads.qual(i), b.reads.qual(i));
+  }
+  for (std::size_t c = 0; c < a.contigs.size(); ++c) {
+    EXPECT_EQ(a.contigs[c].seq, b.contigs[c].seq);
+  }
+}
+
+TEST(Generator, SeedsProduceDifferentData) {
+  const auto a = generate_dataset(scaled(21, 50), 7);
+  const auto b = generate_dataset(scaled(21, 50), 8);
+  EXPECT_NE(a.contigs[0].seq, b.contigs[0].seq);
+}
+
+TEST(Generator, StructureIsValid) {
+  const auto in = generate_dataset(scaled(33, 80), 1);
+  EXPECT_TRUE(in.validate());
+  EXPECT_EQ(in.contigs.size(), 80U);
+  // Uniform read lengths as in Table II.
+  for (std::size_t i = 0; i < in.reads.size(); ++i) {
+    EXPECT_EQ(in.reads[i].len, table2_params(33).read_len);
+  }
+}
+
+TEST(Generator, EverySideHasAReadWhenBudgetAllows) {
+  const auto in = generate_dataset(scaled(21, 60), 2);  // ~5.2 reads/contig
+  for (std::size_t c = 0; c < in.contigs.size(); ++c) {
+    EXPECT_FALSE(in.right_reads[c].empty()) << "contig " << c;
+    EXPECT_FALSE(in.left_reads[c].empty()) << "contig " << c;
+  }
+}
+
+TEST(Generator, ReadCountIsExact) {
+  const auto p = scaled(55, 70);
+  const auto in = generate_dataset(p, 3);
+  EXPECT_EQ(in.reads.size(), p.num_reads);
+  EXPECT_EQ(in.num_mapped_reads(), p.num_reads);
+}
+
+TEST(Generator, ContigsRespectMinLength) {
+  auto p = scaled(21, 50);
+  p.contig_len_min = 300;
+  const auto in = generate_dataset(p, 4);
+  for (const auto& c : in.contigs) EXPECT_GE(c.length(), 300U);
+}
+
+class GeneratorExtensionTrend : public ::testing::TestWithParam<std::uint32_t> {
+};
+
+// Property: reference assembly of a generated dataset lands within a factor
+// of two of its Table II extension target (the generator's fitting knob).
+TEST_P(GeneratorExtensionTrend, HitsTargetBand) {
+  const std::uint32_t k = GetParam();
+  const auto p = scaled(k, 150);
+  const auto in = generate_dataset(p, 9);
+  const auto exts = core::reference_extend(in);
+  std::uint64_t bases = 0;
+  for (const auto& e : exts) bases += e.left.size() + e.right.size();
+  const double avg = static_cast<double>(bases) / in.contigs.size();
+  EXPECT_GT(avg, p.target_avg_extn * 0.5) << "k=" << k;
+  EXPECT_LT(avg, p.target_avg_extn * 2.0) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllK, GeneratorExtensionTrend,
+                         ::testing::Values(21U, 33U, 55U, 77U));
+
+TEST(Generator, ExtensionLengthGrowsWithK) {
+  // The headline characteristic of Table II: average extension length
+  // rises from ~48 (k=21) to ~227 (k=77).
+  double prev = 0.0;
+  for (std::uint32_t k : {21U, 77U}) {
+    const auto in = generate_dataset(scaled(k, 200), 10);
+    const auto exts = core::reference_extend(in);
+    std::uint64_t bases = 0;
+    for (const auto& e : exts) bases += e.left.size() + e.right.size();
+    const double avg = static_cast<double>(bases) / in.contigs.size();
+    EXPECT_GT(avg, prev) << "k=" << k;
+    prev = avg;
+  }
+}
+
+TEST(Generator, QualityStringsFollowModel) {
+  const auto in = generate_dataset(scaled(21, 60), 11);
+  std::uint64_t low = 0, total = 0;
+  for (std::size_t i = 0; i < in.reads.size(); ++i) {
+    for (char q : in.reads.qual(i)) {
+      low += bio::is_high_quality(q) ? 0 : 1;
+      ++total;
+    }
+  }
+  const double frac = static_cast<double>(low) / static_cast<double>(total);
+  EXPECT_NEAR(frac, DatasetParams{}.low_qual_frac, 0.02);
+}
+
+TEST(Generator, ReadsOverlapTheirContig) {
+  // A right-side read must share the contig's terminal k-mer region often
+  // enough for walks to start; spot-check alignment by substring search.
+  const auto in = generate_dataset(scaled(21, 30), 13);
+  std::size_t anchored = 0, candidates = 0;
+  for (std::size_t c = 0; c < in.contigs.size(); ++c) {
+    if (in.right_reads[c].empty()) continue;
+    ++candidates;
+    const std::string tail =
+        in.contigs[c].seq.substr(in.contigs[c].seq.size() - 21);
+    for (std::uint32_t r : in.right_reads[c]) {
+      if (std::string(in.reads.seq(r)).find(tail) != std::string::npos) {
+        ++anchored;
+        break;
+      }
+    }
+  }
+  // Errors can corrupt an anchor, but the vast majority must hold.
+  EXPECT_GT(anchored, candidates * 8 / 10);
+}
+
+}  // namespace
+}  // namespace lassm::workload

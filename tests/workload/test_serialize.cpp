@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/dataset.hpp"
+
+namespace lassm::workload {
+namespace {
+
+core::AssemblyInput sample() {
+  DatasetParams p = table2_params(21);
+  p.num_contigs = 25;
+  p.num_reads = 130;
+  return generate_dataset(p, 17);
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  const core::AssemblyInput in = sample();
+  std::stringstream ss;
+  save_dataset(ss, in);
+  const core::AssemblyInput out = load_dataset(ss);
+
+  EXPECT_EQ(out.kmer_len, in.kmer_len);
+  ASSERT_EQ(out.contigs.size(), in.contigs.size());
+  for (std::size_t c = 0; c < in.contigs.size(); ++c) {
+    EXPECT_EQ(out.contigs[c].id, in.contigs[c].id);
+    EXPECT_EQ(out.contigs[c].seq, in.contigs[c].seq);
+    EXPECT_DOUBLE_EQ(out.contigs[c].depth, in.contigs[c].depth);
+  }
+  ASSERT_EQ(out.reads.size(), in.reads.size());
+  for (std::size_t r = 0; r < in.reads.size(); ++r) {
+    EXPECT_EQ(out.reads.seq(r), in.reads.seq(r));
+    EXPECT_EQ(out.reads.qual(r), in.reads.qual(r));
+  }
+  EXPECT_EQ(out.left_reads, in.left_reads);
+  EXPECT_EQ(out.right_reads, in.right_reads);
+  EXPECT_TRUE(out.validate());
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  std::stringstream ss("NOT_A_DATASET 1\n");
+  EXPECT_THROW(load_dataset(ss), std::runtime_error);
+}
+
+TEST(Serialize, RejectsWrongVersion) {
+  std::stringstream ss("LASSM_DATASET 999\nk 21\n");
+  EXPECT_THROW(load_dataset(ss), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedContigs) {
+  std::stringstream ss("LASSM_DATASET 1\nk 21\ncontigs 2\n0 1.0 ACGT\n");
+  EXPECT_THROW(load_dataset(ss), std::runtime_error);
+}
+
+TEST(Serialize, RejectsOutOfRangeMapping) {
+  std::stringstream ss(
+      "LASSM_DATASET 1\nk 21\ncontigs 1\n0 1.0 ACGT\nreads 1\nACGT IIII\n"
+      "mappings 1\n0 R 5\n");
+  EXPECT_THROW(load_dataset(ss), std::runtime_error);
+}
+
+TEST(Serialize, RejectsBadSide) {
+  std::stringstream ss(
+      "LASSM_DATASET 1\nk 21\ncontigs 1\n0 1.0 ACGT\nreads 1\nACGT IIII\n"
+      "mappings 1\n0 X 0\n");
+  EXPECT_THROW(load_dataset(ss), std::runtime_error);
+}
+
+TEST(Serialize, EmptyDatasetRoundTrips) {
+  core::AssemblyInput in;
+  in.kmer_len = 33;
+  std::stringstream ss;
+  save_dataset(ss, in);
+  const core::AssemblyInput out = load_dataset(ss);
+  EXPECT_EQ(out.kmer_len, 33U);
+  EXPECT_TRUE(out.contigs.empty());
+  EXPECT_TRUE(out.reads.empty());
+}
+
+}  // namespace
+}  // namespace lassm::workload
