@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_protocols"
+  "../bench/bench_ablation_protocols.pdb"
+  "CMakeFiles/bench_ablation_protocols.dir/bench_ablation_protocols.cpp.o"
+  "CMakeFiles/bench_ablation_protocols.dir/bench_ablation_protocols.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

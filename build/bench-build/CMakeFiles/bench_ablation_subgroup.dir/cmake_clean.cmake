@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_subgroup"
+  "../bench/bench_ablation_subgroup.pdb"
+  "CMakeFiles/bench_ablation_subgroup.dir/bench_ablation_subgroup.cpp.o"
+  "CMakeFiles/bench_ablation_subgroup.dir/bench_ablation_subgroup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_subgroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_roofline"
+  "../bench/bench_fig6_roofline.pdb"
+  "CMakeFiles/bench_fig6_roofline.dir/bench_fig6_roofline.cpp.o"
+  "CMakeFiles/bench_fig6_roofline.dir/bench_fig6_roofline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

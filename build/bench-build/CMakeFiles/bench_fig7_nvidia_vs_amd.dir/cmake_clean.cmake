@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_nvidia_vs_amd"
+  "../bench/bench_fig7_nvidia_vs_amd.pdb"
+  "CMakeFiles/bench_fig7_nvidia_vs_amd.dir/bench_fig7_nvidia_vs_amd.cpp.o"
+  "CMakeFiles/bench_fig7_nvidia_vs_amd.dir/bench_fig7_nvidia_vs_amd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_nvidia_vs_amd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_nvidia_vs_intel"
+  "../bench/bench_fig8_nvidia_vs_intel.pdb"
+  "CMakeFiles/bench_fig8_nvidia_vs_intel.dir/bench_fig8_nvidia_vs_intel.cpp.o"
+  "CMakeFiles/bench_fig8_nvidia_vs_intel.dir/bench_fig8_nvidia_vs_intel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_nvidia_vs_intel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

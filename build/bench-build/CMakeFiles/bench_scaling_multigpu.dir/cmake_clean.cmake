@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_scaling_multigpu"
+  "../bench/bench_scaling_multigpu.pdb"
+  "CMakeFiles/bench_scaling_multigpu.dir/bench_scaling_multigpu.cpp.o"
+  "CMakeFiles/bench_scaling_multigpu.dir/bench_scaling_multigpu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_multigpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

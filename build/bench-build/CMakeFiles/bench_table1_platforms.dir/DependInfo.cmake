@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_platforms.cpp" "bench-build/CMakeFiles/bench_table1_platforms.dir/bench_table1_platforms.cpp.o" "gcc" "bench-build/CMakeFiles/bench_table1_platforms.dir/bench_table1_platforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/lassm_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/lassm_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/lassm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lassm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lassm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/lassm_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/lassm_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/lassm_bio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_architecture"
+  "../bench/bench_table3_architecture.pdb"
+  "CMakeFiles/bench_table3_architecture.dir/bench_table3_architecture.cpp.o"
+  "CMakeFiles/bench_table3_architecture.dir/bench_table3_architecture.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

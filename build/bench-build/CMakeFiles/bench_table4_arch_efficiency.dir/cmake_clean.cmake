@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_arch_efficiency"
+  "../bench/bench_table4_arch_efficiency.pdb"
+  "CMakeFiles/bench_table4_arch_efficiency.dir/bench_table4_arch_efficiency.cpp.o"
+  "CMakeFiles/bench_table4_arch_efficiency.dir/bench_table4_arch_efficiency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_arch_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_hash_intops"
+  "../bench/bench_table5_hash_intops.pdb"
+  "CMakeFiles/bench_table5_hash_intops.dir/bench_table5_hash_intops.cpp.o"
+  "CMakeFiles/bench_table5_hash_intops.dir/bench_table5_hash_intops.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_hash_intops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

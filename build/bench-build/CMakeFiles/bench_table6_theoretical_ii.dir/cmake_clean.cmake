@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_theoretical_ii"
+  "../bench/bench_table6_theoretical_ii.pdb"
+  "CMakeFiles/bench_table6_theoretical_ii.dir/bench_table6_theoretical_ii.cpp.o"
+  "CMakeFiles/bench_table6_theoretical_ii.dir/bench_table6_theoretical_ii.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_theoretical_ii.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_alg_efficiency"
+  "../bench/bench_table7_alg_efficiency.pdb"
+  "CMakeFiles/bench_table7_alg_efficiency.dir/bench_table7_alg_efficiency.cpp.o"
+  "CMakeFiles/bench_table7_alg_efficiency.dir/bench_table7_alg_efficiency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_alg_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

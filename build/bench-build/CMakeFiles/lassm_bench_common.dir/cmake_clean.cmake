@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lassm_bench_common.dir/common.cpp.o"
+  "CMakeFiles/lassm_bench_common.dir/common.cpp.o.d"
+  "liblassm_bench_common.a"
+  "liblassm_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lassm_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_loc.dir/ht_loc.cpp.o"
+  "CMakeFiles/ht_loc.dir/ht_loc.cpp.o.d"
+  "ht_loc"
+  "ht_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

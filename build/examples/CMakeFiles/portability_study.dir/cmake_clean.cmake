@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portability_study.dir/portability_study.cpp.o"
+  "CMakeFiles/portability_study.dir/portability_study.cpp.o.d"
+  "portability_study"
+  "portability_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portability_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

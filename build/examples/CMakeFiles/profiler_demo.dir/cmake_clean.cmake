@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiler_demo.dir/profiler_demo.cpp.o"
+  "CMakeFiles/profiler_demo.dir/profiler_demo.cpp.o.d"
+  "profiler_demo"
+  "profiler_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiler_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bio/contig.cpp" "src/bio/CMakeFiles/lassm_bio.dir/contig.cpp.o" "gcc" "src/bio/CMakeFiles/lassm_bio.dir/contig.cpp.o.d"
+  "/root/repo/src/bio/dna.cpp" "src/bio/CMakeFiles/lassm_bio.dir/dna.cpp.o" "gcc" "src/bio/CMakeFiles/lassm_bio.dir/dna.cpp.o.d"
+  "/root/repo/src/bio/fasta.cpp" "src/bio/CMakeFiles/lassm_bio.dir/fasta.cpp.o" "gcc" "src/bio/CMakeFiles/lassm_bio.dir/fasta.cpp.o.d"
+  "/root/repo/src/bio/kmer.cpp" "src/bio/CMakeFiles/lassm_bio.dir/kmer.cpp.o" "gcc" "src/bio/CMakeFiles/lassm_bio.dir/kmer.cpp.o.d"
+  "/root/repo/src/bio/murmur.cpp" "src/bio/CMakeFiles/lassm_bio.dir/murmur.cpp.o" "gcc" "src/bio/CMakeFiles/lassm_bio.dir/murmur.cpp.o.d"
+  "/root/repo/src/bio/read.cpp" "src/bio/CMakeFiles/lassm_bio.dir/read.cpp.o" "gcc" "src/bio/CMakeFiles/lassm_bio.dir/read.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

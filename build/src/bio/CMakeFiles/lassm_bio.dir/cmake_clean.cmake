@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lassm_bio.dir/contig.cpp.o"
+  "CMakeFiles/lassm_bio.dir/contig.cpp.o.d"
+  "CMakeFiles/lassm_bio.dir/dna.cpp.o"
+  "CMakeFiles/lassm_bio.dir/dna.cpp.o.d"
+  "CMakeFiles/lassm_bio.dir/fasta.cpp.o"
+  "CMakeFiles/lassm_bio.dir/fasta.cpp.o.d"
+  "CMakeFiles/lassm_bio.dir/kmer.cpp.o"
+  "CMakeFiles/lassm_bio.dir/kmer.cpp.o.d"
+  "CMakeFiles/lassm_bio.dir/murmur.cpp.o"
+  "CMakeFiles/lassm_bio.dir/murmur.cpp.o.d"
+  "CMakeFiles/lassm_bio.dir/read.cpp.o"
+  "CMakeFiles/lassm_bio.dir/read.cpp.o.d"
+  "liblassm_bio.a"
+  "liblassm_bio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lassm_bio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

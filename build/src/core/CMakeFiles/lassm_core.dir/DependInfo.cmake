@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assembler.cpp" "src/core/CMakeFiles/lassm_core.dir/assembler.cpp.o" "gcc" "src/core/CMakeFiles/lassm_core.dir/assembler.cpp.o.d"
+  "/root/repo/src/core/binning.cpp" "src/core/CMakeFiles/lassm_core.dir/binning.cpp.o" "gcc" "src/core/CMakeFiles/lassm_core.dir/binning.cpp.o.d"
+  "/root/repo/src/core/kernel.cpp" "src/core/CMakeFiles/lassm_core.dir/kernel.cpp.o" "gcc" "src/core/CMakeFiles/lassm_core.dir/kernel.cpp.o.d"
+  "/root/repo/src/core/loc_ht.cpp" "src/core/CMakeFiles/lassm_core.dir/loc_ht.cpp.o" "gcc" "src/core/CMakeFiles/lassm_core.dir/loc_ht.cpp.o.d"
+  "/root/repo/src/core/reference.cpp" "src/core/CMakeFiles/lassm_core.dir/reference.cpp.o" "gcc" "src/core/CMakeFiles/lassm_core.dir/reference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bio/CMakeFiles/lassm_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/lassm_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/lassm_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lassm_core.dir/assembler.cpp.o"
+  "CMakeFiles/lassm_core.dir/assembler.cpp.o.d"
+  "CMakeFiles/lassm_core.dir/binning.cpp.o"
+  "CMakeFiles/lassm_core.dir/binning.cpp.o.d"
+  "CMakeFiles/lassm_core.dir/kernel.cpp.o"
+  "CMakeFiles/lassm_core.dir/kernel.cpp.o.d"
+  "CMakeFiles/lassm_core.dir/loc_ht.cpp.o"
+  "CMakeFiles/lassm_core.dir/loc_ht.cpp.o.d"
+  "CMakeFiles/lassm_core.dir/reference.cpp.o"
+  "CMakeFiles/lassm_core.dir/reference.cpp.o.d"
+  "liblassm_core.a"
+  "liblassm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lassm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

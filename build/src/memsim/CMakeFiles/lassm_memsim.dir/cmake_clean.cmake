@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lassm_memsim.dir/cache.cpp.o"
+  "CMakeFiles/lassm_memsim.dir/cache.cpp.o.d"
+  "CMakeFiles/lassm_memsim.dir/tiered.cpp.o"
+  "CMakeFiles/lassm_memsim.dir/tiered.cpp.o.d"
+  "liblassm_memsim.a"
+  "liblassm_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lassm_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

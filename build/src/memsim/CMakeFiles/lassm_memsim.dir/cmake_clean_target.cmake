@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblassm_memsim.a"
+)

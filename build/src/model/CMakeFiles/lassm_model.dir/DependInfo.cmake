@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/ascii_plot.cpp" "src/model/CMakeFiles/lassm_model.dir/ascii_plot.cpp.o" "gcc" "src/model/CMakeFiles/lassm_model.dir/ascii_plot.cpp.o.d"
+  "/root/repo/src/model/csv.cpp" "src/model/CMakeFiles/lassm_model.dir/csv.cpp.o" "gcc" "src/model/CMakeFiles/lassm_model.dir/csv.cpp.o.d"
+  "/root/repo/src/model/pennycook.cpp" "src/model/CMakeFiles/lassm_model.dir/pennycook.cpp.o" "gcc" "src/model/CMakeFiles/lassm_model.dir/pennycook.cpp.o.d"
+  "/root/repo/src/model/profiler.cpp" "src/model/CMakeFiles/lassm_model.dir/profiler.cpp.o" "gcc" "src/model/CMakeFiles/lassm_model.dir/profiler.cpp.o.d"
+  "/root/repo/src/model/roofline.cpp" "src/model/CMakeFiles/lassm_model.dir/roofline.cpp.o" "gcc" "src/model/CMakeFiles/lassm_model.dir/roofline.cpp.o.d"
+  "/root/repo/src/model/study.cpp" "src/model/CMakeFiles/lassm_model.dir/study.cpp.o" "gcc" "src/model/CMakeFiles/lassm_model.dir/study.cpp.o.d"
+  "/root/repo/src/model/theoretical.cpp" "src/model/CMakeFiles/lassm_model.dir/theoretical.cpp.o" "gcc" "src/model/CMakeFiles/lassm_model.dir/theoretical.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lassm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lassm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/lassm_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/lassm_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/lassm_bio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lassm_model.dir/ascii_plot.cpp.o"
+  "CMakeFiles/lassm_model.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/lassm_model.dir/csv.cpp.o"
+  "CMakeFiles/lassm_model.dir/csv.cpp.o.d"
+  "CMakeFiles/lassm_model.dir/pennycook.cpp.o"
+  "CMakeFiles/lassm_model.dir/pennycook.cpp.o.d"
+  "CMakeFiles/lassm_model.dir/profiler.cpp.o"
+  "CMakeFiles/lassm_model.dir/profiler.cpp.o.d"
+  "CMakeFiles/lassm_model.dir/roofline.cpp.o"
+  "CMakeFiles/lassm_model.dir/roofline.cpp.o.d"
+  "CMakeFiles/lassm_model.dir/study.cpp.o"
+  "CMakeFiles/lassm_model.dir/study.cpp.o.d"
+  "CMakeFiles/lassm_model.dir/theoretical.cpp.o"
+  "CMakeFiles/lassm_model.dir/theoretical.cpp.o.d"
+  "liblassm_model.a"
+  "liblassm_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lassm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

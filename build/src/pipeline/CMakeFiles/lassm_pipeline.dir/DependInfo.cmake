@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/aligner.cpp" "src/pipeline/CMakeFiles/lassm_pipeline.dir/aligner.cpp.o" "gcc" "src/pipeline/CMakeFiles/lassm_pipeline.dir/aligner.cpp.o.d"
+  "/root/repo/src/pipeline/dbg.cpp" "src/pipeline/CMakeFiles/lassm_pipeline.dir/dbg.cpp.o" "gcc" "src/pipeline/CMakeFiles/lassm_pipeline.dir/dbg.cpp.o.d"
+  "/root/repo/src/pipeline/kmer_analysis.cpp" "src/pipeline/CMakeFiles/lassm_pipeline.dir/kmer_analysis.cpp.o" "gcc" "src/pipeline/CMakeFiles/lassm_pipeline.dir/kmer_analysis.cpp.o.d"
+  "/root/repo/src/pipeline/multi_gpu.cpp" "src/pipeline/CMakeFiles/lassm_pipeline.dir/multi_gpu.cpp.o" "gcc" "src/pipeline/CMakeFiles/lassm_pipeline.dir/multi_gpu.cpp.o.d"
+  "/root/repo/src/pipeline/pipeline.cpp" "src/pipeline/CMakeFiles/lassm_pipeline.dir/pipeline.cpp.o" "gcc" "src/pipeline/CMakeFiles/lassm_pipeline.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lassm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/lassm_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/lassm_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/lassm_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lassm_pipeline.dir/aligner.cpp.o"
+  "CMakeFiles/lassm_pipeline.dir/aligner.cpp.o.d"
+  "CMakeFiles/lassm_pipeline.dir/dbg.cpp.o"
+  "CMakeFiles/lassm_pipeline.dir/dbg.cpp.o.d"
+  "CMakeFiles/lassm_pipeline.dir/kmer_analysis.cpp.o"
+  "CMakeFiles/lassm_pipeline.dir/kmer_analysis.cpp.o.d"
+  "CMakeFiles/lassm_pipeline.dir/multi_gpu.cpp.o"
+  "CMakeFiles/lassm_pipeline.dir/multi_gpu.cpp.o.d"
+  "CMakeFiles/lassm_pipeline.dir/pipeline.cpp.o"
+  "CMakeFiles/lassm_pipeline.dir/pipeline.cpp.o.d"
+  "liblassm_pipeline.a"
+  "liblassm_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lassm_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lassm_simt.dir/device.cpp.o"
+  "CMakeFiles/lassm_simt.dir/device.cpp.o.d"
+  "CMakeFiles/lassm_simt.dir/perf_model.cpp.o"
+  "CMakeFiles/lassm_simt.dir/perf_model.cpp.o.d"
+  "CMakeFiles/lassm_simt.dir/warp.cpp.o"
+  "CMakeFiles/lassm_simt.dir/warp.cpp.o.d"
+  "liblassm_simt.a"
+  "liblassm_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lassm_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

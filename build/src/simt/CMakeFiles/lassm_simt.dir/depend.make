@@ -1,0 +1,2 @@
+# Empty dependencies file for lassm_simt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/dataset.cpp" "src/workload/CMakeFiles/lassm_workload.dir/dataset.cpp.o" "gcc" "src/workload/CMakeFiles/lassm_workload.dir/dataset.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/lassm_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/lassm_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/serialize.cpp" "src/workload/CMakeFiles/lassm_workload.dir/serialize.cpp.o" "gcc" "src/workload/CMakeFiles/lassm_workload.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lassm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/lassm_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/lassm_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/lassm_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

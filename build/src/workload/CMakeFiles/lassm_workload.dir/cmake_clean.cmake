@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lassm_workload.dir/dataset.cpp.o"
+  "CMakeFiles/lassm_workload.dir/dataset.cpp.o.d"
+  "CMakeFiles/lassm_workload.dir/generator.cpp.o"
+  "CMakeFiles/lassm_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/lassm_workload.dir/serialize.cpp.o"
+  "CMakeFiles/lassm_workload.dir/serialize.cpp.o.d"
+  "liblassm_workload.a"
+  "liblassm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lassm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bio/test_contig.cpp" "tests/CMakeFiles/tests_bio.dir/bio/test_contig.cpp.o" "gcc" "tests/CMakeFiles/tests_bio.dir/bio/test_contig.cpp.o.d"
+  "/root/repo/tests/bio/test_dna.cpp" "tests/CMakeFiles/tests_bio.dir/bio/test_dna.cpp.o" "gcc" "tests/CMakeFiles/tests_bio.dir/bio/test_dna.cpp.o.d"
+  "/root/repo/tests/bio/test_fasta.cpp" "tests/CMakeFiles/tests_bio.dir/bio/test_fasta.cpp.o" "gcc" "tests/CMakeFiles/tests_bio.dir/bio/test_fasta.cpp.o.d"
+  "/root/repo/tests/bio/test_kmer.cpp" "tests/CMakeFiles/tests_bio.dir/bio/test_kmer.cpp.o" "gcc" "tests/CMakeFiles/tests_bio.dir/bio/test_kmer.cpp.o.d"
+  "/root/repo/tests/bio/test_murmur.cpp" "tests/CMakeFiles/tests_bio.dir/bio/test_murmur.cpp.o" "gcc" "tests/CMakeFiles/tests_bio.dir/bio/test_murmur.cpp.o.d"
+  "/root/repo/tests/bio/test_quality.cpp" "tests/CMakeFiles/tests_bio.dir/bio/test_quality.cpp.o" "gcc" "tests/CMakeFiles/tests_bio.dir/bio/test_quality.cpp.o.d"
+  "/root/repo/tests/bio/test_read.cpp" "tests/CMakeFiles/tests_bio.dir/bio/test_read.cpp.o" "gcc" "tests/CMakeFiles/tests_bio.dir/bio/test_read.cpp.o.d"
+  "/root/repo/tests/bio/test_rng.cpp" "tests/CMakeFiles/tests_bio.dir/bio/test_rng.cpp.o" "gcc" "tests/CMakeFiles/tests_bio.dir/bio/test_rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/lassm_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/lassm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lassm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lassm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/lassm_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/lassm_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/lassm_bio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_bio.dir/bio/test_contig.cpp.o"
+  "CMakeFiles/tests_bio.dir/bio/test_contig.cpp.o.d"
+  "CMakeFiles/tests_bio.dir/bio/test_dna.cpp.o"
+  "CMakeFiles/tests_bio.dir/bio/test_dna.cpp.o.d"
+  "CMakeFiles/tests_bio.dir/bio/test_fasta.cpp.o"
+  "CMakeFiles/tests_bio.dir/bio/test_fasta.cpp.o.d"
+  "CMakeFiles/tests_bio.dir/bio/test_kmer.cpp.o"
+  "CMakeFiles/tests_bio.dir/bio/test_kmer.cpp.o.d"
+  "CMakeFiles/tests_bio.dir/bio/test_murmur.cpp.o"
+  "CMakeFiles/tests_bio.dir/bio/test_murmur.cpp.o.d"
+  "CMakeFiles/tests_bio.dir/bio/test_quality.cpp.o"
+  "CMakeFiles/tests_bio.dir/bio/test_quality.cpp.o.d"
+  "CMakeFiles/tests_bio.dir/bio/test_read.cpp.o"
+  "CMakeFiles/tests_bio.dir/bio/test_read.cpp.o.d"
+  "CMakeFiles/tests_bio.dir/bio/test_rng.cpp.o"
+  "CMakeFiles/tests_bio.dir/bio/test_rng.cpp.o.d"
+  "tests_bio"
+  "tests_bio.pdb"
+  "tests_bio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_bio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_core.dir/core/test_assembler.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_assembler.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_binning.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_binning.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_kernel_edge_cases.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_kernel_edge_cases.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_kernel_vs_reference.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_kernel_vs_reference.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_ladder.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_ladder.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_loc_ht.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_loc_ht.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_parallel_reference.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_parallel_reference.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_reference.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_reference.cpp.o.d"
+  "tests_core"
+  "tests_core.pdb"
+  "tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

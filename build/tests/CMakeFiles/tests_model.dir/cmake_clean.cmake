@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_model.dir/model/test_csv.cpp.o"
+  "CMakeFiles/tests_model.dir/model/test_csv.cpp.o.d"
+  "CMakeFiles/tests_model.dir/model/test_hierarchical.cpp.o"
+  "CMakeFiles/tests_model.dir/model/test_hierarchical.cpp.o.d"
+  "CMakeFiles/tests_model.dir/model/test_pennycook.cpp.o"
+  "CMakeFiles/tests_model.dir/model/test_pennycook.cpp.o.d"
+  "CMakeFiles/tests_model.dir/model/test_plots.cpp.o"
+  "CMakeFiles/tests_model.dir/model/test_plots.cpp.o.d"
+  "CMakeFiles/tests_model.dir/model/test_profiler.cpp.o"
+  "CMakeFiles/tests_model.dir/model/test_profiler.cpp.o.d"
+  "CMakeFiles/tests_model.dir/model/test_roofline.cpp.o"
+  "CMakeFiles/tests_model.dir/model/test_roofline.cpp.o.d"
+  "CMakeFiles/tests_model.dir/model/test_study.cpp.o"
+  "CMakeFiles/tests_model.dir/model/test_study.cpp.o.d"
+  "CMakeFiles/tests_model.dir/model/test_theoretical.cpp.o"
+  "CMakeFiles/tests_model.dir/model/test_theoretical.cpp.o.d"
+  "tests_model"
+  "tests_model.pdb"
+  "tests_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

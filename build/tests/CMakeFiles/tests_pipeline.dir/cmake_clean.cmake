@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_pipeline.dir/pipeline/test_aligner.cpp.o"
+  "CMakeFiles/tests_pipeline.dir/pipeline/test_aligner.cpp.o.d"
+  "CMakeFiles/tests_pipeline.dir/pipeline/test_dbg.cpp.o"
+  "CMakeFiles/tests_pipeline.dir/pipeline/test_dbg.cpp.o.d"
+  "CMakeFiles/tests_pipeline.dir/pipeline/test_kmer_analysis.cpp.o"
+  "CMakeFiles/tests_pipeline.dir/pipeline/test_kmer_analysis.cpp.o.d"
+  "CMakeFiles/tests_pipeline.dir/pipeline/test_multi_gpu.cpp.o"
+  "CMakeFiles/tests_pipeline.dir/pipeline/test_multi_gpu.cpp.o.d"
+  "CMakeFiles/tests_pipeline.dir/pipeline/test_pipeline.cpp.o"
+  "CMakeFiles/tests_pipeline.dir/pipeline/test_pipeline.cpp.o.d"
+  "tests_pipeline"
+  "tests_pipeline.pdb"
+  "tests_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_simt.dir/simt/test_device.cpp.o"
+  "CMakeFiles/tests_simt.dir/simt/test_device.cpp.o.d"
+  "CMakeFiles/tests_simt.dir/simt/test_perf_model.cpp.o"
+  "CMakeFiles/tests_simt.dir/simt/test_perf_model.cpp.o.d"
+  "CMakeFiles/tests_simt.dir/simt/test_warp.cpp.o"
+  "CMakeFiles/tests_simt.dir/simt/test_warp.cpp.o.d"
+  "tests_simt"
+  "tests_simt.pdb"
+  "tests_simt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_workload.dir/workload/test_dataset.cpp.o"
+  "CMakeFiles/tests_workload.dir/workload/test_dataset.cpp.o.d"
+  "CMakeFiles/tests_workload.dir/workload/test_generator.cpp.o"
+  "CMakeFiles/tests_workload.dir/workload/test_generator.cpp.o.d"
+  "CMakeFiles/tests_workload.dir/workload/test_serialize.cpp.o"
+  "CMakeFiles/tests_workload.dir/workload/test_serialize.cpp.o.d"
+  "tests_workload"
+  "tests_workload.pdb"
+  "tests_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tests_bio[1]_include.cmake")
+include("/root/repo/build/tests/tests_memsim[1]_include.cmake")
+include("/root/repo/build/tests/tests_simt[1]_include.cmake")
+include("/root/repo/build/tests/tests_core[1]_include.cmake")
+include("/root/repo/build/tests/tests_model[1]_include.cmake")
+include("/root/repo/build/tests/tests_workload[1]_include.cmake")
+include("/root/repo/build/tests/tests_pipeline[1]_include.cmake")
