@@ -4,7 +4,7 @@
 // global de Bruijn contigs -> iterative {alignment -> local assembly} over
 // the production ladder k = 21, 33, 55, 77 on a chosen device model.
 //
-//   ./metagenome_assembly [nvidia|amd|intel] [num_species] [coverage]
+//   ./metagenome_assembly [nvidia|amd|intel] [num_species] [coverage] [threads]
 
 #include <cmath>
 #include <cstring>
@@ -39,6 +39,8 @@ int main(int argc, char** argv) {
   }
   const int n_species = argc > 2 ? std::atoi(argv[2]) : 4;
   const double coverage = argc > 3 ? std::atof(argv[3]) : 9.0;
+  const unsigned n_threads =
+      argc > 4 ? static_cast<unsigned>(std::atoi(argv[4])) : 0;
 
   // 1) A toy metagenomic community: genome sizes 4-12 kb, abundances
   //    log-normally skewed (the rare-species problem the paper's intro
@@ -87,6 +89,7 @@ int main(int argc, char** argv) {
 
   // 3) Assemble on the chosen device model.
   pipeline::PipelineOptions opts;
+  opts.assembly.n_threads = n_threads;
   const pipeline::PipelineResult result =
       pipeline::run_pipeline(reads, device, opts, &std::cout);
 

@@ -2,7 +2,10 @@
 // GPU kernel on the NVIDIA A100 model, verify against the CPU reference,
 // and print the performance counters the paper's analysis is built on.
 //
-//   ./quickstart [k] [num_contigs]
+//   ./quickstart [k] [num_contigs] [threads]
+//
+// `threads` drives the host-side execution engine (0 = all hardware
+// threads, 1 = serial); the results are bit-identical either way.
 
 #include <cstdlib>
 #include <iostream>
@@ -18,6 +21,8 @@ int main(int argc, char** argv) {
   const std::uint32_t k = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 21;
   const std::uint32_t n_contigs =
       argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 200;
+  const unsigned n_threads =
+      argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 0;
 
   // 1) Synthesise a dataset shaped like the paper's Table II inputs.
   workload::DatasetParams params = workload::table2_params(k);
@@ -31,7 +36,9 @@ int main(int argc, char** argv) {
             << " hash insertions\n";
 
   // 2) Run the local assembly kernel on the A100 device model (CUDA port).
-  core::LocalAssembler assembler(simt::DeviceSpec::a100());
+  core::AssemblyOptions aopts;
+  aopts.n_threads = n_threads;
+  core::LocalAssembler assembler(simt::DeviceSpec::a100(), aopts);
   core::AssemblyResult result = assembler.run(input);
 
   std::cout << "kernel: " << result.total_extension_bases()

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Race-checking gate for the parallel execution engine.
+#
+# Configures a second build tree with warnings + ThreadSanitizer and runs
+# the engine's determinism/parallelism tests under TSan, so the scheduler
+# lands race-clean and stays that way. Usage:
+#
+#   scripts/check.sh [build-dir]     # default: build-tsan
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build-tsan}"
+
+cmake -B "$BUILD" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-Wall -Wextra -fsanitize=thread" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
+  -DLASSM_BUILD_BENCH=OFF \
+  -DLASSM_BUILD_EXAMPLES=OFF
+
+cmake --build "$BUILD" -j --target tests_core
+
+# The parallel-assembler suite drives the pool across thread counts, batch
+# shapes, steal interleavings and the error path; any data race in the
+# engine or in the pooled kernel contexts trips TSan here.
+TSAN_OPTIONS="halt_on_error=1" \
+  "$BUILD/tests/tests_core" \
+  --gtest_filter='ParallelAssembler.*:ExecutionEngine.*'
+
+echo "check.sh: TSan run clean."

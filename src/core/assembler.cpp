@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "bio/dna.hpp"
 #include "core/binning.hpp"
+#include "core/exec.hpp"
 #include "core/ladder.hpp"
 #include "memsim/tiered.hpp"
 
@@ -81,57 +83,93 @@ AssemblyResult LocalAssembler::run(const AssemblyInput& in) const {
   const bio::ReadSet rc_reads =
       any_left ? in.reads.reverse_complemented() : bio::ReadSet{};
 
+  // Host-side execution engine (one pool for the whole run, both sides,
+  // all batches). n_threads == 1 keeps the original single-context serial
+  // path as the oracle. Host threading only changes who drives the
+  // simulated warps — every task's result and every merged counter is
+  // bit-identical either way, so the modelled time is too.
+  const unsigned n_threads = resolve_threads(opts_.n_threads);
+  std::unique_ptr<WarpExecutionEngine> engine;
+  if (n_threads > 1 && in.contigs.size() > 1) {
+    engine = std::make_unique<WarpExecutionEngine>(dev_, pm_, opts_,
+                                                   n_threads);
+  }
+
   for (Side side : {Side::kRight, Side::kLeft}) {
     const bio::ReadSet& reads = side == Side::kRight ? in.reads : rc_reads;
     if (side == Side::kLeft && !any_left) continue;
 
     for (std::uint32_t b = 0; b < batches.size(); ++b) {
       const Batch& batch = batches[b];
+      const std::size_t n_tasks = batch.contig_ids.size();
       const BatchLayout lay = layout_batch(in, batch, opts_, side, reads);
 
-      const std::uint64_t concurrency = std::min<std::uint64_t>(
-          batch.contig_ids.size(), dev_.max_concurrent_warps());
-      WarpKernelContext ctx(dev_, pm_, opts_, std::max<std::uint64_t>(
-                                                  concurrency, 1));
+      const std::uint64_t concurrency = std::max<std::uint64_t>(
+          std::min<std::uint64_t>(n_tasks, dev_.max_concurrent_warps()), 1);
 
       LaunchBreakdown launch;
       launch.side = side;
       launch.batch = b;
       launch.stats.num_kernel_launches = 1;
 
-      std::string rc_contig;  // scratch for left orientation
-      for (std::size_t pos = 0; pos < batch.contig_ids.size(); ++pos) {
+      // Materialise the launch's tasks up front (the GPU driver stages the
+      // whole batch before the kernel goes up). rc_contigs keeps the
+      // reverse-complemented sequences alive behind the tasks' views.
+      std::vector<WarpTask> tasks(n_tasks);
+      std::vector<std::string> rc_contigs;
+      if (side == Side::kLeft) rc_contigs.resize(n_tasks);
+      for (std::size_t pos = 0; pos < n_tasks; ++pos) {
         const std::uint32_t id = batch.contig_ids[pos];
-        const auto& read_ids = side == Side::kRight ? in.right_reads[id]
-                                                    : in.left_reads[id];
-
-        WarpTask task;
+        WarpTask& task = tasks[pos];
         if (side == Side::kRight) {
           task.contig = in.contigs[id].seq;
         } else {
-          rc_contig = bio::reverse_complement(in.contigs[id].seq);
-          task.contig = rc_contig;
+          rc_contigs[pos] = bio::reverse_complement(in.contigs[id].seq);
+          task.contig = rc_contigs[pos];
         }
         task.contig_sim_addr = lay.contig_addr[pos];
         task.reads = &reads;
-        task.read_ids = read_ids;
+        task.read_ids = side == Side::kRight ? in.right_reads[id]
+                                             : in.left_reads[id];
         task.reads_sim_base = lay.reads_seq_base;
         task.quals_sim_base = lay.reads_qual_base;
         task.table_sim_base = lay.table_addr[pos];
         task.walkbuf_sim_addr = lay.walkbuf_addr[pos];
         task.kmer_len = in.kmer_len;
+      }
 
-        WarpResult wr = ctx.run(task);
-
-        bio::ContigExtension& ext = result.extensions[id];
+      // Per-position warp outcomes; the extension strings are moved into
+      // their pre-assigned result slots by whichever worker ran the task
+      // (slots are disjoint — contig independence), while counters and
+      // traffic stay here for the deterministic post-barrier merge.
+      std::vector<WarpResult> outcomes(n_tasks);
+      const auto process = [&](std::size_t pos, WarpKernelContext& ctx) {
+        WarpResult wr = ctx.run(tasks[pos]);
+        bio::ContigExtension& ext =
+            result.extensions[batch.contig_ids[pos]];
         if (side == Side::kRight) {
           ext.right = std::move(wr.extension);
           ext.right_mer_len = wr.accepted_mer;
         } else {
           ext.left = bio::reverse_complement(wr.extension);
           ext.left_mer_len = wr.accepted_mer;
+          wr.extension.clear();
         }
+        outcomes[pos] = std::move(wr);
+      };
 
+      if (engine != nullptr) {
+        engine->run_batch(n_tasks, concurrency, process);
+      } else {
+        WarpKernelContext ctx(dev_, pm_, opts_, concurrency);
+        for (std::size_t pos = 0; pos < n_tasks; ++pos) process(pos, ctx);
+      }
+
+      // Merge in batch position (ascending contig-id within the batch's
+      // schedule) order — byte-for-byte the serial merge, so totals,
+      // warp_cycles and traffic are independent of which worker ran what.
+      for (std::size_t pos = 0; pos < n_tasks; ++pos) {
+        const WarpResult& wr = outcomes[pos];
         launch.stats.totals.merge(wr.counters);
         launch.stats.warp_cycles.push_back(wr.counters.cycles);
         launch.stats.traffic.add(wr.traffic);

@@ -76,6 +76,11 @@ class LocalAssembler {
 
   /// Runs binning, batching and both extension kernels over the input.
   /// The input is not modified; use apply() to commit the extensions.
+  ///
+  /// Host execution is parallel across the batch's independent warps when
+  /// AssemblyOptions::n_threads != 1 (see src/core/exec.hpp); extensions,
+  /// counters, traffic and the modelled time are bit-identical for every
+  /// thread count.
   AssemblyResult run(const AssemblyInput& in) const;
 
   /// Applies extensions to in.contigs (index-aligned with run()'s input).

@@ -1,0 +1,142 @@
+#include "core/exec.hpp"
+
+#include <algorithm>
+
+namespace lassm::core {
+
+unsigned resolve_threads(unsigned n_threads) noexcept {
+  if (n_threads != 0) return n_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+WarpExecutionEngine::WarpExecutionEngine(const simt::DeviceSpec& dev,
+                                         simt::ProgrammingModel pm,
+                                         const AssemblyOptions& opts,
+                                         unsigned n_threads)
+    : dev_(dev), pm_(pm), opts_(opts),
+      n_threads_(resolve_threads(n_threads)) {
+  contexts_.resize(n_threads_);
+  context_concurrency_.assign(n_threads_, 0);
+  pool_.reserve(n_threads_ - 1);
+  for (unsigned wid = 1; wid < n_threads_; ++wid) {
+    pool_.emplace_back([this, wid] { worker_loop(wid); });
+  }
+}
+
+WarpExecutionEngine::~WarpExecutionEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : pool_) t.join();
+}
+
+WarpKernelContext& WarpExecutionEngine::context_for(
+    unsigned wid, std::uint64_t concurrency) {
+  std::unique_ptr<WarpKernelContext>& ctx = contexts_[wid];
+  if (ctx == nullptr) {
+    ctx = std::make_unique<WarpKernelContext>(dev_, pm_, opts_, concurrency);
+  } else if (context_concurrency_[wid] != concurrency) {
+    ctx->reconfigure(concurrency);
+  }
+  context_concurrency_[wid] = concurrency;
+  return *ctx;
+}
+
+void WarpExecutionEngine::work_on(Job& job, unsigned wid) {
+  WarpKernelContext& ctx = context_for(wid, job.concurrency);
+  try {
+    // Own segment first, then sweep the others for chunks to steal. The
+    // sweep repeats until a full pass over every segment finds nothing
+    // claimable; claimed chunks always run to completion on their claimer,
+    // so once every worker's sweep comes up dry the batch is fully
+    // assigned, and the barrier below waits out the in-flight tasks.
+    for (unsigned round = 0; round < job.participants; ++round) {
+      Segment& seg = job.segments[(wid + round) % job.participants];
+      for (;;) {
+        const std::size_t begin = seg.next.fetch_add(
+            job.chunk, std::memory_order_relaxed);
+        if (begin >= seg.end) break;
+        const std::size_t end = std::min(seg.end, begin + job.chunk);
+        for (std::size_t i = begin; i < end; ++i) (*job.body)(i, ctx);
+      }
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!job.error) job.error = std::current_exception();
+  }
+}
+
+void WarpExecutionEngine::worker_loop(unsigned wid) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wake_.wait(lock, [&] { return stopping_ || epoch_ != seen; });
+    if (stopping_) return;
+    seen = epoch_;
+    Job* job = job_;
+    lock.unlock();
+    if (job != nullptr && wid < job->participants) {
+      work_on(*job, wid);
+      const unsigned before =
+          job->finished.fetch_add(1, std::memory_order_acq_rel);
+      if (before + 1 == job->participants) {
+        // Re-acquire before notifying so the caller cannot miss the wake
+        // between its predicate check and its wait.
+        std::lock_guard<std::mutex> done_lock(mutex_);
+        done_.notify_all();
+      }
+    }
+    lock.lock();
+  }
+}
+
+void WarpExecutionEngine::run_batch(
+    std::size_t n, std::uint64_t concurrency,
+    const std::function<void(std::size_t, WarpKernelContext&)>& body) {
+  if (n == 0) return;
+
+  Job job;
+  job.n = n;
+  job.concurrency = concurrency;
+  job.body = &body;
+  job.participants =
+      static_cast<unsigned>(std::min<std::size_t>(n_threads_, n));
+  // Chunked self-scheduling: ~4 chunks per worker amortises the claim
+  // atomics while leaving enough pieces for stealing to even out the
+  // straggler tail; capped so huge batches still interleave finely.
+  job.chunk = std::clamp<std::size_t>(n / (4 * job.participants), 1, 32);
+  job.segments = std::make_unique<Segment[]>(job.participants);
+  const std::size_t per_worker =
+      (n + job.participants - 1) / job.participants;
+  for (unsigned w = 0; w < job.participants; ++w) {
+    const std::size_t begin = std::min<std::size_t>(n, w * per_worker);
+    job.segments[w].next.store(begin, std::memory_order_relaxed);
+    job.segments[w].end = std::min<std::size_t>(n, begin + per_worker);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    ++epoch_;
+  }
+  wake_.notify_all();
+
+  // The caller is worker 0.
+  work_on(job, 0);
+  job.finished.fetch_add(1, std::memory_order_acq_rel);
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] {
+      return job.finished.load(std::memory_order_acquire) ==
+             job.participants;
+    });
+    job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace lassm::core

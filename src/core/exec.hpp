@@ -1,0 +1,116 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/kernel.hpp"
+#include "core/options.hpp"
+#include "simt/device.hpp"
+
+namespace lassm::core {
+
+/// Resolves an AssemblyOptions::n_threads value: 0 means one thread per
+/// hardware thread (at least 1).
+unsigned resolve_threads(unsigned n_threads) noexcept;
+
+/// Parallel execution engine for simulated warps: a persistent pool of
+/// host threads that drains batches of `WarpTask`s, mirroring how the GPU
+/// driver launches thousands of independent single-warp mer-walks
+/// concurrently (the contig independence the paper's whole offload rests
+/// on).
+///
+/// Scheduling: the batch's index range is split into one contiguous
+/// segment per worker; workers self-schedule chunks from their own segment
+/// and steal chunks from other segments once theirs drains, so the
+/// straggler tail of a batch (binning makes batches homogeneous, but not
+/// perfectly) is shared instead of serialised.
+///
+/// Determinism: every task writes only its own pre-assigned result slot
+/// and each WarpKernelContext::run is a pure function of (configuration,
+/// task) — see the context's reset contract — so results are bit-identical
+/// for every thread count and every steal interleaving. Stats merging is
+/// the caller's job and happens in task order after run_batch returns;
+/// nothing about host threading feeds the performance model, so modelled
+/// kernel time is unchanged by this engine.
+///
+/// Worker state: each worker owns one lazily created WarpKernelContext
+/// (hash-table slab, lane array, walk buffer, tiered-cache hierarchy) that
+/// is reset — never reallocated — between tasks, and reconfigured in place
+/// when a batch's warp concurrency changes the fair-share cache slices.
+class WarpExecutionEngine {
+ public:
+  /// Spawns `resolve_threads(n_threads) - 1` pool threads; the thread
+  /// calling run_batch participates as worker 0.
+  WarpExecutionEngine(const simt::DeviceSpec& dev, simt::ProgrammingModel pm,
+                      const AssemblyOptions& opts, unsigned n_threads = 0);
+  ~WarpExecutionEngine();
+
+  WarpExecutionEngine(const WarpExecutionEngine&) = delete;
+  WarpExecutionEngine& operator=(const WarpExecutionEngine&) = delete;
+
+  unsigned n_threads() const noexcept { return n_threads_; }
+
+  /// Runs `body(i, ctx)` for every i in [0, n) across the pool and blocks
+  /// until all calls completed (the launch barrier). `concurrency` is the
+  /// batch's modelled resident-warp count, forwarded to each worker's
+  /// context for the warp-effective cache slicing — the same value the
+  /// serial path passes to its per-batch context. `body` must be safe to
+  /// invoke concurrently for distinct i (warp tasks are: disjoint result
+  /// slots, shared read-only input). The first exception thrown by `body`
+  /// is rethrown here after the barrier.
+  void run_batch(std::size_t n, std::uint64_t concurrency,
+                 const std::function<void(std::size_t, WarpKernelContext&)>&
+                     body);
+
+ private:
+  /// One worker's slice of the batch: [next, end) items not yet claimed.
+  /// Chunks are claimed with fetch_add, by the owner and by thieves alike,
+  /// so a chunk is processed exactly once.
+  struct Segment {
+    std::atomic<std::size_t> next{0};
+    std::size_t end = 0;
+  };
+
+  /// One parallel region (one simulated kernel launch).
+  struct Job {
+    std::size_t n = 0;
+    std::size_t chunk = 1;
+    std::uint64_t concurrency = 0;
+    unsigned participants = 0;
+    const std::function<void(std::size_t, WarpKernelContext&)>* body =
+        nullptr;
+    std::unique_ptr<Segment[]> segments;
+    std::atomic<unsigned> finished{0};
+    std::exception_ptr error;  ///< first failure, guarded by engine mutex
+  };
+
+  void worker_loop(unsigned wid);
+  void work_on(Job& job, unsigned wid);
+  WarpKernelContext& context_for(unsigned wid, std::uint64_t concurrency);
+
+  const simt::DeviceSpec& dev_;
+  simt::ProgrammingModel pm_;
+  AssemblyOptions opts_;
+  unsigned n_threads_;
+
+  /// Per-worker contexts (index = worker id); each is touched only by its
+  /// owning thread while a job runs.
+  std::vector<std::unique_ptr<WarpKernelContext>> contexts_;
+  std::vector<std::uint64_t> context_concurrency_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;   ///< pool threads wait for a new job
+  std::condition_variable done_;   ///< caller waits for the barrier
+  Job* job_ = nullptr;
+  std::uint64_t epoch_ = 0;        ///< bumped once per published job
+  bool stopping_ = false;
+  std::vector<std::thread> pool_;
+};
+
+}  // namespace lassm::core

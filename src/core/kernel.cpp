@@ -14,16 +14,33 @@ WarpKernelContext::WarpKernelContext(const simt::DeviceSpec& dev,
                                      simt::ProgrammingModel pm,
                                      const AssemblyOptions& opts,
                                      std::uint64_t concurrency)
-    : dev_(dev), pm_(pm), opts_(opts) {
-  width_ = opts.subgroup_override != 0 ? opts.subgroup_override : dev.warp_width;
-  l1_cfg_ = dev.l1_slice_config();
-  l2_cfg_ = dev.l2_slice_config(concurrency);
+    : dev_(dev),
+      pm_(pm),
+      opts_(opts),
+      width_(opts.subgroup_override != 0 ? opts.subgroup_override
+                                         : dev.warp_width),
+      l1_cfg_(dev.l1_slice_config()),
+      l2_cfg_(dev.l2_slice_config(concurrency)),
+      mem_(l1_cfg_, l2_cfg_) {
   lanes_.resize(width_);
 }
 
+void WarpKernelContext::reconfigure(std::uint64_t concurrency) {
+  l2_cfg_ = dev_.l2_slice_config(concurrency);
+  mem_ = memsim::TieredMemory(l1_cfg_, l2_cfg_);
+}
+
 WarpResult WarpKernelContext::run(const WarpTask& task) {
+  // Reset contract (see header): clear every piece of cross-task scratch
+  // this call reads before the task's own writes — the hierarchy here, the
+  // lanes here (insert_lockstep reads only lanes it first overwrites, but a
+  // defined state keeps the invariant checkable), the table per rung and
+  // the walk buffer per walk below.
+  mem_.reset();
+  std::fill(lanes_.begin(), lanes_.end(), LaneState{});
+
   WarpResult res;
-  memsim::TieredMemory mem(l1_cfg_, l2_cfg_);
+  memsim::TieredMemory& mem = mem_;
   simt::WarpCounters& ctr = res.counters;
 
   const std::uint32_t floor_mer = ladder_min_mer(task.kmer_len, opts_);

@@ -66,9 +66,21 @@ struct WarpResult {
 };
 
 /// Executes contig-end warps for one kernel launch. The context owns the
-/// reusable scratch (hash table storage, lane arrays) and knows the batch's
-/// warp concurrency, from which each warp's fair-share cache slices are
-/// derived (see DESIGN.md on the warp-effective cache model).
+/// reusable scratch (hash table slab, lane arrays, walk buffer and the
+/// warp-effective cache hierarchy) and knows the batch's warp concurrency,
+/// from which each warp's fair-share cache slices are derived (see
+/// DESIGN.md on the warp-effective cache model).
+///
+/// Reset contract: `table_`, `lanes_`, `walkbuf_` and `mem_` are mutable
+/// scratch shared across run() calls. run() re-initialises every piece of
+/// scratch it reads before reading it (lanes and the memory hierarchy at
+/// entry, the table before each ladder rung, the walk buffer before each
+/// walk), so a context never leaks state between tasks — a requirement for
+/// the pooled contexts of the parallel execution engine, whose contexts
+/// service arbitrary interleavings of tasks. Consequently run(task) is a
+/// pure function of (device, model, options, concurrency, task): any
+/// context with the same configuration yields bit-identical results.
+/// A context must only ever be used by one thread at a time.
 class WarpKernelContext {
  public:
   WarpKernelContext(const simt::DeviceSpec& dev, simt::ProgrammingModel pm,
@@ -77,6 +89,12 @@ class WarpKernelContext {
   /// Simulates one warp end-to-end: the mer-size ladder of
   /// {construct (Algorithm 1) -> mer-walk (Algorithm 2)} rounds of Fig. 4.
   WarpResult run(const WarpTask& task);
+
+  /// Re-derives the fair-share cache slices for a new batch concurrency,
+  /// keeping the context's scratch allocations. Equivalent to constructing
+  /// a fresh context with the new concurrency; used by the execution
+  /// engine to reuse per-worker contexts across batches.
+  void reconfigure(std::uint64_t concurrency);
 
   std::uint32_t width() const noexcept { return width_; }
 
@@ -111,6 +129,9 @@ class WarpKernelContext {
   std::uint32_t width_;
   memsim::CacheConfig l1_cfg_;
   memsim::CacheConfig l2_cfg_;
+  /// Warp-effective hierarchy, reset (not reallocated) per task: the cache
+  /// set arrays dominate per-task allocation cost otherwise.
+  memsim::TieredMemory mem_;
   LocHashTable table_;
   std::vector<LaneState> lanes_;
   std::string walkbuf_;        ///< seed + walk characters (simulated buffer)

@@ -45,6 +45,14 @@ struct AssemblyOptions {
   /// SYCL sub-group sweep; the paper settled on 16).
   std::uint32_t subgroup_override = 0;
 
+  /// Host threads driving the simulated warps (the simulator-side analogue
+  /// of MetaHipMer launching thousands of independent single-warp
+  /// mer-walks): 0 = one per hardware thread, 1 = the serial oracle path,
+  /// N = a persistent pool of N workers. Purely a host-throughput knob —
+  /// extensions, counters, traffic and modelled time are bit-identical for
+  /// every value (see DESIGN.md "Parallel execution engine").
+  unsigned n_threads = 0;
+
   /// Phred score at or above which an extension vote counts as high
   /// quality.
   int hi_qual_threshold = bio::kHiQualThreshold;

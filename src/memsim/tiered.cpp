@@ -53,6 +53,16 @@ ServiceLevel TieredMemory::access(std::uint64_t addr, std::uint32_t size,
   return deepest;
 }
 
+void TieredMemory::reset() noexcept {
+  l1_.invalidate_all();
+  l2_.invalidate_all();
+  l1_.reset_stats();
+  l2_.reset_stats();
+  stats_ = {};
+  stats_.line_bytes = line_bytes_;
+  dirty_resident_estimate_ = 0;
+}
+
 void TieredMemory::flush() noexcept {
   // Dirty L1 lines drain to L2. With write-allocate at both levels a dirty
   // L1 line is resident in L2 unless L2 has evicted it since; treating all

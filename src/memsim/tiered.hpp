@@ -89,6 +89,13 @@ class TieredMemory {
   /// kernel end so short kernels are not under-billed for stores).
   void flush() noexcept;
 
+  /// Returns the hierarchy to its just-constructed state: all lines
+  /// invalidated (without billing writebacks) and all counters zeroed.
+  /// Lets a pooled warp context reuse one hierarchy across tasks instead of
+  /// reallocating the set arrays per task; a reset hierarchy is
+  /// indistinguishable from a freshly constructed one.
+  void reset() noexcept;
+
   const TrafficStats& stats() const noexcept { return stats_; }
   const Cache& l1() const noexcept { return l1_; }
   const Cache& l2() const noexcept { return l2_; }

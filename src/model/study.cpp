@@ -20,6 +20,10 @@ StudyConfig study_config_from_env() {
   if (const char* s = std::getenv("LASSM_STUDY_SEED"); s != nullptr) {
     cfg.seed = static_cast<std::uint64_t>(std::atoll(s));
   }
+  if (const char* s = std::getenv("LASSM_THREADS"); s != nullptr) {
+    const long v = std::atol(s);
+    if (v >= 0) cfg.opts.n_threads = static_cast<unsigned>(v);
+  }
   return cfg;
 }
 

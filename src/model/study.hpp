@@ -27,7 +27,9 @@ struct StudyConfig {
   bool native_models = true;
 };
 
-/// Reads LASSM_STUDY_SCALE / LASSM_STUDY_SEED from the environment.
+/// Reads LASSM_STUDY_SCALE / LASSM_STUDY_SEED / LASSM_THREADS from the
+/// environment (the latter sets opts.n_threads: host threads driving the
+/// simulated warps; results are bit-identical for every value).
 StudyConfig study_config_from_env();
 
 /// One (device, k) measurement with every derived metric.

@@ -43,7 +43,13 @@ PipelineResult run_pipeline(const bio::ReadSet& reads,
     report.mapped_reads = astats.aligned_left + astats.aligned_right;
 
     if (opts.use_reference) {
-      const auto exts = core::reference_extend(input, opts.assembly);
+      // The reference honours the same n_threads knob as the simulator
+      // (1 = serial oracle); both paths are bit-identical at any count.
+      const auto exts =
+          opts.assembly.n_threads == 1
+              ? core::reference_extend(input, opts.assembly)
+              : core::reference_extend_parallel(input, opts.assembly,
+                                                opts.assembly.n_threads);
       for (std::size_t i = 0; i < input.contigs.size(); ++i) {
         report.extension_bases += exts[i].left.size() + exts[i].right.size();
         bio::apply_extension(input.contigs[i], exts[i]);

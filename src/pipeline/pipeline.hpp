@@ -20,6 +20,8 @@ struct PipelineOptions {
   std::uint32_t min_kmer_count = 2;   ///< k-mer analysis error filter
   std::uint32_t min_contig_len = 100;
   AlignerOptions aligner;
+  /// Local assembly tunables; assembly.n_threads also sets the host
+  /// parallelism of both the simulated kernel and the CPU reference.
   core::AssemblyOptions assembly;
   /// Run local assembly on the CPU reference instead of a simulated device
   /// (faster; no performance counters).
