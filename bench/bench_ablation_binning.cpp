@@ -18,7 +18,8 @@ int main() {
             << cfg.scale << ") ==\n\n";
 
   model::TextTable t({"k", "binned (ms)", "unbinned (ms)", "binning gain"});
-  model::CsvWriter csv(model::results_dir() + "/ablation_binning.csv",
+  model::CsvWriter csv = bench::bench_csv(
+      "ablation_binning",
                        {"k", "binned_ms", "unbinned_ms", "gain"});
 
   const simt::DeviceSpec dev = simt::DeviceSpec::a100();
@@ -43,6 +44,6 @@ int main() {
   t.render(std::cout);
   std::cout << "\nexpected: binning >= 1x at every k (identical results, "
                "less straggler-serialised wave time)\n";
-  std::cout << "\nCSV: " << csv.path() << "\n";
+  bench::write_artifacts(std::cout, csv);
   return 0;
 }

@@ -20,7 +20,8 @@ int main() {
 
   model::TextTable t({"k", "8 MB (ms)", "40 MB (ms)", "204 MB (ms)",
                       "HBM GB @8MB", "HBM GB @204MB"});
-  model::CsvWriter csv(model::results_dir() + "/ablation_cache.csv",
+  model::CsvWriter csv = bench::bench_csv(
+      "ablation_cache",
                        {"k", "l2_mb", "time_ms", "hbm_gbytes", "intensity"});
 
   for (std::uint32_t k : workload::kTable2Ks) {
@@ -50,6 +51,6 @@ int main() {
   std::cout << "\nexpected: growing L2 monotonically cuts HBM traffic and "
                "time, with the largest relative gain at large k — the "
                "Intel-vs-AMD story with everything else held equal\n";
-  std::cout << "\nCSV: " << csv.path() << "\n";
+  bench::write_artifacts(std::cout, csv);
   return 0;
 }

@@ -28,7 +28,8 @@ int main() {
 
   model::TextTable t({"device", "protocol", "time (ms)", "GINTOP/s",
                       "INTOPs", "native?"});
-  model::CsvWriter csv(model::results_dir() + "/ablation_protocols.csv",
+  model::CsvWriter csv = bench::bench_csv(
+      "ablation_protocols",
                        {"device", "protocol", "time_ms", "gintops",
                         "intops", "native"});
 
@@ -51,6 +52,6 @@ int main() {
                "few percent; the device model dominates the time — the "
                "paper's conclusion that portability costs live in hardware "
                "traits, not the collective idiom\n";
-  std::cout << "\nCSV: " << csv.path() << "\n";
+  bench::write_artifacts(std::cout, csv);
   return 0;
 }

@@ -18,7 +18,8 @@ int main() {
             << cfg.scale << ") ==\n\n";
 
   model::TextTable t({"k", "width 8 (ms)", "width 16 (ms)", "width 32 (ms)"});
-  model::CsvWriter csv(model::results_dir() + "/ablation_subgroup.csv",
+  model::CsvWriter csv = bench::bench_csv(
+      "ablation_subgroup",
                        {"k", "width", "time_ms", "gintops"});
 
   const simt::DeviceSpec dev = simt::DeviceSpec::max1550_tile();
@@ -45,6 +46,6 @@ int main() {
   std::cout << "\nexpected: narrow sub-groups waste less issue on the "
                "single-lane walk but add construction rounds; 16 balances "
                "the two — the paper's chosen width\n";
-  std::cout << "\nCSV: " << csv.path() << "\n";
+  bench::write_artifacts(std::cout, csv);
   return 0;
 }

@@ -21,7 +21,8 @@ int main() {
 
   model::TextTable t({"k", "CPU reference (ms)", "A100 model (ms)",
                       "speed-up"});
-  model::CsvWriter csv(model::results_dir() + "/cpu_baseline.csv",
+  model::CsvWriter csv = bench::bench_csv(
+      "cpu_baseline",
                        {"k", "cpu_ms", "gpu_ms", "speedup"});
 
   for (std::uint32_t k : workload::kTable2Ks) {
@@ -48,6 +49,6 @@ int main() {
     csv.row(k, cpu_ms, gpu_ms, cpu_ms / gpu_ms);
   }
   t.render(std::cout);
-  std::cout << "\nCSV: " << csv.path() << "\n";
+  bench::write_artifacts(std::cout, csv);
   return 0;
 }

@@ -1,6 +1,9 @@
 // Figure 5: kernel execution time comparison across devices and k-mer
-// sizes (grouped bars + CSV).
+// sizes (grouped bars + CSV), plus the BENCH throughput record
+// (results/BENCH_kernel_time.json: modelled ms, host wall-clock and
+// MTasks/s per device/k).
 
+#include <fstream>
 #include <iostream>
 
 #include "bench/common.hpp"
@@ -19,14 +22,16 @@ int main() {
   }
   chart.set_groups(groups);
 
-  model::CsvWriter csv(model::results_dir() + "/fig5_kernel_time.csv",
-                       {"device", "model", "k", "time_ms"});
+  model::CsvWriter csv = bench::bench_csv(
+      "fig5_kernel_time",
+      {"device", "model", "k", "time_ms", "wall_s", "mtasks_per_s"});
   for (const auto& dev : study.devices) {
     std::vector<double> times;
     for (std::uint32_t k : study.config.ks) {
       const auto& c = study.cell(dev.vendor, k);
       times.push_back(c.time_s * 1e3);
-      csv.row(dev.name, simt::model_name(c.pm), k, c.time_s * 1e3);
+      csv.row(dev.name, simt::model_name(c.pm), k, c.time_s * 1e3, c.wall_s,
+              c.mtasks_per_s());
     }
     chart.add_series(simt::vendor_name(dev.vendor), times);
   }
@@ -47,6 +52,33 @@ int main() {
   std::cout << "  NVIDIA k=77 / k=21: "
             << model::TextTable::fmt(nv77.time_s / nv21.time_s, 2)
             << "x (paper ~0.76x) [expect ~1]\n";
-  std::cout << "\nCSV: " << csv.path() << "\n";
+
+  // The BENCH record: the kernel-time grid with host-side throughput
+  // (wall-clock of the cell's simulated run; 0 when served from cache).
+  const std::string json_path =
+      model::results_dir() + "/BENCH_kernel_time.json";
+  {
+    std::ofstream js(json_path);
+    js << "{\n"
+       << "  \"bench\": \"fig5_kernel_time\",\n"
+       << "  \"scale\": " << study.config.scale << ",\n"
+       << "  \"seed\": " << study.config.seed << ",\n"
+       << "  \"cells\": [\n";
+    bool first = true;
+    for (const auto& dev : study.devices) {
+      for (std::uint32_t k : study.config.ks) {
+        const auto& c = study.cell(dev.vendor, k);
+        js << (first ? "" : ",\n") << "    {\"device\": \"" << dev.name
+           << "\", \"k\": " << k << ", \"modeled_ms\": " << c.time_s * 1e3
+           << ", \"wall_s\": " << c.wall_s
+           << ", \"warp_tasks\": " << c.num_warps
+           << ", \"mtasks_per_s\": " << c.mtasks_per_s() << "}";
+        first = false;
+      }
+    }
+    js << "\n  ]\n}\n";
+  }
+  std::cout << "JSON: " << json_path << "\n";
+  bench::write_artifacts(std::cout, csv, &study);
   return 0;
 }

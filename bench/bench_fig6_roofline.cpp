@@ -13,7 +13,8 @@ int main() {
   const model::StudyResults study = bench::cached_study();
   bench::print_banner(std::cout, "Figure 6: INTOP roofline models", study);
 
-  model::CsvWriter csv(model::results_dir() + "/fig6_roofline.csv",
+  model::CsvWriter csv = bench::bench_csv(
+      "fig6_roofline",
                        {"device", "k", "ii", "gintops", "ceiling", "bound",
                         "machine_balance"});
 
@@ -75,6 +76,6 @@ int main() {
   std::cout << "\npaper shape: A100 compute-bound at every k; MI250X memory-"
                "bound at small k with markers drifting with k; Max 1550's "
                "markers move upper-right with k\n";
-  std::cout << "\nCSV: " << csv.path() << "\n";
+  bench::write_artifacts(std::cout, csv, &study);
   return 0;
 }

@@ -13,7 +13,8 @@ int main() {
   bench::print_banner(std::cout,
                       "Figure 7: A100 vs MI250X (CUDA vs HIP)", study);
 
-  model::CsvWriter csv(model::results_dir() + "/fig7_nvidia_vs_amd.csv",
+  model::CsvWriter csv = bench::bench_csv(
+      "fig7_nvidia_vs_amd",
                        {"k", "amd_gintops", "nvidia_gintops", "amd_gbytes",
                         "nvidia_gbytes"});
 
@@ -52,6 +53,6 @@ int main() {
             << (perf_above ? "YES" : "NO") << "\n";
   std::cout << "  every point below diagonal in (b) — AMD moves more bytes: "
             << (bytes_below ? "YES" : "NO") << "\n";
-  std::cout << "\nCSV: " << csv.path() << "\n";
+  bench::write_artifacts(std::cout, csv, &study);
   return 0;
 }

@@ -13,7 +13,8 @@ int main() {
   bench::print_banner(std::cout,
                       "Figure 8: A100 vs Max 1550 (CUDA vs SYCL)", study);
 
-  model::CsvWriter csv(model::results_dir() + "/fig8_nvidia_vs_intel.csv",
+  model::CsvWriter csv = bench::bench_csv(
+      "fig8_nvidia_vs_intel",
                        {"k", "intel_gintops", "nvidia_gintops",
                         "intel_gbytes", "nvidia_gbytes"});
 
@@ -64,6 +65,6 @@ int main() {
             << (perf_above_small_k ? "YES" : "NO") << "\n";
   std::cout << "  SYCL run time competitive or shorter at k >= 55: "
             << (intel_competitive_large_k ? "YES" : "NO") << "\n";
-  std::cout << "\nCSV: " << csv.path() << "\n";
+  bench::write_artifacts(std::cout, csv, &study);
   return 0;
 }

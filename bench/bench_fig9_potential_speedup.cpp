@@ -20,8 +20,8 @@ int main() {
   plot.set_x_range(0, 100);
   plot.set_y_range(0, 100);
 
-  model::CsvWriter csv(
-      model::results_dir() + "/fig9_potential_speedup.csv",
+  model::CsvWriter csv = bench::bench_csv(
+      "fig9_potential_speedup",
       {"device", "k", "pct_theoretical_ai", "pct_roofline",
        "speedup_by_improving_ai", "speedup_by_improving_perf"});
 
@@ -54,6 +54,6 @@ int main() {
   std::cout << "observed envelope: max %AI "
             << model::TextTable::fmt(max_x, 1) << ", max %roofline "
             << model::TextTable::fmt(max_y, 1) << "\n";
-  std::cout << "\nCSV: " << csv.path() << "\n";
+  bench::write_artifacts(std::cout, csv, &study);
   return 0;
 }

@@ -29,7 +29,8 @@ int main() {
 
   model::TextTable t({"L2 MB", "width 16 (ms)", "width 32 (ms)",
                       "width 64 (ms)"});
-  model::CsvWriter csv(model::results_dir() + "/projection_hardware.csv",
+  model::CsvWriter csv = bench::bench_csv(
+      "projection_hardware",
                        {"l2_mb", "warp_width", "time_ms", "arch_eff",
                         "intensity"});
 
@@ -61,6 +62,6 @@ int main() {
                "subsystem with large cache sizes is more suitable for "
                "workloads like local assembly\"; narrow sub-groups reduce "
                "the predication cost of the serial walk\n";
-  std::cout << "\nCSV: " << csv.path() << "\n";
+  bench::write_artifacts(std::cout, csv);
   return 0;
 }

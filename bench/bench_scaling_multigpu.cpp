@@ -27,7 +27,8 @@ int main() {
 
   model::TextTable t({"ranks", "makespan (ms)", "speed-up", "efficiency",
                       "balance"});
-  model::CsvWriter csv(model::results_dir() + "/scaling_multigpu.csv",
+  model::CsvWriter csv = bench::bench_csv(
+      "scaling_multigpu",
                        {"ranks", "makespan_ms", "speedup", "efficiency",
                         "balance"});
 
@@ -49,6 +50,6 @@ int main() {
   std::cout << "\nexpected: near-linear up to the point where per-rank "
                "contig counts stop filling the device (the same "
                "underutilisation that penalises the k=77 datasets)\n";
-  std::cout << "\nCSV: " << csv.path() << "\n";
+  bench::write_artifacts(std::cout, csv);
   return 0;
 }

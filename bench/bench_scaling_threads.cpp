@@ -104,8 +104,8 @@ int main(int argc, char** argv) {
   model::TextTable table(
       {"threads", "wall (ms)", "speed-up", "efficiency", "MTasks/s",
        "identical"});
-  model::CsvWriter csv(
-      model::results_dir() + "/scaling_threads.csv",
+  model::CsvWriter csv = bench::bench_csv(
+      "scaling_threads",
       {"threads", "wall_ms", "speedup", "efficiency", "mtasks_per_s",
        "identical"});
 
@@ -171,6 +171,7 @@ int main(int argc, char** argv) {
     }
     js << "  ]\n}\n";
   }
-  std::cout << "\nCSV : " << csv.path() << "\nJSON: " << json_path << "\n";
+  std::cout << "JSON: " << json_path << "\n";
+  bench::write_artifacts(std::cout, csv);
   return all_identical ? 0 : 1;
 }

@@ -24,11 +24,12 @@ int main() {
              "simulated Max 1550 (1 tile), SYCL sub-group protocol"});
   t.render(std::cout);
 
-  model::CsvWriter csv(model::results_dir() + "/table1_platforms.csv",
+  model::CsvWriter csv = bench::bench_csv(
+      "table1_platforms",
                        {"system", "accelerator", "model", "substitute"});
   csv.row("Perlmutter", "NVIDIA A100", "CUDA", "simulated A100");
   csv.row("Frontier", "AMD MI250X", "HIP", "simulated MI250X 1 GCD");
   csv.row("Sunspot", "Intel Max 1550", "SYCL", "simulated Max 1550 1 tile");
-  std::cout << "\nCSV: " << csv.path() << "\n";
+  bench::write_artifacts(std::cout, csv);
   return 0;
 }

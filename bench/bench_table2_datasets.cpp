@@ -19,7 +19,8 @@ int main() {
   model::TextTable t({"k", "contigs", "reads", "avg read len",
                       "hash insertions", "avg extn len", "total extns",
                       "paper extn (full scale)"});
-  model::CsvWriter csv(model::results_dir() + "/table2_datasets.csv",
+  model::CsvWriter csv = bench::bench_csv(
+      "table2_datasets",
                        {"k", "contigs", "reads", "avg_read_len",
                         "insertions", "avg_extn", "total_extns",
                         "paper_avg_extn"});
@@ -50,6 +51,6 @@ int main() {
   std::cout << "\npaper full-scale row check: insertions = reads x (len-k+1)"
                " (10,011,465 / 2,593,467 / 1,473,920 / 775,962)\n";
   std::cout << "expected shape: average extension length rises with k\n";
-  std::cout << "\nCSV: " << csv.path() << "\n";
+  bench::write_artifacts(std::cout, csv);
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "model/ascii_plot.hpp"
+#include "bench/common.hpp"
 #include "model/csv.hpp"
 #include "simt/device.hpp"
 
@@ -14,8 +15,8 @@ int main() {
   model::TextTable t({"Board", "Compute units", "L1 cache", "L2 cache",
                       "Memory", "warp/subgroup", "peak GINTOPS",
                       "HBM GB/s", "machine balance"});
-  model::CsvWriter csv(
-      model::results_dir() + "/table3_architecture.csv",
+  model::CsvWriter csv = bench::bench_csv(
+      "table3_architecture",
       {"board", "cus", "l1_per_cu_bytes", "l2_bytes", "hbm_bytes",
        "warp_width", "peak_gintops", "hbm_bw_gbps", "machine_balance"});
 
@@ -36,6 +37,6 @@ int main() {
                " MI250X 110 CUs per GCD / 16KB / 8MB per die;"
                " Max 1550 64 Xe-cores per tile / 204MB L2 per tile\n";
   std::cout << "machine balances annotated in Fig. 6: 0.23 / 0.23 / 0.09\n";
-  std::cout << "\nCSV: " << csv.path() << "\n";
+  bench::write_artifacts(std::cout, csv);
   return 0;
 }

@@ -15,7 +15,8 @@ int main() {
 
   model::TextTable t({"dataset k", "NVIDIA A100 (CUDA)", "AMD MI250X (HIP)",
                       "Intel Max 1550 (SYCL)", "P_arch"});
-  model::CsvWriter csv(model::results_dir() + "/table4_arch_efficiency.csv",
+  model::CsvWriter csv = bench::bench_csv(
+      "table4_arch_efficiency",
                        {"k", "nvidia", "amd", "intel", "p_arch"});
 
   const auto matrix = study.arch_eff_matrix();
@@ -36,6 +37,6 @@ int main() {
                "average 15.5%\n";
   std::cout << "expected shape: efficiencies of similar magnitude across "
                "devices (good portability)\n";
-  std::cout << "\nCSV: " << csv.path() << "\n";
+  bench::write_artifacts(std::cout, csv, &study);
   return 0;
 }

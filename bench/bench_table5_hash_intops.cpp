@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "model/ascii_plot.hpp"
+#include "bench/common.hpp"
 #include "model/csv.hpp"
 #include "model/theoretical.hpp"
 #include "workload/dataset.hpp"
@@ -15,7 +16,8 @@ int main() {
   model::TextTable t({"dataset (k-mer size)", "21", "33", "55", "77"});
   std::vector<std::string> init{"Initialization"}, mix{"Mix Loop"},
       clean{"Cleanup"}, feed{"Key feed (loads+folds)"}, total{"INTOP1"};
-  model::CsvWriter csv(model::results_dir() + "/table5_hash_intops.csv",
+  model::CsvWriter csv = bench::bench_csv(
+      "table5_hash_intops",
                        {"k", "initialization", "mix_loop", "cleanup",
                         "key_feed", "intop1"});
 
@@ -37,6 +39,6 @@ int main() {
   std::cout << "\npaper INTOP1 row: 215 / 305 / 457 / 635 (exact match "
                "required; the paper's own component rows omit the key-feed "
                "ops included in its totals)\n";
-  std::cout << "\nCSV: " << csv.path() << "\n";
+  bench::write_artifacts(std::cout, csv);
   return 0;
 }

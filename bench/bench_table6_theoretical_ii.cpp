@@ -3,6 +3,7 @@
 #include <iostream>
 
 #include "model/ascii_plot.hpp"
+#include "bench/common.hpp"
 #include "model/csv.hpp"
 #include "model/theoretical.hpp"
 #include "workload/dataset.hpp"
@@ -13,7 +14,8 @@ int main() {
   std::cout << "== Table VI: theoretical II calculations ==\n\n";
   model::TextTable t({"k-mer size", "INTOPs per loop cycle",
                       "Bytes per loop cycle", "INTOP Intensity (II)"});
-  model::CsvWriter csv(model::results_dir() + "/table6_theoretical_ii.csv",
+  model::CsvWriter csv = bench::bench_csv(
+      "table6_theoretical_ii",
                        {"k", "intops_per_cycle", "bytes_per_cycle", "ii"});
 
   for (std::uint32_t k : workload::kTable2Ks) {
@@ -26,6 +28,6 @@ int main() {
   t.render(std::cout);
   std::cout << "\npaper rows: 430/89/4.831, 610/125/4.880, 914/191/4.785, "
                "1270/257/4.942 (exact match required)\n";
-  std::cout << "\nCSV: " << csv.path() << "\n";
+  bench::write_artifacts(std::cout, csv);
   return 0;
 }

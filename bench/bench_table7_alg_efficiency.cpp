@@ -15,7 +15,8 @@ int main() {
 
   model::TextTable t({"dataset k", "NVIDIA A100 (CUDA)", "AMD MI250X (HIP)",
                       "Intel Max 1550 (SYCL)", "P_alg"});
-  model::CsvWriter csv(model::results_dir() + "/table7_alg_efficiency.csv",
+  model::CsvWriter csv = bench::bench_csv(
+      "table7_alg_efficiency",
                        {"k", "nvidia", "amd", "intel", "p_alg"});
 
   const auto matrix = study.alg_eff_matrix();
@@ -36,6 +37,6 @@ int main() {
                "rising, AMD 55.4->28.9% falling; average P_alg 19.4%\n";
   std::cout << "expected shape: NVIDIA & Intel algorithm efficiency increases "
                "with k (larger caches exploited)\n";
-  std::cout << "\nCSV: " << csv.path() << "\n";
+  bench::write_artifacts(std::cout, csv, &study);
   return 0;
 }

@@ -5,11 +5,12 @@
 #include <sstream>
 
 #include "model/csv.hpp"
+#include "trace/export.hpp"
 
 namespace lassm::bench {
 
 namespace {
-constexpr int kCacheVersion = 4;
+constexpr int kCacheVersion = 5;
 
 /// Any change to the device presets must invalidate cached studies.
 std::uint64_t device_fingerprint() {
@@ -69,7 +70,7 @@ bool load_cache(const std::string& path, const model::StudyConfig& cfg,
     if (!(in >> vendor >> pm >> c.k >> c.time_s >> c.gintops >> c.intensity >>
           c.ii_l1 >> c.ii_l2 >> c.hbm_gbytes >> c.arch_eff >> c.alg_eff >>
           c.theoretical_ii >> c.intops >> c.insertions >> c.walk_steps >>
-          c.mer_retries >> c.extension_bases)) {
+          c.mer_retries >> c.extension_bases >> c.wall_s >> c.num_warps)) {
       return false;
     }
     c.pm = static_cast<simt::ProgrammingModel>(pm);
@@ -97,7 +98,8 @@ void save_cache(const std::string& path, const model::StudyResults& study) {
         << ' ' << c.ii_l1 << ' ' << c.ii_l2 << ' ' << c.hbm_gbytes << ' '
         << c.arch_eff << ' ' << c.alg_eff << ' ' << c.theoretical_ii << ' '
         << c.intops << ' ' << c.insertions << ' ' << c.walk_steps << ' '
-        << c.mer_retries << ' ' << c.extension_bases << '\n';
+        << c.mer_retries << ' ' << c.extension_bases << ' ' << c.wall_s
+        << ' ' << c.num_warps << '\n';
   }
 }
 
@@ -112,6 +114,13 @@ std::string study_cache_path(const model::StudyConfig& cfg) {
 
 model::StudyResults cached_study() {
   model::StudyConfig cfg = model::study_config_from_env();
+  if (!cfg.trace_path.empty()) {
+    // The trace (and the live metrics snapshot behind it) can only come
+    // from a real run; the cache holds neither. Skip both load and save so
+    // a traced bench never poisons, or is poisoned by, the cache.
+    std::cerr << "[bench] LASSM_TRACE set -> bypassing study cache\n";
+    return model::run_study(cfg, &std::cerr);
+  }
   const std::string path = study_cache_path(cfg);
   model::StudyResults study;
   if (load_cache(path, cfg, study)) {
@@ -133,6 +142,29 @@ void print_banner(std::ostream& os, const char* experiment,
      << "\n";
   os << " (shape reproduction; absolute numbers are model estimates)\n";
   os << "================================================================\n";
+}
+
+model::CsvWriter bench_csv(const std::string& stem,
+                           std::vector<std::string> header) {
+  return model::CsvWriter(model::results_dir() + "/" + stem + ".csv",
+                          std::move(header));
+}
+
+void write_artifacts(std::ostream& os, const model::CsvWriter& csv,
+                     const model::StudyResults* study) {
+  os << "\nCSV: " << csv.path() << "\n";
+  if (study == nullptr || !study->traced) return;
+  std::string metrics_path = csv.path();
+  const std::string suffix = ".csv";
+  if (metrics_path.size() >= suffix.size() &&
+      metrics_path.compare(metrics_path.size() - suffix.size(),
+                           suffix.size(), suffix) == 0) {
+    metrics_path.resize(metrics_path.size() - suffix.size());
+  }
+  metrics_path += ".metrics.json";
+  if (trace::write_metrics_json_file(metrics_path, study->metrics)) {
+    os << "metrics: " << metrics_path << "\n";
+  }
 }
 
 }  // namespace lassm::bench

@@ -2,7 +2,9 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
+#include "model/csv.hpp"
 #include "model/study.hpp"
 
 /// Shared harness for the per-table/per-figure bench binaries: every bench
@@ -12,7 +14,9 @@
 /// LASSM_STUDY_SEED) to force a re-run.
 namespace lassm::bench {
 
-/// Loads the cached study or runs it (logging progress to stderr).
+/// Loads the cached study or runs it (logging progress to stderr). When
+/// LASSM_TRACE is set the disk cache is bypassed (the trace has to come
+/// from a real run) — modelled numbers are bit-identical either way.
 model::StudyResults cached_study();
 
 /// Path of the cache file for a config.
@@ -21,5 +25,16 @@ std::string study_cache_path(const model::StudyConfig& cfg);
 /// Prints the standard bench banner (config provenance).
 void print_banner(std::ostream& os, const char* experiment,
                   const model::StudyResults& study);
+
+/// Opens the bench's CSV artifact at `results_dir()/<stem>.csv` — the one
+/// way every bench names its data file.
+model::CsvWriter bench_csv(const std::string& stem,
+                           std::vector<std::string> header);
+
+/// The shared bench epilogue: prints the CSV path, and — when the study
+/// was traced (LASSM_TRACE) — writes the aggregate metrics snapshot next
+/// to the CSV as `<stem>.metrics.json` and prints that path too.
+void write_artifacts(std::ostream& os, const model::CsvWriter& csv,
+                     const model::StudyResults* study = nullptr);
 
 }  // namespace lassm::bench

@@ -14,9 +14,12 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "core/assembler.hpp"
 #include "core/reference.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 #include "workload/dataset.hpp"
 
 namespace {
@@ -34,8 +37,10 @@ void write_result(std::ostream& os,
 
 int main(int argc, char** argv) {
   using namespace lassm;
+  const trace::TraceCli tcli = trace::parse_trace_cli(argc, argv);
   if (argc != 4) {
     std::cerr << "usage: ht_loc <input file> <k-mer length> <output file>\n"
+                 "       [--trace t.json] [--metrics m.json]\n"
                  "       LASSM_DEVICE=nvidia|amd|intel|reference (default "
                  "nvidia)\n";
     return 2;
@@ -84,7 +89,13 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  core::LocalAssembler assembler(dev);
+  core::AssemblyOptions aopts;
+  std::unique_ptr<trace::Tracer> tracer;
+  if (tcli.enabled()) {
+    tracer = std::make_unique<trace::Tracer>();
+    aopts.trace = tracer.get();
+  }
+  core::LocalAssembler assembler(dev, aopts);
   const core::AssemblyResult r = assembler.run(input);
   write_result(out_file, r.extensions);
   std::cerr << "ht_loc: " << dev.name << " ("
@@ -92,5 +103,16 @@ int main(int argc, char** argv) {
             << input.contigs.size() << " contigs, "
             << r.total_extension_bases() << " extension bases, modelled "
             << r.total_time_s * 1e3 << " ms -> " << argv[3] << "\n";
+  if (tracer != nullptr) {
+    if (!tcli.trace_path.empty() &&
+        trace::write_chrome_trace_file(tcli.trace_path, *tracer)) {
+      std::cerr << "ht_loc: trace -> " << tcli.trace_path << "\n";
+    }
+    if (!tcli.metrics_path.empty() &&
+        trace::write_metrics_json_file(tcli.metrics_path,
+                                       tracer->metrics().snapshot())) {
+      std::cerr << "ht_loc: metrics -> " << tcli.metrics_path << "\n";
+    }
+  }
   return 0;
 }

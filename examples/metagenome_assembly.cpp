@@ -5,15 +5,23 @@
 // the production ladder k = 21, 33, 55, 77 on a chosen device model.
 //
 //   ./metagenome_assembly [nvidia|amd|intel] [num_species] [coverage] [threads]
+//                         [--trace t.json] [--metrics m.json]
+//
+// `--trace` (or LASSM_TRACE) records the whole pipeline — stage spans, one
+// sim timeline per k-round's launches, per-worker host tracks — as Chrome
+// trace JSON for ui.perfetto.dev.
 
 #include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "bio/fasta.hpp"
 #include "bio/rng.hpp"
 #include "pipeline/pipeline.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -30,6 +38,7 @@ std::string random_genome(lassm::bio::Xoshiro256& rng, std::size_t len) {
 int main(int argc, char** argv) {
   using namespace lassm;
 
+  const trace::TraceCli tcli = trace::parse_trace_cli(argc, argv);
   simt::DeviceSpec device = simt::DeviceSpec::a100();
   if (argc > 1) {
     if (std::strcmp(argv[1], "amd") == 0) device = simt::DeviceSpec::mi250x_gcd();
@@ -90,6 +99,11 @@ int main(int argc, char** argv) {
   // 3) Assemble on the chosen device model.
   pipeline::PipelineOptions opts;
   opts.assembly.n_threads = n_threads;
+  std::unique_ptr<trace::Tracer> tracer;
+  if (tcli.enabled()) {
+    tracer = std::make_unique<trace::Tracer>();
+    opts.assembly.trace = tracer.get();
+  }
   const pipeline::PipelineResult result =
       pipeline::run_pipeline(reads, device, opts, &std::cout);
 
@@ -109,5 +123,18 @@ int main(int argc, char** argv) {
   std::ofstream fasta("assembly.fasta");
   bio::write_fasta(fasta, result.contigs);
   std::cout << "  contigs written to assembly.fasta\n";
+
+  if (tracer != nullptr) {
+    if (!tcli.trace_path.empty() &&
+        trace::write_chrome_trace_file(tcli.trace_path, *tracer)) {
+      std::cout << "  trace written to " << tcli.trace_path
+                << " (open at ui.perfetto.dev)\n";
+    }
+    if (!tcli.metrics_path.empty() &&
+        trace::write_metrics_json_file(tcli.metrics_path,
+                                       tracer->metrics().snapshot())) {
+      std::cout << "  metrics written to " << tcli.metrics_path << "\n";
+    }
+  }
   return 0;
 }

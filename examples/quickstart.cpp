@@ -2,22 +2,29 @@
 // GPU kernel on the NVIDIA A100 model, verify against the CPU reference,
 // and print the performance counters the paper's analysis is built on.
 //
-//   ./quickstart [k] [num_contigs] [threads]
+//   ./quickstart [k] [num_contigs] [threads] [--trace t.json] [--metrics m.json]
 //
 // `threads` drives the host-side execution engine (0 = all hardware
 // threads, 1 = serial); the results are bit-identical either way.
+// `--trace` (or LASSM_TRACE) writes a Chrome trace of the run — open it at
+// ui.perfetto.dev; `--metrics` dumps the metrics registry as JSON. Tracing
+// never changes the modelled numbers.
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 
 #include "core/assembler.hpp"
 #include "core/reference.hpp"
 #include "model/theoretical.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 #include "workload/dataset.hpp"
 
 int main(int argc, char** argv) {
   using namespace lassm;
 
+  const trace::TraceCli tcli = trace::parse_trace_cli(argc, argv);
   const std::uint32_t k = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 21;
   const std::uint32_t n_contigs =
       argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 200;
@@ -38,6 +45,11 @@ int main(int argc, char** argv) {
   // 2) Run the local assembly kernel on the A100 device model (CUDA port).
   core::AssemblyOptions aopts;
   aopts.n_threads = n_threads;
+  std::unique_ptr<trace::Tracer> tracer;
+  if (tcli.enabled()) {
+    tracer = std::make_unique<trace::Tracer>();
+    aopts.trace = tracer.get();
+  }
   core::LocalAssembler assembler(simt::DeviceSpec::a100(), aopts);
   core::AssemblyResult result = assembler.run(input);
 
@@ -75,6 +87,29 @@ int main(int argc, char** argv) {
   core::LocalAssembler::apply(input, result);
   std::cout << "contigs grew from " << before << " to "
             << bio::total_contig_bases(input.contigs) << " bases\n";
+
+  // 5) Export the observability artifacts, if requested.
+  if (tracer != nullptr) {
+    if (!tcli.trace_path.empty()) {
+      if (trace::write_chrome_trace_file(tcli.trace_path, *tracer)) {
+        std::cout << "trace written to " << tcli.trace_path
+                  << " (open at ui.perfetto.dev)\n";
+      } else {
+        std::cerr << "quickstart: cannot write " << tcli.trace_path << "\n";
+        return 1;
+      }
+    }
+    if (!tcli.metrics_path.empty()) {
+      if (trace::write_metrics_json_file(tcli.metrics_path,
+                                         tracer->metrics().snapshot())) {
+        std::cout << "metrics written to " << tcli.metrics_path << "\n";
+      } else {
+        std::cerr << "quickstart: cannot write " << tcli.metrics_path
+                  << "\n";
+        return 1;
+      }
+    }
+  }
 
   return mismatches == 0 ? 0 : 1;
 }

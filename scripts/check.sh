@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Race-checking gate for the parallel execution engine.
+# Race-checking gate for the parallel execution engine and the tracing
+# layer riding on it.
 #
-# Configures a second build tree with warnings + ThreadSanitizer and runs
-# the engine's determinism/parallelism tests under TSan, so the scheduler
-# lands race-clean and stays that way. Usage:
+# Configures a second build tree with warnings + ThreadSanitizer, runs the
+# engine's determinism/parallelism tests and the tracer's span/metrics
+# tests under TSan, then drives a traced multi-threaded end-to-end run and
+# validates the emitted trace/metrics JSON with python3 -m json.tool. Any
+# race, test failure or malformed JSON fails the script. Usage:
 #
 #   scripts/check.sh [build-dir]     # default: build-tsan
 set -euo pipefail
@@ -16,9 +19,9 @@ cmake -B "$BUILD" -S . \
   -DCMAKE_CXX_FLAGS="-Wall -Wextra -fsanitize=thread" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
   -DLASSM_BUILD_BENCH=OFF \
-  -DLASSM_BUILD_EXAMPLES=OFF
+  -DLASSM_BUILD_EXAMPLES=ON
 
-cmake --build "$BUILD" -j --target tests_core
+cmake --build "$BUILD" -j --target tests_core tests_trace quickstart
 
 # The parallel-assembler suite drives the pool across thread counts, batch
 # shapes, steal interleavings and the error path; any data race in the
@@ -26,5 +29,22 @@ cmake --build "$BUILD" -j --target tests_core
 TSAN_OPTIONS="halt_on_error=1" \
   "$BUILD/tests/tests_core" \
   --gtest_filter='ParallelAssembler.*:ExecutionEngine.*'
+
+# The trace suite hammers the same pool with per-worker span buffers and
+# wait-free metric recording enabled — the tracer's deterministic-merge and
+# registry paths must be race-clean too.
+TSAN_OPTIONS="halt_on_error=1" "$BUILD/tests/tests_trace"
+
+# Traced multi-threaded end-to-end run: the emitted Chrome trace and
+# metrics snapshot must be valid JSON (json.tool exits non-zero on either
+# a write failure above or malformed output).
+TRACE_OUT="$BUILD/check_trace.json"
+METRICS_OUT="$BUILD/check_metrics.json"
+TSAN_OPTIONS="halt_on_error=1" \
+  "$BUILD/examples/quickstart" 21 40 4 \
+  --trace "$TRACE_OUT" --metrics "$METRICS_OUT"
+python3 -m json.tool "$TRACE_OUT" > /dev/null
+python3 -m json.tool "$METRICS_OUT" > /dev/null
+echo "check.sh: trace/metrics JSON valid."
 
 echo "check.sh: TSan run clean."

@@ -9,6 +9,7 @@
 #include "core/exec.hpp"
 #include "core/ladder.hpp"
 #include "memsim/tiered.hpp"
+#include "trace/trace.hpp"
 
 namespace lassm::core {
 
@@ -58,7 +59,170 @@ BatchLayout layout_batch(const AssemblyInput& in, const Batch& batch,
   return lay;
 }
 
+const char* side_name(Side s) noexcept {
+  return s == Side::kRight ? "right" : "left";
+}
+
+const char* bound_name(simt::TimeBreakdown::Bound b) noexcept {
+  switch (b) {
+    case simt::TimeBreakdown::Bound::kIssue: return "issue";
+    case simt::TimeBreakdown::Bound::kMemory: return "memory";
+    case simt::TimeBreakdown::Bound::kLatency: break;
+  }
+  return "latency";
+}
+
+/// Reconstructs one launch's simulated-device timeline and records the
+/// per-warp distributions. Runs on the driver thread after the
+/// deterministic merge, from modelled cycle counts only — so the emitted
+/// sim spans are bit-identical across host thread counts.
+void emit_launch_trace(trace::Tracer& tracer, const simt::DeviceSpec& dev,
+                       const LaunchBreakdown& launch,
+                       const std::vector<WarpResult>& outcomes) {
+  const std::size_t n_tasks = outcomes.size();
+  trace::MetricsRegistry& reg = tracer.metrics();
+  trace::Histogram& probe_hist = reg.histogram(
+      trace::names::kHistProbeRounds, trace::Histogram::pow2_bounds(0, 7));
+  trace::Histogram& walk_hist = reg.histogram(
+      trace::names::kHistWalkLen, trace::Histogram::pow2_bounds(0, 9));
+  trace::Histogram& rung_hist = reg.histogram(
+      trace::names::kHistRungsPerTask, trace::Histogram::pow2_bounds(0, 4));
+
+  // Place every warp onto an SM-equivalent lane (greedy earliest-finish in
+  // merge order), then scale the makespan onto the modelled launch time.
+  const std::string process = "sim:" + dev.name;
+  const std::uint32_t max_lanes = static_cast<std::uint32_t>(
+      std::clamp<std::uint64_t>(n_tasks, 1, dev.num_cus));
+  trace::SimTimeline tl(tracer, process, max_lanes);
+  std::vector<trace::SimTimeline::Placement> places;
+  places.reserve(n_tasks);
+  for (const WarpResult& wr : outcomes) {
+    places.push_back(tl.place(wr.counters.cycles));
+  }
+  tl.seal(launch.time.total_s * 1e6);
+
+  const std::string launch_name = std::string("launch ") +
+                                  side_name(launch.side) + " batch " +
+                                  std::to_string(launch.batch);
+  trace::Event ev;
+  ev.kind = trace::Event::Kind::kComplete;
+  ev.track = tracer.track(process, "launches");
+  ev.name = launch_name;
+  ev.cat = "sim";
+  ev.ts_us = tl.start_us();
+  ev.dur_us = tl.end_us() - tl.start_us();
+  ev.args = {
+      trace::Arg::n("warps", static_cast<double>(launch.stats.num_warps)),
+      trace::Arg::n("instructions",
+                    static_cast<double>(launch.stats.totals.instructions)),
+      trace::Arg::n("hbm_bytes",
+                    static_cast<double>(launch.stats.traffic.hbm_bytes())),
+      trace::Arg::s("bound", bound_name(launch.time.bound)),
+      trace::Arg::n("modeled_us", launch.time.total_s * 1e6),
+  };
+  tracer.record(std::move(ev));
+
+  for (std::size_t pos = 0; pos < n_tasks; ++pos) {
+    const WarpResult& wr = outcomes[pos];
+    const trace::SimTimeline::Placement& p = places[pos];
+    const std::uint32_t track = tl.lane_track(p.lane);
+    const double warp_ts = tl.to_us(p.start_cycles);
+    const double warp_end = tl.to_us(p.start_cycles + wr.counters.cycles);
+    trace::Event warp;
+    warp.track = track;
+    warp.name = "warp " + std::to_string(pos);
+    warp.ts_us = warp_ts;
+    warp.dur_us = warp_end - warp_ts;
+    warp.args = {
+        trace::Arg::n("cycles", static_cast<double>(wr.counters.cycles)),
+        trace::Arg::n("probes", static_cast<double>(wr.counters.probes)),
+        trace::Arg::s("outcome", walk_state_name(wr.final_state)),
+        trace::Arg::n("mer", wr.accepted_mer),
+    };
+    tracer.record(std::move(warp));
+
+    if (wr.trace == nullptr) continue;
+    rung_hist.observe(wr.trace->rungs.size());
+    for (const WarpTaskTrace::Rung& rung : wr.trace->rungs) {
+      probe_hist.observe(rung.probe_rounds);
+      walk_hist.observe(rung.walk_len);
+      reg.counter(std::string(trace::names::kWalkOutcomePrefix) +
+                  walk_state_name(rung.state))
+          .add();
+
+      const double rung_ts = tl.to_us(p.start_cycles + rung.start_cycles);
+      const double mid =
+          tl.to_us(p.start_cycles + rung.construct_end_cycles);
+      const double rung_end = tl.to_us(p.start_cycles + rung.end_cycles);
+      trace::Event re;
+      re.track = track;
+      re.name = "rung mer=" + std::to_string(rung.mer);
+      re.ts_us = rung_ts;
+      re.dur_us = rung_end - rung_ts;
+      re.args = {
+          trace::Arg::n("probe_rounds",
+                        static_cast<double>(rung.probe_rounds)),
+          trace::Arg::n("walk_len", rung.walk_len),
+          trace::Arg::s("state", walk_state_name(rung.state)),
+      };
+      tracer.record(std::move(re));
+      trace::Event ce;
+      ce.track = track;
+      ce.name = "construct";
+      ce.ts_us = rung_ts;
+      ce.dur_us = mid - rung_ts;
+      tracer.record(std::move(ce));
+      trace::Event we;
+      we.track = track;
+      we.name = "walk";
+      we.ts_us = mid;
+      we.dur_us = rung_end - mid;
+      tracer.record(std::move(we));
+    }
+  }
+}
+
 }  // namespace
+
+void record_run_metrics(const AssemblyResult& result,
+                        trace::MetricsRegistry& registry) {
+  const simt::WarpCounters& t = result.stats.totals;
+  registry.counter(trace::names::kInstructions).add(t.instructions);
+  registry.counter(trace::names::kIntops).add(result.stats.intop_count());
+  registry.counter(trace::names::kIssueSlots).add(t.issue_slots);
+  registry.counter(trace::names::kCycles).add(t.cycles);
+  registry.counter(trace::names::kProbes).add(t.probes);
+  registry.counter(trace::names::kInsertions).add(t.insertions);
+  registry.counter(trace::names::kWalkSteps).add(t.walk_steps);
+  registry.counter(trace::names::kAtomics).add(t.atomics);
+  registry.counter(trace::names::kMerRetries).add(t.mer_retries);
+
+  const memsim::TrafficStats& m = result.stats.traffic;
+  registry.counter(trace::names::kMemAccesses).add(m.accesses);
+  registry.counter(trace::names::kMemLinesTouched).add(m.lines_touched);
+  registry.counter(trace::names::kMemL1Hits).add(m.l1_hits);
+  registry.counter(trace::names::kMemL2Hits).add(m.l2_hits);
+  registry.counter(trace::names::kMemHbmLines).add(m.hbm_lines);
+  registry.counter(trace::names::kMemHbmReadBytes).add(m.hbm_read_bytes);
+  registry.counter(trace::names::kMemHbmWriteBytes).add(m.hbm_write_bytes);
+  if (m.lines_touched > 0) {
+    registry.gauge(trace::names::kMemL1HitRate)
+        .set(static_cast<double>(m.l1_hits) /
+             static_cast<double>(m.lines_touched));
+    registry.gauge(trace::names::kMemL2HitRate)
+        .set(static_cast<double>(m.l2_hits) /
+             static_cast<double>(m.lines_touched));
+  }
+
+  registry.counter(trace::names::kLaunches)
+      .add(result.launches.empty() ? result.stats.num_kernel_launches
+                                   : result.launches.size());
+  registry.counter(trace::names::kLaunchWarps).add(result.stats.num_warps);
+
+  trace::Histogram& cycles_hist = registry.histogram(
+      trace::names::kHistWarpCycles, trace::Histogram::pow2_bounds(8, 24));
+  for (std::uint64_t c : result.stats.warp_cycles) cycles_hist.observe(c);
+}
 
 AssemblyResult LocalAssembler::run(const AssemblyInput& in) const {
   if (in.left_reads.size() != in.contigs.size() ||
@@ -95,9 +259,17 @@ AssemblyResult LocalAssembler::run(const AssemblyInput& in) const {
                                                    n_threads);
   }
 
+  // Observability is strictly read-only: spans and metrics are recorded
+  // from counters the run produces anyway, after the deterministic merge,
+  // so every modelled number is bit-identical with tracing on or off.
+  trace::Tracer* const tracer = opts_.trace;
+  const std::uint32_t driver_track =
+      tracer != nullptr ? tracer->track("host", "driver") : 0;
+
   for (Side side : {Side::kRight, Side::kLeft}) {
     const bio::ReadSet& reads = side == Side::kRight ? in.reads : rc_reads;
     if (side == Side::kLeft && !any_left) continue;
+    const double side_t0 = tracer != nullptr ? tracer->host_now_us() : 0.0;
 
     for (std::uint32_t b = 0; b < batches.size(); ++b) {
       const Batch& batch = batches[b];
@@ -158,6 +330,8 @@ AssemblyResult LocalAssembler::run(const AssemblyInput& in) const {
         outcomes[pos] = std::move(wr);
       };
 
+      const double launch_t0 =
+          tracer != nullptr ? tracer->host_now_us() : 0.0;
       if (engine != nullptr) {
         engine->run_batch(n_tasks, concurrency, process);
       } else {
@@ -177,8 +351,30 @@ AssemblyResult LocalAssembler::run(const AssemblyInput& in) const {
       }
 
       launch.time = simt::estimate_time(dev_, launch.stats);
+      if (tracer != nullptr) {
+        trace::Event he;
+        he.track = driver_track;
+        he.name = std::string("launch ") + side_name(side) + " batch " +
+                  std::to_string(b);
+        he.cat = "host";
+        he.ts_us = launch_t0;
+        he.dur_us = tracer->host_now_us() - launch_t0;
+        he.args = {trace::Arg::n("warps", static_cast<double>(n_tasks))};
+        tracer->record(std::move(he));
+        emit_launch_trace(*tracer, dev_, launch, outcomes);
+      }
       result.stats.merge(launch.stats);
       result.launches.push_back(std::move(launch));
+    }
+
+    if (tracer != nullptr) {
+      trace::Event se;
+      se.track = driver_track;
+      se.name = std::string("side ") + side_name(side);
+      se.cat = "host";
+      se.ts_us = side_t0;
+      se.dur_us = tracer->host_now_us() - side_t0;
+      tracer->record(std::move(se));
     }
   }
   // Batches are offloaded asynchronously (the MetaHipMer GPU driver keeps
@@ -187,6 +383,7 @@ AssemblyResult LocalAssembler::run(const AssemblyInput& in) const {
   // per-launch times (which would serialise every bin's straggler).
   result.time = simt::estimate_time(dev_, result.stats);
   result.total_time_s = result.time.total_s;
+  if (tracer != nullptr) record_run_metrics(result, tracer->metrics());
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include "core/kernel.hpp"
 #include "core/options.hpp"
 #include "simt/perf_model.hpp"
+#include "trace/metrics.hpp"
 
 namespace lassm::core {
 
@@ -91,5 +92,14 @@ class LocalAssembler {
   simt::ProgrammingModel pm_;
   AssemblyOptions opts_;
 };
+
+/// Records a finished run's aggregate counters under the canonical metric
+/// names (trace::names): kernel totals, memory traffic plus derived
+/// per-level hit-rate gauges, launch counts and the warp-cycle
+/// distribution. Called by LocalAssembler::run on the tracer's registry
+/// when tracing, and by the vendor-profiler emulation to derive its
+/// reports from the same registry nomenclature.
+void record_run_metrics(const AssemblyResult& result,
+                        trace::MetricsRegistry& registry);
 
 }  // namespace lassm::core

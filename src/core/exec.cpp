@@ -15,9 +15,21 @@ WarpExecutionEngine::WarpExecutionEngine(const simt::DeviceSpec& dev,
                                          const AssemblyOptions& opts,
                                          unsigned n_threads)
     : dev_(dev), pm_(pm), opts_(opts),
-      n_threads_(resolve_threads(n_threads)) {
+      n_threads_(resolve_threads(n_threads)), tracer_(opts.trace) {
   contexts_.resize(n_threads_);
   context_concurrency_.assign(n_threads_, 0);
+  if (tracer_ != nullptr) {
+    // Register every worker's host track (and the claim/steal counters) up
+    // front so nothing in the hot loop has to take the tracer mutex.
+    worker_tracks_.reserve(n_threads_);
+    for (unsigned wid = 0; wid < n_threads_; ++wid) {
+      worker_tracks_.push_back(
+          tracer_->track("host", "worker " + std::to_string(wid)));
+    }
+    worker_buffers_.resize(n_threads_);
+    claims_metric_ = &tracer_->metrics().counter(trace::names::kExecClaims);
+    steals_metric_ = &tracer_->metrics().counter(trace::names::kExecSteals);
+  }
   pool_.reserve(n_threads_ - 1);
   for (unsigned wid = 1; wid < n_threads_; ++wid) {
     pool_.emplace_back([this, wid] { worker_loop(wid); });
@@ -54,13 +66,33 @@ void WarpExecutionEngine::work_on(Job& job, unsigned wid) {
     // so once every worker's sweep comes up dry the batch is fully
     // assigned, and the barrier below waits out the in-flight tasks.
     for (unsigned round = 0; round < job.participants; ++round) {
-      Segment& seg = job.segments[(wid + round) % job.participants];
+      const unsigned owner = (wid + round) % job.participants;
+      Segment& seg = job.segments[owner];
       for (;;) {
         const std::size_t begin = seg.next.fetch_add(
             job.chunk, std::memory_order_relaxed);
         if (begin >= seg.end) break;
         const std::size_t end = std::min(seg.end, begin + job.chunk);
-        for (std::size_t i = begin; i < end; ++i) (*job.body)(i, ctx);
+        if (tracer_ == nullptr) {
+          for (std::size_t i = begin; i < end; ++i) (*job.body)(i, ctx);
+        } else {
+          const bool stolen = owner != wid;
+          const double t0 = tracer_->host_now_us();
+          for (std::size_t i = begin; i < end; ++i) (*job.body)(i, ctx);
+          const double t1 = tracer_->host_now_us();
+          trace::Tracer::Buffer& buf = worker_buffers_[wid];
+          if (stolen) {
+            buf.instant(worker_tracks_[wid], "steal", "host", t0,
+                        {trace::Arg::n("from", owner)});
+            steals_metric_->add();
+          }
+          buf.complete(worker_tracks_[wid], "chunk", "host", t0, t1 - t0,
+                       {trace::Arg::n("first", static_cast<double>(begin)),
+                        trace::Arg::n("count",
+                                      static_cast<double>(end - begin)),
+                        trace::Arg::n("segment", owner)});
+          claims_metric_->add();
+        }
       }
     }
   } catch (...) {
@@ -135,6 +167,13 @@ void WarpExecutionEngine::run_batch(
              job.participants;
     });
     job_ = nullptr;
+  }
+  if (tracer_ != nullptr) {
+    // Deterministic merge: thread-local span buffers drain in worker-id
+    // order once the launch barrier has passed.
+    for (unsigned w = 0; w < job.participants; ++w) {
+      tracer_->absorb(worker_buffers_[w]);
+    }
   }
   if (job.error) std::rethrow_exception(job.error);
 }

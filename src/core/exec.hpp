@@ -12,6 +12,7 @@
 #include "core/kernel.hpp"
 #include "core/options.hpp"
 #include "simt/device.hpp"
+#include "trace/trace.hpp"
 
 namespace lassm::core {
 
@@ -43,6 +44,14 @@ unsigned resolve_threads(unsigned n_threads) noexcept;
 /// (hash-table slab, lane array, walk buffer, tiered-cache hierarchy) that
 /// is reset — never reallocated — between tasks, and reconfigured in place
 /// when a batch's warp concurrency changes the fair-share cache slices.
+///
+/// Observability: when AssemblyOptions::trace is set, each worker records
+/// wall-clock chunk spans and steal instants into its own span buffer (one
+/// host track per worker); buffers are absorbed into the tracer in
+/// worker-id order after the launch barrier, so the merge is
+/// deterministic. Claim/steal totals land on the tracer's metrics
+/// registry. With tracing off the only cost is one pointer check per
+/// chunk.
 class WarpExecutionEngine {
  public:
   /// Spawns `resolve_threads(n_threads) - 1` pool threads; the thread
@@ -98,6 +107,13 @@ class WarpExecutionEngine {
   simt::ProgrammingModel pm_;
   AssemblyOptions opts_;
   unsigned n_threads_;
+
+  /// Observability (all null/empty when opts_.trace is unset).
+  trace::Tracer* tracer_ = nullptr;
+  std::vector<std::uint32_t> worker_tracks_;     ///< host track per worker
+  std::vector<trace::Tracer::Buffer> worker_buffers_;
+  trace::Counter* claims_metric_ = nullptr;
+  trace::Counter* steals_metric_ = nullptr;
 
   /// Per-worker contexts (index = worker id); each is touched only by its
   /// owning thread while a job runs.

@@ -63,6 +63,10 @@ WarpResult WarpKernelContext::run(const WarpTask& task) {
   std::uint32_t best_mer = 0;
   bool have_result = false;
 
+  // Tracing reads the task's own modelled counters and never writes them,
+  // so traced runs are bit-identical to untraced ones.
+  if (opts_.trace != nullptr) res.trace = std::make_unique<WarpTaskTrace>();
+
   // Iterative walks (the artifact's iterative_walks_kernel): reconstruct
   // and walk at every rung of the descending mer ladder, keeping the
   // longest accepted walk; the largest mer wins ties (highest confidence).
@@ -72,9 +76,25 @@ WarpResult WarpKernelContext::run(const WarpTask& task) {
     if (!first_rung) ++ctr.mer_retries;
     first_rung = false;
 
+    const std::uint64_t rung_start_cycles = ctr.cycles;
+    const std::uint64_t rung_start_probes = ctr.probes;
+
     table_.reset(slots, task.table_sim_base);
     construct(task, mer, mem, ctr);
+    const std::uint64_t construct_end_cycles = ctr.cycles;
     WalkOutcome walk = merwalk(task, mer, mem, ctr);
+
+    if (res.trace != nullptr) {
+      WarpTaskTrace::Rung r;
+      r.mer = mer;
+      r.start_cycles = rung_start_cycles;
+      r.construct_end_cycles = construct_end_cycles;
+      r.end_cycles = ctr.cycles;
+      r.probe_rounds = ctr.probes - rung_start_probes;
+      r.walk_len = static_cast<std::uint32_t>(walk.walk.size());
+      r.state = walk.state;
+      res.trace->rungs.push_back(r);
+    }
 
     // Longest walk wins; ties keep the earlier (larger, higher-confidence)
     // mer. A fork- or loop-terminated walk still contributes its bases up

@@ -1,9 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "bio/read.hpp"
 #include "core/loc_ht.hpp"
@@ -56,6 +58,25 @@ struct WarpTask {
   std::uint32_t kmer_len = 0;
 };
 
+/// Per-task trace record, produced only when AssemblyOptions::trace is set:
+/// warp-local cycle offsets of every ladder rung's construct and walk
+/// phases plus the per-rung outcome. Offsets are read from the task's own
+/// modelled cycle counter — recording is purely observational, so traced
+/// and untraced runs stay bit-identical. The assembler maps these offsets
+/// onto the simulated-device timeline after the deterministic merge.
+struct WarpTaskTrace {
+  struct Rung {
+    std::uint32_t mer = 0;
+    std::uint64_t start_cycles = 0;          ///< rung begin (construct start)
+    std::uint64_t construct_end_cycles = 0;  ///< construct end == walk start
+    std::uint64_t end_cycles = 0;            ///< walk end
+    std::uint64_t probe_rounds = 0;          ///< hash probes this rung
+    std::uint32_t walk_len = 0;              ///< bases walked this rung
+    WalkState state = WalkState::kMissing;
+  };
+  std::vector<Rung> rungs;
+};
+
 /// Outcome of one warp's work on one contig end.
 struct WarpResult {
   std::string extension;                  ///< bases appended rightward
@@ -63,6 +84,7 @@ struct WarpResult {
   WalkState final_state = WalkState::kMissing;
   simt::WarpCounters counters;
   memsim::TrafficStats traffic;
+  std::unique_ptr<WarpTaskTrace> trace;   ///< null unless tracing
 };
 
 /// Executes contig-end warps for one kernel launch. The context owns the

@@ -4,6 +4,10 @@
 
 #include "bio/quality.hpp"
 
+namespace lassm::trace {
+class Tracer;
+}
+
 namespace lassm::core {
 
 /// Tunables of the local assembly kernel. Defaults follow the MetaHipMer
@@ -52,6 +56,14 @@ struct AssemblyOptions {
   /// extensions, counters, traffic and modelled time are bit-identical for
   /// every value (see DESIGN.md "Parallel execution engine").
   unsigned n_threads = 0;
+
+  /// Observability sink (non-owning): when set, the run records host spans
+  /// (launches, workers, steals), reconstructs the simulated-device
+  /// timeline and fills the tracer's metrics registry. Null = tracing off,
+  /// at near-zero cost (pointer checks only). Tracing never perturbs a
+  /// modelled number: extensions, counters, traffic and modelled time are
+  /// bit-identical with tracing on or off (see DESIGN.md "Observability").
+  trace::Tracer* trace = nullptr;
 
   /// Phred score at or above which an extension vote counts as high
   /// quality.

@@ -10,8 +10,33 @@ namespace lassm::model {
 
 namespace {
 
+/// The three quantities every emulated tool derives, pulled once from the
+/// canonical metric names so the profiler can never drift from what the
+/// observability layer records.
+struct ProfiledRun {
+  double intops = 0;
+  double hbm_read_bytes = 0;
+  double hbm_write_bytes = 0;
+  double time_s = 0;
+
+  double hbm_bytes() const noexcept {
+    return hbm_read_bytes + hbm_write_bytes;
+  }
+};
+
+ProfiledRun read_run(const trace::MetricsSnapshot& m, double time_s) {
+  ProfiledRun run;
+  run.intops = static_cast<double>(m.value(trace::names::kIntops));
+  run.hbm_read_bytes =
+      static_cast<double>(m.value(trace::names::kMemHbmReadBytes));
+  run.hbm_write_bytes =
+      static_cast<double>(m.value(trace::names::kMemHbmWriteBytes));
+  run.time_s = time_s;
+  return run;
+}
+
 ProfileReport ncu_report(const simt::DeviceSpec& dev,
-                         const core::AssemblyResult& r) {
+                         const ProfiledRun& r) {
   // Artifact recipe:
   //   ncu --metrics "smsp__inst_executed.sum, dram__bytes.sum,
   //                  sm__cycles_elapsed.avg, ...avg.per_second"
@@ -21,25 +46,23 @@ ProfileReport ncu_report(const simt::DeviceSpec& dev,
   ProfileReport rep;
   rep.tool = "ncu (emulated)";
   rep.kernel_name = "iterative_walks_kernel";
-  const double cycles = r.total_time_s * dev.perf.clock_ghz * 1e9;
+  const double cycles = r.time_s * dev.perf.clock_ghz * 1e9;
   rep.counters = {
-      {"smsp__inst_executed.sum",
-       static_cast<double>(r.stats.intop_count()),
+      {"smsp__inst_executed.sum", r.intops,
        "warp-level instruction issues"},
-      {"dram__bytes.sum", static_cast<double>(r.stats.traffic.hbm_bytes()),
-       "HBM read+write bytes"},
+      {"dram__bytes.sum", r.hbm_bytes(), "HBM read+write bytes"},
       {"sm__cycles_elapsed.avg", cycles, "elapsed SM cycles"},
       {"sm__cycles_elapsed.avg.per_second", dev.perf.clock_ghz * 1e9,
        "SM clock"},
   };
-  rep.derived_intops = static_cast<double>(r.stats.intop_count());
-  rep.derived_hbm_bytes = static_cast<double>(r.stats.traffic.hbm_bytes());
-  rep.derived_time_s = r.total_time_s;
+  rep.derived_intops = r.intops;
+  rep.derived_hbm_bytes = r.hbm_bytes();
+  rep.derived_time_s = r.time_s;
   return rep;
 }
 
 ProfileReport rocprof_report(const simt::DeviceSpec& dev,
-                             const core::AssemblyResult& r) {
+                             const ProfiledRun& r) {
   // Artifact recipe:
   //   pmc: SQ_INSTS_VALU_INT32 SQ_INSTS_VALU_INT64
   //   pmc: TCC_EA_RDREQ_sum TCC_EA_RDREQ_32B_sum
@@ -51,11 +74,9 @@ ProfileReport rocprof_report(const simt::DeviceSpec& dev,
   ProfileReport rep;
   rep.tool = "rocprof (emulated)";
   rep.kernel_name = "iterative_walks_kernel";
-  const double wavefront_instr = static_cast<double>(r.stats.intop_count());
-  const double rd_req = static_cast<double>(r.stats.traffic.hbm_read_bytes) /
-                        dev.line_bytes;
-  const double wr_req = static_cast<double>(r.stats.traffic.hbm_write_bytes) /
-                        dev.line_bytes;
+  const double wavefront_instr = r.intops;
+  const double rd_req = r.hbm_read_bytes / dev.line_bytes;
+  const double wr_req = r.hbm_write_bytes / dev.line_bytes;
   rep.counters = {
       {"SQ_INSTS_VALU_INT32", wavefront_instr,
        "wavefront VALU integer instructions (all INT32 here)"},
@@ -69,41 +90,48 @@ ProfileReport rocprof_report(const simt::DeviceSpec& dev,
   rep.derived_intops = 64.0 * wavefront_instr;
   rep.derived_hbm_bytes =
       static_cast<double>(dev.line_bytes) * (rd_req + wr_req);
-  rep.derived_time_s = r.total_time_s;
+  rep.derived_time_s = r.time_s;
   return rep;
 }
 
 ProfileReport advisor_report(const simt::DeviceSpec& dev,
-                             const core::AssemblyResult& r) {
+                             const ProfiledRun& r) {
   // Artifact recipe: advisor --collect=roofline --profile-gpu; kernel
   // time, INTOPs and HBM bytes come from the HTML report.
   ProfileReport rep;
   rep.tool = "advisor (emulated)";
   rep.kernel_name = "iterative_walks_kernel";
   rep.counters = {
-      {"GPU INT Operations", static_cast<double>(r.stats.intop_count()),
+      {"GPU INT Operations", r.intops,
        "integer op count (roofline numerator)"},
-      {"GTI/Memory Bytes", static_cast<double>(r.stats.traffic.hbm_bytes()),
-       "bytes to device memory"},
-      {"Elapsed Time (s)", r.total_time_s, "kernel wall clock"},
+      {"GTI/Memory Bytes", r.hbm_bytes(), "bytes to device memory"},
+      {"Elapsed Time (s)", r.time_s, "kernel wall clock"},
       {"Peak INT GOPS", dev.peak_gintops, "roofline ceiling"},
   };
-  rep.derived_intops = static_cast<double>(r.stats.intop_count());
-  rep.derived_hbm_bytes = static_cast<double>(r.stats.traffic.hbm_bytes());
-  rep.derived_time_s = r.total_time_s;
+  rep.derived_intops = r.intops;
+  rep.derived_hbm_bytes = r.hbm_bytes();
+  rep.derived_time_s = r.time_s;
   return rep;
 }
 
 }  // namespace
 
 ProfileReport profile(const simt::DeviceSpec& dev,
-                      const core::AssemblyResult& result) {
+                      const trace::MetricsSnapshot& metrics, double time_s) {
+  const ProfiledRun run = read_run(metrics, time_s);
   switch (dev.vendor) {
-    case simt::Vendor::kNvidia: return ncu_report(dev, result);
-    case simt::Vendor::kAmd: return rocprof_report(dev, result);
-    case simt::Vendor::kIntel: return advisor_report(dev, result);
+    case simt::Vendor::kNvidia: return ncu_report(dev, run);
+    case simt::Vendor::kAmd: return rocprof_report(dev, run);
+    case simt::Vendor::kIntel: return advisor_report(dev, run);
   }
-  return ncu_report(dev, result);
+  return ncu_report(dev, run);
+}
+
+ProfileReport profile(const simt::DeviceSpec& dev,
+                      const core::AssemblyResult& result) {
+  trace::MetricsRegistry registry;
+  core::record_run_metrics(result, registry);
+  return profile(dev, registry.snapshot(), result.total_time_s);
 }
 
 void print_profile(std::ostream& os, const ProfileReport& report) {

@@ -7,6 +7,7 @@
 
 #include "core/assembler.hpp"
 #include "simt/device.hpp"
+#include "trace/metrics.hpp"
 
 /// Vendor-profiler emulation: renders the simulator's counters in the
 /// nomenclature of the tools the artifact appendix drives (Nsight Compute
@@ -31,7 +32,16 @@ struct ProfileReport {
   double derived_time_s = 0;
 };
 
-/// Builds the per-vendor counter report for a finished run.
+/// Builds the per-vendor counter report from a metrics snapshot recorded
+/// under the canonical trace::names dictionary (the registry the tracer
+/// carries, or one populated ad hoc by core::record_run_metrics). This is
+/// the primary entry point: the emulated vendor tools read the same
+/// registry the observability layer exports.
+ProfileReport profile(const simt::DeviceSpec& dev,
+                      const trace::MetricsSnapshot& metrics, double time_s);
+
+/// Convenience wrapper: records `result`'s counters into a scratch registry
+/// (core::record_run_metrics) and profiles its snapshot.
 ProfileReport profile(const simt::DeviceSpec& dev,
                       const core::AssemblyResult& result);
 

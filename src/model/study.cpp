@@ -1,13 +1,17 @@
 #include "model/study.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <memory>
 #include <ostream>
 #include <stdexcept>
 
 #include "model/roofline.hpp"
 #include "model/theoretical.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 
 namespace lassm::model {
 
@@ -24,6 +28,9 @@ StudyConfig study_config_from_env() {
     const long v = std::atol(s);
     if (v >= 0) cfg.opts.n_threads = static_cast<unsigned>(v);
   }
+  if (const char* s = std::getenv("LASSM_TRACE"); s != nullptr && *s != 0) {
+    cfg.trace_path = s;
+  }
   return cfg;
 }
 
@@ -31,9 +38,14 @@ StudyCell run_cell(const simt::DeviceSpec& dev, simt::ProgrammingModel pm,
                    const core::AssemblyInput& input,
                    const core::AssemblyOptions& opts) {
   core::LocalAssembler assembler(dev, pm, opts);
+  const auto wall_start = std::chrono::steady_clock::now();
   const core::AssemblyResult r = assembler.run(input);
+  const auto wall_end = std::chrono::steady_clock::now();
 
   StudyCell cell;
+  cell.wall_s =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  cell.num_warps = r.stats.num_warps;
   cell.device_name = dev.name;
   cell.vendor = dev.vendor;
   cell.pm = pm;
@@ -84,10 +96,21 @@ StudyResults run_study(const StudyConfig& config, std::ostream* progress) {
     }
   }
 
+  // One tracer spans the whole grid: every (device, k) run lands on the
+  // same timeline (sim launches concatenate via the tracer's cursor) and
+  // one aggregate metrics registry. Tracing reads counters the runs
+  // produce anyway, so traced and untraced studies are bit-identical.
+  std::unique_ptr<trace::Tracer> tracer;
+  core::AssemblyOptions opts = config.opts;
+  if (!config.trace_path.empty()) {
+    tracer = std::make_unique<trace::Tracer>();
+    opts.trace = tracer.get();
+  }
+
   for (const simt::DeviceSpec& dev : results.devices) {
     const simt::ProgrammingModel pm = dev.native_model;
     for (std::size_t i = 0; i < config.ks.size(); ++i) {
-      StudyCell cell = run_cell(dev, pm, datasets[i], config.opts);
+      StudyCell cell = run_cell(dev, pm, datasets[i], opts);
       if (progress != nullptr) {
         *progress << dev.name << " (" << simt::model_name(pm) << ") k="
                   << cell.k << ": time=" << cell.time_s * 1e3
@@ -96,6 +119,15 @@ StudyResults run_study(const StudyConfig& config, std::ostream* progress) {
                   << ", GB=" << cell.hbm_gbytes << "\n";
       }
       results.cells.push_back(std::move(cell));
+    }
+  }
+
+  if (tracer != nullptr) {
+    results.metrics = tracer->metrics().snapshot();
+    results.traced = true;
+    if (trace::write_chrome_trace_file(config.trace_path, *tracer) &&
+        progress != nullptr) {
+      *progress << "trace written to " << config.trace_path << "\n";
     }
   }
   return results;

@@ -7,6 +7,7 @@
 #include "core/assembler.hpp"
 #include "model/roofline.hpp"
 #include "simt/device.hpp"
+#include "trace/metrics.hpp"
 #include "workload/dataset.hpp"
 
 /// The cross-vendor study harness: runs the local assembly kernel on every
@@ -25,11 +26,16 @@ struct StudyConfig {
   /// When true (default) each device runs its native programming model
   /// (CUDA / HIP / SYCL), as the study did.
   bool native_models = true;
+  /// When non-empty, run_study traces every run into one tracer and writes
+  /// the Chrome trace JSON here (set from LASSM_TRACE by
+  /// study_config_from_env). Tracing never changes modelled numbers.
+  std::string trace_path;
 };
 
-/// Reads LASSM_STUDY_SCALE / LASSM_STUDY_SEED / LASSM_THREADS from the
-/// environment (the latter sets opts.n_threads: host threads driving the
-/// simulated warps; results are bit-identical for every value).
+/// Reads LASSM_STUDY_SCALE / LASSM_STUDY_SEED / LASSM_THREADS /
+/// LASSM_TRACE from the environment (LASSM_THREADS sets opts.n_threads:
+/// host threads driving the simulated warps; results are bit-identical for
+/// every value. LASSM_TRACE names a Chrome trace JSON output path).
 StudyConfig study_config_from_env();
 
 /// One (device, k) measurement with every derived metric.
@@ -54,12 +60,26 @@ struct StudyCell {
   std::uint64_t walk_steps = 0;
   std::uint64_t mer_retries = 0;
   std::uint64_t extension_bases = 0;
+
+  double wall_s = 0.0;         ///< host wall-clock of the simulated run
+  std::uint64_t num_warps = 0; ///< warp tasks executed (for MTasks/s)
+
+  /// Host-side simulation throughput in millions of warp tasks per second.
+  double mtasks_per_s() const noexcept {
+    return wall_s <= 0.0 ? 0.0
+                         : static_cast<double>(num_warps) / wall_s / 1e6;
+  }
 };
 
 struct StudyResults {
   StudyConfig config;
   std::vector<simt::DeviceSpec> devices;  ///< paper order: NVIDIA, AMD, Intel
   std::vector<StudyCell> cells;           ///< device-major, then k
+
+  /// Aggregate metrics snapshot of the whole grid (canonical trace::names);
+  /// populated only when config.trace_path was set (traced == true).
+  trace::MetricsSnapshot metrics;
+  bool traced = false;
 
   const StudyCell& cell(simt::Vendor vendor, std::uint32_t k) const;
 

@@ -4,18 +4,45 @@
 
 #include "core/reference.hpp"
 #include "pipeline/kmer_analysis.hpp"
+#include "trace/trace.hpp"
 
 namespace lassm::pipeline {
+
+namespace {
+
+/// Records a completed host-side stage span on the pipeline's driver track;
+/// a no-op (two pointer checks) when tracing is off.
+void record_stage(trace::Tracer* tracer, std::uint32_t track,
+                  std::string name, double t0) {
+  if (tracer == nullptr) return;
+  trace::Event e;
+  e.track = track;
+  e.name = std::move(name);
+  e.cat = "host";
+  e.ts_us = t0;
+  e.dur_us = tracer->host_now_us() - t0;
+  tracer->record(std::move(e));
+}
+
+}  // namespace
 
 PipelineResult run_pipeline(const bio::ReadSet& reads,
                             const simt::DeviceSpec& device,
                             const PipelineOptions& opts, std::ostream* log) {
   PipelineResult result;
 
+  trace::Tracer* const tracer = opts.assembly.trace;
+  const std::uint32_t driver_track =
+      tracer != nullptr ? tracer->track("host", "driver") : 0;
+  const double pipeline_t0 =
+      tracer != nullptr ? tracer->host_now_us() : 0.0;
+
   // Stage 1: k-mer analysis with error filtering.
+  double stage_t0 = pipeline_t0;
   KmerCounts counts = count_kmers(reads, opts.contig_k);
   result.kmers_total = counts.size();
   result.kmers_filtered = filter_low_count(counts, opts.min_kmer_count);
+  record_stage(tracer, driver_track, "kmer_analysis", stage_t0);
   if (log != nullptr) {
     *log << "[pipeline] k-mer analysis: " << result.kmers_total
          << " distinct k-mers, " << result.kmers_filtered
@@ -23,9 +50,11 @@ PipelineResult run_pipeline(const bio::ReadSet& reads,
   }
 
   // Stage 2: global de Bruijn graph -> contigs.
+  stage_t0 = tracer != nullptr ? tracer->host_now_us() : 0.0;
   result.contigs =
       generate_contigs(counts, opts.contig_k, opts.min_contig_len,
                        &result.dbg);
+  record_stage(tracer, driver_track, "contig_generation", stage_t0);
   if (log != nullptr) {
     *log << "[pipeline] contig generation: " << result.contigs.size()
          << " contigs, " << bio::total_contig_bases(result.contigs)
@@ -34,6 +63,8 @@ PipelineResult run_pipeline(const bio::ReadSet& reads,
 
   // Stage 3: iterative {alignment -> local assembly} over the k ladder.
   for (std::uint32_t k : opts.k_iterations) {
+    const double round_t0 =
+        tracer != nullptr ? tracer->host_now_us() : 0.0;
     AlignStats astats;
     core::AssemblyInput input = align_reads_to_ends(
         std::move(result.contigs), reads, k, opts.aligner, &astats);
@@ -66,6 +97,8 @@ PipelineResult run_pipeline(const bio::ReadSet& reads,
     report.contigs = result.contigs.size();
     report.total_bases = bio::total_contig_bases(result.contigs);
     report.n50 = bio::n50(result.contigs);
+    record_stage(tracer, driver_track, "k-round " + std::to_string(k),
+                 round_t0);
     result.iterations.push_back(report);
     if (log != nullptr) {
       *log << "[pipeline] local assembly k=" << k << ": mapped "
@@ -74,6 +107,7 @@ PipelineResult run_pipeline(const bio::ReadSet& reads,
            << ", kernel time=" << report.kernel_time_s * 1e3 << " ms\n";
     }
   }
+  record_stage(tracer, driver_track, "pipeline", pipeline_t0);
   return result;
 }
 

@@ -1,0 +1,258 @@
+#include "trace/export.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace lassm::trace {
+
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// JSON has no NaN/Inf; timestamps and counters are finite by
+/// construction, but keep the output valid regardless.
+void json_number(std::ostream& os, double v) {
+  if (v != v || v > 1e308 || v < -1e308) {
+    os << 0;
+    return;
+  }
+  std::ostringstream ss;
+  ss.precision(15);
+  ss << v;
+  os << ss.str();
+}
+
+void write_args(std::ostream& os, const std::vector<Arg>& args) {
+  os << "{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i != 0) os << ",";
+    json_escape(os, args[i].key);
+    os << ":";
+    if (args[i].is_num) {
+      json_number(os, args[i].num);
+    } else {
+      json_escape(os, args[i].str);
+    }
+  }
+  os << "}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const Tracer& tracer) {
+  const std::vector<TrackInfo> tracks = tracer.tracks();
+  const std::vector<Event> events = tracer.events();
+
+  // pid per distinct process (first-seen order), tid per track within it.
+  std::map<std::string, int> pids;
+  std::vector<int> track_pid(tracks.size());
+  std::vector<int> track_tid(tracks.size());
+  std::map<std::string, int> next_tid;
+  for (std::size_t i = 0; i < tracks.size(); ++i) {
+    auto [it, fresh] =
+        pids.emplace(tracks[i].process, static_cast<int>(pids.size()) + 1);
+    (void)fresh;
+    track_pid[i] = it->second;
+    track_tid[i] = next_tid[tracks[i].process]++;
+  }
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+
+  for (const auto& [process, pid] : pids) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":";
+    json_escape(os, process);
+    os << "}}";
+  }
+  for (std::size_t i = 0; i < tracks.size(); ++i) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << track_pid[i] << ",\"tid\":"
+       << track_tid[i] << ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    json_escape(os, tracks[i].thread);
+    os << "}}";
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << track_pid[i] << ",\"tid\":"
+       << track_tid[i]
+       << ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":"
+       << track_tid[i] << "}}";
+  }
+
+  for (const Event& e : events) {
+    if (e.track >= tracks.size()) continue;  // defensively skip bad ids
+    sep();
+    os << "{\"ph\":\"" << (e.kind == Event::Kind::kComplete ? "X" : "i")
+       << "\",\"pid\":" << track_pid[e.track] << ",\"tid\":"
+       << track_tid[e.track] << ",\"name\":";
+    json_escape(os, e.name);
+    os << ",\"cat\":\"" << e.cat << "\",\"ts\":";
+    json_number(os, e.ts_us);
+    if (e.kind == Event::Kind::kComplete) {
+      os << ",\"dur\":";
+      json_number(os, e.dur_us);
+    } else {
+      os << ",\"s\":\"t\"";
+    }
+    if (!e.args.empty()) {
+      os << ",\"args\":";
+      write_args(os, e.args);
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+namespace {
+
+// The trace path may point into a results directory no writer has created
+// yet (a traced bench exports before its CSV writer runs).
+std::ofstream open_for_write(const std::string& path) {
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+  }
+  return std::ofstream(path);
+}
+
+}  // namespace
+
+bool write_chrome_trace_file(const std::string& path, const Tracer& tracer) {
+  std::ofstream out = open_for_write(path);
+  if (!out) return false;
+  write_chrome_trace(out, tracer);
+  return static_cast<bool>(out);
+}
+
+void write_metrics_json(std::ostream& os, const MetricsSnapshot& snapshot) {
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : snapshot.counters) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    json_escape(os, name);
+    os << ": " << v;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : snapshot.gauges) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    json_escape(os, name);
+    os << ": ";
+    json_number(os, v);
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    json_escape(os, name);
+    os << ": {\"bounds\": [";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      os << (i ? "," : "") << h.bounds[i];
+    }
+    os << "], \"counts\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      os << (i ? "," : "") << h.counts[i];
+    }
+    os << "], \"count\": " << h.count << ", \"sum\": " << h.sum
+       << ", \"mean\": ";
+    json_number(os, h.mean());
+    os << ", \"p50\": " << h.quantile_bound(0.5)
+       << ", \"p90\": " << h.quantile_bound(0.9)
+       << ", \"p99\": " << h.quantile_bound(0.99) << "}";
+  }
+  os << "\n  }\n}\n";
+}
+
+bool write_metrics_json_file(const std::string& path,
+                             const MetricsSnapshot& snapshot) {
+  std::ofstream out = open_for_write(path);
+  if (!out) return false;
+  write_metrics_json(out, snapshot);
+  return static_cast<bool>(out);
+}
+
+void write_metrics_csv(std::ostream& os, const MetricsSnapshot& snapshot) {
+  os << "kind,name,field,value\n";
+  for (const auto& [name, v] : snapshot.counters) {
+    os << "counter," << name << ",value," << v << "\n";
+  }
+  for (const auto& [name, v] : snapshot.gauges) {
+    os << "gauge," << name << ",value," << v << "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    os << "histogram," << name << ",count," << h.count << "\n";
+    os << "histogram," << name << ",sum," << h.sum << "\n";
+    os << "histogram," << name << ",mean," << h.mean() << "\n";
+    os << "histogram," << name << ",p50," << h.quantile_bound(0.5) << "\n";
+    os << "histogram," << name << ",p90," << h.quantile_bound(0.9) << "\n";
+    os << "histogram," << name << ",p99," << h.quantile_bound(0.99) << "\n";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      os << "histogram," << name << ",le_";
+      if (i < h.bounds.size()) {
+        os << h.bounds[i];
+      } else {
+        os << "inf";
+      }
+      os << "," << h.counts[i] << "\n";
+    }
+  }
+}
+
+TraceCli parse_trace_cli(int& argc, char** argv) {
+  TraceCli cli;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const bool is_trace = std::strcmp(argv[i], "--trace") == 0;
+    const bool is_metrics = std::strcmp(argv[i], "--metrics") == 0;
+    if ((is_trace || is_metrics) && i + 1 < argc) {
+      (is_trace ? cli.trace_path : cli.metrics_path) = argv[i + 1];
+      ++i;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  if (cli.trace_path.empty()) {
+    if (const char* env = std::getenv("LASSM_TRACE"); env != nullptr &&
+        *env != '\0') {
+      cli.trace_path = env;
+    }
+  }
+  return cli;
+}
+
+}  // namespace lassm::trace

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
+/// Exporters for the observability subsystem.
+namespace lassm::trace {
+
+/// Writes the tracer's contents as Chrome trace-event JSON (the
+/// "traceEvents" object format): metadata events naming every process/
+/// thread track, then one "X" (complete) or "i" (instant) event per
+/// recorded span. The output opens directly in ui.perfetto.dev and in
+/// chrome://tracing.
+void write_chrome_trace(std::ostream& os, const Tracer& tracer);
+
+/// write_chrome_trace to `path`; returns false (without throwing) when the
+/// file cannot be opened.
+bool write_chrome_trace_file(const std::string& path, const Tracer& tracer);
+
+/// Writes a metrics snapshot as JSON: {"counters": {...}, "gauges": {...},
+/// "histograms": {name: {"bounds": [...], "counts": [...], "count": n,
+/// "sum": n, "mean": x, "p50": b, "p90": b, "p99": b}}}.
+void write_metrics_json(std::ostream& os, const MetricsSnapshot& snapshot);
+bool write_metrics_json_file(const std::string& path,
+                             const MetricsSnapshot& snapshot);
+
+/// Flat CSV rendering of a snapshot: kind,name,field,value — one row per
+/// counter/gauge and per histogram aggregate/bucket.
+void write_metrics_csv(std::ostream& os, const MetricsSnapshot& snapshot);
+
+/// Standard observability CLI of the example binaries: strips
+/// `--trace <path>` and `--metrics <path>` from argv (compacting it and
+/// adjusting argc so positional arguments keep working) and falls back to
+/// the LASSM_TRACE environment variable for the trace path.
+struct TraceCli {
+  std::string trace_path;    ///< Chrome trace JSON destination ("" = off)
+  std::string metrics_path;  ///< metrics snapshot destination ("" = off)
+  bool enabled() const noexcept {
+    return !trace_path.empty() || !metrics_path.empty();
+  }
+};
+TraceCli parse_trace_cli(int& argc, char** argv);
+
+}  // namespace lassm::trace

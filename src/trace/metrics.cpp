@@ -1,0 +1,136 @@
+#include "trace/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lassm::trace {
+
+std::uint64_t HistogramSnapshot::quantile_bound(double q) const noexcept {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile observation (1-based, ceiling), so q = 1.0 lands
+  // on the last observation and q -> 0 on the first.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             q * static_cast<double>(count) + 0.9999999999));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      return i < bounds.size() ? bounds[i] : bounds.back() + 1;
+    }
+  }
+  return bounds.empty() ? 0 : bounds.back() + 1;
+}
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: bounds must be non-empty");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument(
+        "Histogram: bounds must be strictly ascending");
+  }
+}
+
+void Histogram::observe(std::uint64_t v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx =
+      static_cast<std::size_t>(it - bounds_.begin());  // == size(): overflow
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.bounds = bounds_;
+  s.counts.reserve(counts_.size());
+  for (const auto& c : counts_) {
+    s.counts.push_back(c.load(std::memory_order_relaxed));
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<std::uint64_t> Histogram::pow2_bounds(unsigned lo, unsigned hi) {
+  std::vector<std::uint64_t> b;
+  for (unsigned e = lo; e <= hi; ++e) b.push_back(1ULL << e);
+  return b;
+}
+
+std::uint64_t MetricsSnapshot::value(std::string_view name) const noexcept {
+  const auto it = counters.find(std::string(name));
+  return it == counters.end() ? 0 : it->second;
+}
+
+MetricsSnapshot MetricsSnapshot::delta(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot d;
+  for (const auto& [name, v] : counters) {
+    const auto it = earlier.counters.find(name);
+    d.counters[name] = v - (it == earlier.counters.end() ? 0 : it->second);
+  }
+  d.gauges = gauges;
+  for (const auto& [name, h] : histograms) {
+    HistogramSnapshot hd = h;
+    const auto it = earlier.histograms.find(name);
+    if (it != earlier.histograms.end() &&
+        it->second.bounds == h.bounds) {
+      for (std::size_t i = 0; i < hd.counts.size(); ++i) {
+        hd.counts[i] -= it->second.counts[i];
+      }
+      hd.count -= it->second.count;
+      hd.sum -= it->second.sum;
+    }
+    d.histograms[name] = std::move(hd);
+  }
+  return d;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<std::uint64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    s.histograms[name] = h->snapshot();
+  }
+  return s;
+}
+
+}  // namespace lassm::trace
