@@ -58,11 +58,29 @@ int main() {
   const std::string json_path =
       model::results_dir() + "/BENCH_kernel_time.json";
   {
+    // Seed-build (commit de95621) sum of per-cell simulated-kernel
+    // wall-clock over this grid, measured on this machine before the
+    // fast-path overhaul — kept here so the JSON is always before/after.
+    constexpr double kBaselineTotalWallS = 3.5706;
+    double total_wall_s = 0.0;
+    for (const auto& dev : study.devices) {
+      for (std::uint32_t k : study.config.ks) {
+        total_wall_s += study.cell(dev.vendor, k).wall_s;
+      }
+    }
     std::ofstream js(json_path);
     js << "{\n"
        << "  \"bench\": \"fig5_kernel_time\",\n"
        << "  \"scale\": " << study.config.scale << ",\n"
        << "  \"seed\": " << study.config.seed << ",\n"
+       << "  \"total_wall_s\": " << total_wall_s << ",\n"
+       << "  \"baseline\": {\n"
+       << "    \"commit\": \"de95621 (pre fast-path overhaul)\",\n"
+       << "    \"total_wall_s\": " << kBaselineTotalWallS << "\n"
+       << "  },\n"
+       << "  \"wall_speedup\": "
+       << (total_wall_s > 0.0 ? kBaselineTotalWallS / total_wall_s : 0.0)
+       << ",\n"
        << "  \"cells\": [\n";
     bool first = true;
     for (const auto& dev : study.devices) {

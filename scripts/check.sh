@@ -3,10 +3,13 @@
 # layer riding on it.
 #
 # Configures a second build tree with warnings + ThreadSanitizer, runs the
-# engine's determinism/parallelism tests and the tracer's span/metrics
-# tests under TSan, then drives a traced multi-threaded end-to-end run and
-# validates the emitted trace/metrics JSON with python3 -m json.tool. Any
-# race, test failure or malformed JSON fails the script. Usage:
+# engine's determinism/parallelism tests, the memsim differential/golden
+# bit-identity suites and the tracer's span/metrics tests under TSan, then
+# drives a traced multi-threaded end-to-end run and validates the emitted
+# trace/metrics JSON with python3 -m json.tool. Finishes with a Release
+# perf smoke: the memsim hot-path bench must still beat its recorded seed
+# baseline. Any race, test failure, malformed JSON or perf regression
+# fails the script. Usage:
 #
 #   scripts/check.sh [build-dir]     # default: build-tsan
 set -euo pipefail
@@ -21,14 +24,22 @@ cmake -B "$BUILD" -S . \
   -DLASSM_BUILD_BENCH=OFF \
   -DLASSM_BUILD_EXAMPLES=ON
 
-cmake --build "$BUILD" -j --target tests_core tests_trace quickstart
+cmake --build "$BUILD" -j --target tests_core tests_trace tests_memsim quickstart
 
 # The parallel-assembler suite drives the pool across thread counts, batch
 # shapes, steal interleavings and the error path; any data race in the
-# engine or in the pooled kernel contexts trips TSan here.
+# engine or in the pooled kernel contexts trips TSan here. The golden
+# suite re-checks the seed-pinned whole-pipeline numbers at N threads, so
+# a fast path that is only "almost" bit-identical fails here too.
 TSAN_OPTIONS="halt_on_error=1" \
   "$BUILD/tests/tests_core" \
-  --gtest_filter='ParallelAssembler.*:ExecutionEngine.*'
+  --gtest_filter='ParallelAssembler.*:ExecutionEngine.*:GoldenBitIdentity.*'
+
+# The cache/tiered differential oracles under TSan: the memo, packed
+# recency and epoch paths must match the naive model access by access.
+TSAN_OPTIONS="halt_on_error=1" \
+  "$BUILD/tests/tests_memsim" \
+  --gtest_filter='*CacheDifferential*:TieredDifferentialTest.*'
 
 # The trace suite hammers the same pool with per-worker span buffers and
 # wait-free metric recording enabled — the tracer's deterministic-merge and
@@ -48,3 +59,25 @@ python3 -m json.tool "$METRICS_OUT" > /dev/null
 echo "check.sh: trace/metrics JSON valid."
 
 echo "check.sh: TSan run clean."
+
+# Release perf smoke: the hot-path bench carries its seed-build baseline;
+# demand the probe loop still clears a healthy margin over it (the
+# overhaul measured ~2.8x — 1.5x leaves room for machine noise without
+# letting a real regression through).
+PERF_BUILD="${BUILD}-perf"
+cmake -B "$PERF_BUILD" -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DLASSM_BUILD_BENCH=ON \
+  -DLASSM_BUILD_EXAMPLES=OFF > /dev/null
+cmake --build "$PERF_BUILD" -j --target bench_memsim_throughput > /dev/null
+LASSM_RESULTS_DIR="$PERF_BUILD/results" "$PERF_BUILD/bench/bench_memsim_throughput"
+python3 - "$PERF_BUILD/results/BENCH_memsim.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    j = json.load(f)
+speedup = j["speedup"]["probe"]
+print(f"check.sh: probe speedup vs seed baseline: {speedup:.2f}x")
+if speedup < 1.5:
+    sys.exit("check.sh: FAIL - memsim probe loop regressed below 1.5x of the recorded baseline")
+EOF
+echo "check.sh: perf smoke clean."

@@ -123,22 +123,34 @@ void WarpKernelContext::construct(const WarpTask& task, std::uint32_t mer,
                                   memsim::TieredMemory& mem,
                                   simt::WarpCounters& ctr) {
   // Table (re-)initialisation: streaming full-line stores over the slab,
-  // marking every slot EMPTY. All lanes participate.
+  // marking every slot EMPTY. All lanes participate. The bulk call bills
+  // one logical access per line, exactly like the per-line loop it
+  // replaced (see TieredMemory::stream_write_range).
   const std::uint64_t table_bytes = table_.footprint_bytes();
   const std::uint32_t line = mem.line_bytes();
-  for (std::uint64_t off = 0; off < table_bytes; off += line) {
-    mem.stream_write(task.table_sim_base + off, line);
-  }
+  mem.stream_write_range(task.table_sim_base, table_bytes);
   const std::uint64_t init_ops =
       (table_.slots() * ops::kTableInitPerSlot + width_ - 1) / width_;
   ctr.add_ops(init_ops, width_, width_);
   // Store issue throughput: ~4 lines per cycle per warp slice.
   ctr.cycles += table_bytes / line / 4;
 
+  const std::uint32_t n = table_.slots();
   for (std::uint32_t rid : task.read_ids) {
     const std::uint32_t len = (*task.reads)[rid].len;
     if (len < mer) continue;
     const std::uint32_t nk = len - mer + 1;
+    // Rolling slot precomputation: hash every overlapping k-mer of the
+    // read once, in one tight pass over the sequence bytes, instead of
+    // re-deriving views lane by lane inside the lockstep rounds. Values
+    // are identical to murmur_slot(km.ptr, mer, n) — n is a power of two,
+    // so the mask equals the modulo — and the modelled hash_call_intops
+    // are still charged per lane in insert_lockstep.
+    const char* seq = (*task.reads).seq(rid).data();
+    slot_pre_.resize(nk);
+    for (std::uint32_t pos = 0; pos < nk; ++pos) {
+      slot_pre_[pos] = bio::murmur_hash_aligned2(seq + pos, mer) & (n - 1);
+    }
     for (std::uint32_t base = 0; base < nk; base += width_) {
       const std::uint32_t active = std::min(width_, nk - base);
       for (std::uint32_t lane = 0; lane < active; ++lane) {
@@ -165,21 +177,21 @@ void WarpKernelContext::insert_lockstep(const WarpTask& task,
     const LaneState& ls = lanes_[lane];
     const bio::KmerView km =
         reads.kmer(ls.read_id, ls.pos, mer, task.reads_sim_base);
-    fetch_lvl = std::max(fetch_lvl, mem.read(km.sim_addr, mer));
+    fetch_lvl = std::max(fetch_lvl, mem.read_range(km.sim_addr, mer));
     const std::uint64_t qaddr =
         task.quals_sim_base + reads[ls.read_id].seq_off + ls.pos;
-    fetch_lvl = std::max(fetch_lvl, mem.read(qaddr, mer));
+    fetch_lvl = std::max(fetch_lvl, mem.read_range(qaddr, mer));
   }
   ctr.add_ops(ops::kInsertSetup, active, width_);
   ctr.add_mem_round(dev_.perf, fetch_lvl);
 
-  // Hash round: MurmurHashAligned2 per lane (Table V op counts).
+  // Hash round: MurmurHashAligned2 per lane (Table V op counts). The slot
+  // values were precomputed per read in construct(); the modelled cost is
+  // unchanged.
   ctr.add_ops(bio::hash_call_intops(mer), active, width_);
   for (std::uint32_t lane = 0; lane < active; ++lane) {
     LaneState& ls = lanes_[lane];
-    const bio::KmerView km =
-        reads.kmer(ls.read_id, ls.pos, mer, task.reads_sim_base);
-    ls.slot = bio::murmur_slot(km.ptr, mer, n);
+    ls.slot = slot_pre_[ls.pos];
   }
 
   // Lockstep probe loop: semantics identical across programming models
@@ -215,7 +227,7 @@ void WarpKernelContext::insert_lockstep(const WarpTask& task,
         --undone;
       } else {
         compared = true;
-        key_lvl = std::max(key_lvl, mem.read(e.key_sim_addr, e.key_len));
+        key_lvl = std::max(key_lvl, mem.read_range(e.key_sim_addr, e.key_len));
         if (e.key_len == mer && std::memcmp(e.key_ptr, km.ptr, mer) == 0) {
           ls.done = true;  // thread or cross-read collision on same k-mer
           --undone;
@@ -293,7 +305,7 @@ WarpKernelContext::WalkOutcome WarpKernelContext::merwalk(
   walkbuf_.append(task.contig.substr(task.contig.size() - mer));
   {
     ServiceLevel lvl =
-        mem.read(task.contig_sim_addr + task.contig.size() - mer, mer);
+        mem.read_range(task.contig_sim_addr + task.contig.size() - mer, mer);
     mem.stream_write(task.walkbuf_sim_addr, mer);
     ctr.add_ops(ops::kWalkStep, 1, width_);
     ctr.add_mem_round(dev_.perf, lvl);
@@ -324,7 +336,7 @@ WarpKernelContext::WalkOutcome WarpKernelContext::merwalk(
                         mem.read(slot_addr + kEntryKeyOff, kEntryKeyBytes));
       if (e.empty()) break;
       ctr.add_ops(ops::key_compare(mer), 1, width_);
-      ctr.add_mem_round(dev_.perf, mem.read(e.key_sim_addr, e.key_len));
+      ctr.add_mem_round(dev_.perf, mem.read_range(e.key_sim_addr, e.key_len));
       if (e.key_len == mer && std::memcmp(e.key_ptr, km.ptr, mer) == 0) {
         found = &e;
         break;

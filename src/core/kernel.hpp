@@ -156,6 +156,12 @@ class WarpKernelContext {
   memsim::TieredMemory mem_;
   LocHashTable table_;
   std::vector<LaneState> lanes_;
+  /// Per-(read, mer) precomputed murmur slots: slot_pre_[pos] is the table
+  /// slot of the k-mer starting at pos in the read construct() is currently
+  /// inserting. Filled once per read in one rolling pass; overwritten per
+  /// read, so it is scratch under the reset contract (construct writes the
+  /// read's full range before insert_lockstep reads it).
+  std::vector<std::uint32_t> slot_pre_;
   std::string walkbuf_;        ///< seed + walk characters (simulated buffer)
   std::uint32_t walk_epoch_ = 0;  ///< loop-detection epoch (see HtEntry)
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
 
 #include "bio/murmur.hpp"
 
@@ -69,29 +70,42 @@ std::uint32_t LocHashTable::estimate_slots(std::uint64_t insertions,
 }
 
 void LocHashTable::reset(std::uint32_t slots, std::uint64_t sim_base) {
-  entries_.assign(slots, HtEntry{});
+  assert(slots != 0 && (slots & (slots - 1)) == 0);
+  if (slots == entries_.size() && epoch_ != ~std::uint32_t{0}) {
+    // Same-size reuse (every ladder rung after the first): O(1) epoch bump;
+    // stale slots clear themselves on first touch in entry(). The epoch
+    // wrap (one in 2^32 resets) falls through to a full clear so an
+    // ancient surviving slot can never alias a recycled epoch value.
+    ++epoch_;
+  } else {
+    entries_.assign(slots, HtEntry{});
+    epoch_ = 0;
+  }
   sim_base_ = sim_base;
 }
 
 const HtEntry* LocHashTable::find(const bio::KmerView& key) const noexcept {
   if (entries_.empty()) return nullptr;
   const std::uint32_t n = slots();
+  const std::uint32_t mask = n - 1;  // n is a power of two (see reset())
   std::uint32_t slot = key.hash(n);
   for (std::uint32_t probe = 0; probe < n; ++probe) {
     const HtEntry& e = entries_[slot];
-    if (e.empty()) return nullptr;
+    if (e.slot_epoch != epoch_ || e.empty()) return nullptr;
     if (e.key_len == key.len &&
         std::string_view(e.key_ptr, e.key_len) == key.sv()) {
       return &e;
     }
-    slot = (slot + 1) % n;
+    slot = (slot + 1) & mask;
   }
   return nullptr;
 }
 
 std::uint32_t LocHashTable::occupied() const noexcept {
   std::uint32_t n = 0;
-  for (const HtEntry& e : entries_) n += e.empty() ? 0 : 1;
+  for (const HtEntry& e : entries_) {
+    n += (e.slot_epoch == epoch_ && !e.empty()) ? 1 : 0;
+  }
   return n;
 }
 

@@ -33,6 +33,11 @@ struct HtEntry {
   /// visited when visit_epoch equals the walk's epoch. Not part of the
   /// simulated 32-byte device layout.
   std::uint32_t visit_epoch = 0;
+  /// Host-only lazy-clear generation tag (see LocHashTable::reset): the
+  /// slot's contents are valid only while slot_epoch matches the table's
+  /// current epoch; a stale slot reads as freshly cleared. Not part of the
+  /// simulated 32-byte device layout.
+  std::uint32_t slot_epoch = 0;
 
   bool empty() const noexcept { return key_len == 0; }
 };
@@ -89,6 +94,15 @@ class LocHashTable {
                                       double load_factor);
 
   /// Clears to `slots` empty entries with device placement at `sim_base`.
+  /// `slots` must be a power of two (estimate_slots guarantees it; probing
+  /// masks with `slots - 1`).
+  ///
+  /// O(1) on the host when the size is unchanged (the per-rung case): the
+  /// table bumps its epoch and stale slots are cleared lazily on first
+  /// touch, instead of rewriting the whole slab. The *simulated* cost is
+  /// unaffected — the kernel separately bills the full streaming-store
+  /// slab wipe it models (WarpKernelContext::construct). A reset table is
+  /// observationally identical to a freshly assigned one.
   void reset(std::uint32_t slots, std::uint64_t sim_base);
 
   std::uint32_t slots() const noexcept {
@@ -102,22 +116,35 @@ class LocHashTable {
     return static_cast<std::uint64_t>(slots()) * kEntryBytes;
   }
 
-  HtEntry& entry(std::uint32_t slot) noexcept { return entries_[slot]; }
+  /// Slot accessor; a slot whose epoch is stale materialises as a freshly
+  /// cleared entry before it is returned (the lazy half of reset()).
+  HtEntry& entry(std::uint32_t slot) noexcept {
+    HtEntry& e = entries_[slot];
+    if (e.slot_epoch != epoch_) {
+      e = HtEntry{};
+      e.slot_epoch = epoch_;
+    }
+    return e;
+  }
+  /// Materialisation only rewrites state that is logically already cleared,
+  /// so it preserves the table's observable state (logical constness).
   const HtEntry& entry(std::uint32_t slot) const noexcept {
-    return entries_[slot];
+    return const_cast<LocHashTable*>(this)->entry(slot);
   }
 
   /// Host-side lookup used by tests and the walk phase after probing has
-  /// located the slot; returns nullptr when the key is absent. Counts
-  /// nothing — the kernel does its own charged probing.
+  /// located the slot; returns nullptr when the key is absent (stale slots
+  /// read as empty). Counts nothing — the kernel does its own charged
+  /// probing.
   const HtEntry* find(const bio::KmerView& key) const noexcept;
 
-  /// Number of occupied slots.
+  /// Number of occupied slots in the current epoch.
   std::uint32_t occupied() const noexcept;
 
  private:
   std::vector<HtEntry> entries_;
   std::uint64_t sim_base_ = 0;
+  std::uint32_t epoch_ = 0;  ///< current generation; slots lag until touched
 };
 
 }  // namespace lassm::core

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -16,7 +18,7 @@ namespace lassm::memsim {
 struct CacheConfig {
   std::uint64_t size_bytes = 0;  ///< total capacity
   std::uint32_t line_bytes = 64; ///< line (transaction) granularity
-  std::uint32_t ways = 8;        ///< associativity; clamped to #lines
+  std::uint32_t ways = 8;        ///< associativity; clamped to [1, 16]
 
   std::uint64_t num_lines() const noexcept {
     return line_bytes == 0 ? 0 : size_bytes / line_bytes;
@@ -39,6 +41,30 @@ struct CacheStats {
 /// replacement. Operates on line addresses (byte address / line size is the
 /// caller's job via TieredMemory). A zero-capacity config degenerates to a
 /// cache that misses every access — useful for "no cache" ablations.
+///
+/// Hot-path layout (see DESIGN.md "Hot path & equivalence contract"): all
+/// per-set metadata — 32-bit tags, a packed-nibble recency permutation,
+/// valid/dirty bytes and the fill count — lives in one contiguous
+/// 64-byte-aligned block per set (a single host cache line at 8 ways), and
+/// an eight-entry last-line memo short-circuits accesses that repeat
+/// recently touched lines — the dominant pattern (sequential k-mer/quality
+/// bytes, key-then-value touches of one hash-table entry).
+///
+/// Recency is not kept as per-way timestamps but as one 64-bit word per set
+/// holding the ways as 4-bit digits in most-recent-first order; every touch
+/// rotates the touched way to the front with a few word-sized bit
+/// operations, and the true-LRU victim is read off the tail digit in O(1)
+/// instead of a scan. This packing is why associativity caps at 16.
+/// Invalidation is epoch-based (see epoch_), so per-task flushes cost O(1)
+/// rather than a metadata memset.
+///
+/// The probe exploits a replacement invariant: victims always prefer the
+/// lowest-index invalid way and single lines are never invalidated, so the
+/// valid ways of a set are exactly the prefix [0, fill). The tag scan
+/// therefore needs no validity checks (a branchless prefix scan), and while
+/// a set is still filling the victim is just index `fill` — no scan at all.
+/// Every fast path is exactly equivalent to the full probe: same stats,
+/// same recency order, same victim choices.
 class Cache {
  public:
   explicit Cache(const CacheConfig& cfg);
@@ -50,7 +76,53 @@ class Cache {
   };
 
   /// Touches one line. On miss the line is allocated (evicting LRU).
-  AccessResult access(std::uint64_t line_addr, bool is_write) noexcept;
+  AccessResult access(std::uint64_t line_addr, bool is_write) noexcept {
+    if (memo_probe(line_addr, is_write)) return AccessResult{true, false, 0};
+    return access_slow(line_addr, is_write);
+  }
+
+  /// Full probe that skips the memo shortcut. The memo is a pure
+  /// optimisation — access_slow() on a memoised line takes the ordinary hit
+  /// path and produces identical stats, recency order and memo state — so
+  /// callers that know the memo cannot hit (streaming wipes over fresh
+  /// lines, a single-line access whose memo probe already missed) may call
+  /// this directly to skip the redundant compares.
+  AccessResult access_slow(std::uint64_t line_addr, bool is_write) noexcept;
+
+  /// Memo-only probe: returns true iff `line_addr` is memoised as recently
+  /// touched *and* still resident in its memoised way. A memo hit performs
+  /// *exactly* what a hitting access() would: it rotates the way to the
+  /// front of its set's recency permutation and merges the dirty bit — so
+  /// taking this path can never change any later replacement decision.
+  /// Returns false (and counts nothing) otherwise.
+  bool memo_probe(std::uint64_t line_addr, bool is_write) noexcept {
+    // Direct-mapped; entries are validated against the live tag, so stores
+    // never have to hunt down stale entries (and a slot that was
+    // overwritten for a colliding line simply misses here).
+    const unsigned slot = memo_slot(line_addr);
+    if (memo_line_[slot] != line_addr) return false;
+    // Staleness check: the memoised way may have been refilled with another
+    // line since. Tags cannot alias (line addresses fit 32 bits, asserted
+    // in access_slow), so tag equality proves the line is still resident in
+    // exactly that way — a full probe would hit it and rotate the same
+    // set's recency word. An empty slot holds the poison line, so
+    // the pointers are only dereferenced when valid.
+    if (*memo_tag_[slot] != static_cast<std::uint32_t>(line_addr))
+      return false;
+    *memo_perm_[slot] = recency_touch(*memo_perm_[slot], memo_way_[slot]);
+    *memo_state_[slot] |= static_cast<std::uint8_t>(
+        is_write ? (kStateValid | kStateDirty) : kStateValid);
+    ++stats_.hits;
+    return true;
+  }
+
+  /// The memo holds pointers into the metadata slab, which survive a move
+  /// (the vector's heap buffer transfers) but not a copy — so copying is
+  /// disabled.
+  Cache(const Cache&) = delete;
+  Cache& operator=(const Cache&) = delete;
+  Cache(Cache&&) = default;
+  Cache& operator=(Cache&&) = default;
 
   /// Removes all lines (e.g. between kernel launches); keeps stats.
   void invalidate_all() noexcept;
@@ -66,23 +138,134 @@ class Cache {
   std::uint64_t dirty_lines() const noexcept;
 
  private:
-  struct Way {
-    std::uint64_t tag = 0;
-    std::uint64_t lru = 0;  ///< global timestamp; smaller == older
-    bool valid = false;
-    bool dirty = false;
-  };
+  static constexpr std::uint8_t kStateValid = 1;
+  static constexpr std::uint8_t kStateDirty = 2;
+  /// Memo capacity: at the 32 B line granularity of the modelled L1 slices
+  /// the kernel's inner step cycles through up to ~10 hot lines at k = 77
+  /// (four k-mer lines, four quality lines, the hash-entry line, the walk
+  /// buffer), so sixteen direct-mapped slots keep most of them memoised at
+  /// once while probe and store stay a handful of instructions.
+  static constexpr unsigned kMemoEntries = 16;
+  /// Poison line address for empty memo entries: unreachable because line
+  /// addresses are byte addresses divided by the line size.
+  static constexpr std::uint64_t kNoLine = ~std::uint64_t{0};
+
+  /// Memo slot of a line. Multiplicative (golden-ratio) hash rather than
+  /// the low bits: the kernel walks several arrays in lockstep whose base
+  /// addresses sit whole power-of-two arenas apart, so their line numbers
+  /// collide modulo any small power of two — low-bit indexing made every
+  /// k-mer fetch and its quality fetch evict each other's slot. The
+  /// multiply costs ~3 cycles and spreads any fixed stride.
+  static unsigned memo_slot(std::uint64_t line_addr) noexcept {
+    constexpr unsigned kShift = 64 - std::bit_width(kMemoEntries - 1);
+    return static_cast<unsigned>((line_addr * 0x9E3779B97F4A7C15ULL) >>
+                                 kShift);
+  }
+
+  /// Identity recency permutation: way i at rank i (rank 0 = most recent).
+  static constexpr std::uint64_t kIdentityPerm = 0xFEDCBA9876543210ULL;
+
+  /// Rotates `way` to rank 0 of a recency permutation, shifting the ways
+  /// that were more recent down one rank; less recent ways are untouched.
+  /// Branch-free word arithmetic: locate the way's digit (XOR against the
+  /// way broadcast to every digit leaves exactly one zero digit; the
+  /// borrow trick flags it — false positives can only appear *above* the
+  /// true digit, so the lowest flagged bit is the right one), then splice.
+  static std::uint64_t recency_touch(std::uint64_t perm,
+                                     std::uint32_t way) noexcept {
+    // Repeated touches of the hottest line leave the permutation alone —
+    // worth a predictable branch, since memo-hit streams re-touch the
+    // front way almost every time.
+    if ((perm & 0xF) == way) return perm;
+    constexpr std::uint64_t kOnes = 0x1111111111111111ULL;
+    const std::uint64_t x = perm ^ (kOnes * way);
+    const std::uint64_t zero =
+        (x - kOnes) & ~x & (kOnes << 3);  // bit 3 of each zero digit
+    const unsigned pos = std::countr_zero(zero) & ~3u;  // digit bit offset
+    const std::uint64_t below = (std::uint64_t{1} << pos) - 1;
+    return ((perm & below) << 4) | (perm & ~((below << 4) | 0xF)) | way;
+  }
+
+  /// Per-set metadata block accessors. Block layout (64-byte aligned,
+  /// stride_u64_ * 8 bytes): 32-bit tags[ways], then the recency
+  /// permutation word, then state bytes [ways] followed by the set's fill
+  /// count byte.
+  std::uint64_t* set_block(std::uint64_t set) noexcept {
+    return meta_ + set * stride_u64_;
+  }
+  const std::uint64_t* set_block(std::uint64_t set) const noexcept {
+    return meta_ + set * stride_u64_;
+  }
+  static std::uint32_t* block_tags(std::uint64_t* blk) noexcept {
+    return reinterpret_cast<std::uint32_t*>(blk);
+  }
+  std::uint64_t* block_perm(std::uint64_t* blk) const noexcept {
+    return blk + perm_off_u64_;
+  }
+  std::uint8_t* block_state(std::uint64_t* blk) const noexcept {
+    return reinterpret_cast<std::uint8_t*>(blk + state_off_u64_);
+  }
+  std::uint8_t& block_fill(std::uint64_t* blk) const noexcept {
+    return block_state(blk)[ways_];
+  }
+  std::uint8_t& block_epoch(std::uint64_t* blk) const noexcept {
+    return block_state(blk)[ways_ + 1];
+  }
+
+  /// Records that `line_addr` now resides in the given way of the set
+  /// whose block is given. Pure stores — no scan, no loads: a colliding
+  /// slot is simply overwritten, and any other slot that still points at
+  /// this way goes stale, which the probe's tag check detects. (An earlier
+  /// scan-based store was the single hottest instruction sequence in the
+  /// simulator: its vectorised reloads of just-stored entries caused
+  /// store-forwarding stalls on every miss.)
+  void memo_store(std::uint64_t line_addr, std::uint64_t* blk,
+                  std::uint32_t way) noexcept {
+    const unsigned slot = memo_slot(line_addr);
+    memo_line_[slot] = line_addr;
+    memo_tag_[slot] = &block_tags(blk)[way];
+    memo_perm_[slot] = block_perm(blk);
+    memo_state_[slot] = &block_state(blk)[way];
+    memo_way_[slot] = static_cast<std::uint8_t>(way);
+  }
+
+  void memo_clear() noexcept {
+    for (unsigned i = 0; i < kMemoEntries; ++i) {
+      memo_line_[i] = kNoLine;
+      memo_tag_[i] = nullptr;
+      memo_perm_[i] = nullptr;
+      memo_state_[i] = nullptr;
+      memo_way_[i] = 0;
+    }
+  }
 
   CacheConfig cfg_;
   std::uint32_t num_sets_ = 0;
   std::uint32_t ways_ = 0;
-  std::uint64_t tick_ = 0;
-  std::vector<Way> ways_storage_;  ///< num_sets_ x ways_, row-major
+  /// Current invalidation epoch: a set whose epoch byte disagrees is
+  /// logically empty (fill 0), which makes invalidate_all() an O(1) epoch
+  /// bump instead of a slab-wide memset; the slab is really zeroed only
+  /// when the 8-bit epoch wraps. Stale sets carry garbage tags/state, but
+  /// probes never look past fill and refills overwrite before reading
+  /// (the victim's state byte is only consulted for full sets).
+  std::uint8_t epoch_ = 0;
+  std::uint32_t stride_u64_ = 0;     ///< per-set block size in u64 words
+  std::uint32_t perm_off_u64_ = 0;   ///< offset of the recency word
+  std::uint32_t state_off_u64_ = 0;  ///< offset of the state row in a block
+  std::vector<std::uint64_t> meta_storage_;  ///< raw backing (+alignment pad)
+  std::uint64_t* meta_ = nullptr;            ///< 64-byte-aligned block base
+  /// Last-line memo (direct-mapped by line low bits), poisoned by
+  /// memo_clear() in the constructor. A non-poison entry's pointers address
+  /// the tag/recency/state slots of the way its line occupied when stored; the
+  /// probe revalidates via the tag, so entries may go stale but are never
+  /// wrong. Empty entries hold the poison line and null pointers (never
+  /// dereferenced — poison cannot match a probe).
+  alignas(64) std::uint64_t memo_line_[kMemoEntries];
+  std::uint32_t* memo_tag_[kMemoEntries];
+  std::uint64_t* memo_perm_[kMemoEntries];
+  std::uint8_t* memo_state_[kMemoEntries];
+  std::uint8_t memo_way_[kMemoEntries];
   CacheStats stats_;
-
-  Way* set_begin(std::uint64_t set) noexcept {
-    return ways_storage_.data() + set * ways_;
-  }
 };
 
 }  // namespace lassm::memsim

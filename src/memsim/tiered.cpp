@@ -1,27 +1,32 @@
 #include "memsim/tiered.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace lassm::memsim {
 
 TieredMemory::TieredMemory(const CacheConfig& l1, const CacheConfig& l2)
     : l1_(l1), l2_(l2), line_bytes_(l1.line_bytes) {
   stats_.line_bytes = line_bytes_;
+  line_pow2_ = line_bytes_ != 0 && std::has_single_bit(line_bytes_);
+  line_shift_ = line_pow2_
+                    ? static_cast<std::uint32_t>(std::countr_zero(line_bytes_))
+                    : 0;
   // The hierarchy transacts at L1-line granularity throughout; an L2 with a
   // different nominal line size is modelled at the same granularity, which
   // keeps byte accounting consistent across levels.
 }
 
-ServiceLevel TieredMemory::access(std::uint64_t addr, std::uint32_t size,
-                                  bool is_write, bool no_fetch) noexcept {
-  ++stats_.accesses;
-  if (size == 0) return ServiceLevel::kL1;
-  const std::uint64_t first = addr / line_bytes_;
-  const std::uint64_t last = (addr + size - 1) / line_bytes_;
+template <bool UseL1Memo>
+ServiceLevel TieredMemory::span_access_impl(std::uint64_t first,
+                                            std::uint64_t last, bool is_write,
+                                            bool no_fetch) noexcept {
   ServiceLevel deepest = ServiceLevel::kL1;
   for (std::uint64_t line = first; line <= last; ++line) {
     ++stats_.lines_touched;
-    const Cache::AccessResult r1 = l1_.access(line, is_write);
+    const Cache::AccessResult r1 = UseL1Memo
+                                       ? l1_.access(line, is_write)
+                                       : l1_.access_slow(line, is_write);
     if (r1.hit) {
       ++stats_.l1_hits;
       continue;
@@ -53,6 +58,36 @@ ServiceLevel TieredMemory::access(std::uint64_t addr, std::uint32_t size,
   return deepest;
 }
 
+ServiceLevel TieredMemory::span_access(std::uint64_t first, std::uint64_t last,
+                                       bool is_write, bool no_fetch) noexcept {
+  return span_access_impl<true>(first, last, is_write, no_fetch);
+}
+
+ServiceLevel TieredMemory::span_access_cold(std::uint64_t first,
+                                            std::uint64_t last, bool is_write,
+                                            bool no_fetch) noexcept {
+  return span_access_impl<false>(first, last, is_write, no_fetch);
+}
+
+ServiceLevel TieredMemory::stream_write_range(std::uint64_t addr,
+                                              std::uint64_t bytes) noexcept {
+  if (bytes == 0 || line_bytes_ == 0) return ServiceLevel::kL1;
+  ServiceLevel deepest = ServiceLevel::kL1;
+  const std::uint64_t chunks = (bytes + line_bytes_ - 1) / line_bytes_;
+  std::uint64_t a = addr;
+  for (std::uint64_t c = 0; c < chunks; ++c, a += line_bytes_) {
+    // One logical access per line-sized chunk, like the loop this replaces.
+    // Cold span: a wipe never revisits a line it just memoised (successive
+    // chunks touch strictly increasing lines), so the memo probe is skipped.
+    ++stats_.accesses;
+    const std::uint64_t first = line_of(a);
+    const std::uint64_t last = line_of(a + line_bytes_ - 1);
+    deepest = std::max(deepest, span_access_cold(first, last, /*is_write=*/true,
+                                                 /*no_fetch=*/true));
+  }
+  return deepest;
+}
+
 void TieredMemory::reset() noexcept {
   l1_.invalidate_all();
   l2_.invalidate_all();
@@ -60,7 +95,6 @@ void TieredMemory::reset() noexcept {
   l2_.reset_stats();
   stats_ = {};
   stats_.line_bytes = line_bytes_;
-  dirty_resident_estimate_ = 0;
 }
 
 void TieredMemory::flush() noexcept {

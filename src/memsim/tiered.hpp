@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 
 #include "memsim/cache.hpp"
@@ -32,7 +33,18 @@ struct TrafficStats {
   std::uint64_t l2_bytes() const noexcept {
     return (lines_touched - l1_hits) * line_bytes;
   }
+  /// Merges another hierarchy's counters into this one.
+  ///
+  /// Invariant: merged hierarchies must transact at the same line
+  /// granularity — the byte-derived counters (l1_bytes, l2_bytes,
+  /// hbm_*_bytes) are meaningless across mixed line sizes. A zero
+  /// line_bytes (default-constructed accumulator, or a hierarchy that
+  /// never transacted) adopts the other side's value; a genuine mismatch
+  /// asserts in debug builds and keeps the first non-zero value in
+  /// release builds.
   void add(const TrafficStats& o) noexcept {
+    assert(line_bytes == 0 || o.line_bytes == 0 ||
+           line_bytes == o.line_bytes);
     if (line_bytes == 0) line_bytes = o.line_bytes;
     accesses += o.accesses;
     lines_touched += o.lines_touched;
@@ -54,6 +66,12 @@ struct TrafficStats {
 ///    number of concurrently resident warps. This models the capacity
 ///    pressure of concurrent execution without simulating interleaving,
 ///    keeping runs deterministic (see DESIGN.md).
+///
+/// Hot path: the single-line access (the kernel's key/value/entry touches
+/// and most k-mer byte fetches) first consults the L1 cache's last-line
+/// memo inline — a repeat of a just-touched line resolves without entering
+/// the per-line machinery at all, with identical counters (see DESIGN.md
+/// "Hot path & equivalence contract").
 class TieredMemory {
  public:
   TieredMemory(const CacheConfig& l1, const CacheConfig& l2);
@@ -83,7 +101,56 @@ class TieredMemory {
   }
 
   ServiceLevel access(std::uint64_t addr, std::uint32_t size, bool is_write,
-                      bool no_fetch) noexcept;
+                      bool no_fetch) noexcept {
+    ++stats_.accesses;
+    if (size == 0) return ServiceLevel::kL1;
+    const std::uint64_t first = line_of(addr);
+    const std::uint64_t last = line_of(addr + size - 1);
+    if (first == last) {
+      if (l1_.memo_probe(first, is_write)) {
+        ++stats_.lines_touched;
+        ++stats_.l1_hits;
+        return ServiceLevel::kL1;
+      }
+      return span_access_cold(first, first, is_write, no_fetch);
+    }
+    return span_access(first, last, is_write, no_fetch);
+  }
+
+  /// Bulk read of `bytes` bytes as ONE logical access (identical accounting
+  /// to read(), but sized for multi-line ranges): every covered line is
+  /// probed, the deepest level touched is returned. Use for contiguous
+  /// multi-line reads (k-mer spans, record scans) instead of hand-rolled
+  /// per-line loops.
+  ServiceLevel read_range(std::uint64_t addr, std::uint64_t bytes) noexcept {
+    ++stats_.accesses;
+    if (bytes == 0) return ServiceLevel::kL1;
+    const std::uint64_t first = line_of(addr);
+    const std::uint64_t last = line_of(addr + bytes - 1);
+    if (first == last) {
+      if (l1_.memo_probe(first, /*is_write=*/false)) {
+        ++stats_.lines_touched;
+        ++stats_.l1_hits;
+        return ServiceLevel::kL1;
+      }
+      return span_access_cold(first, first, /*is_write=*/false,
+                              /*no_fetch=*/false);
+    }
+    return span_access(first, last, /*is_write=*/false, /*no_fetch=*/false);
+  }
+
+  /// Bulk streaming wipe: exactly equivalent (same TrafficStats, same
+  /// ServiceLevel result, same cache state) to the line-granular store loop
+  ///
+  ///   for (off = 0; off < bytes; off += line_bytes())
+  ///     stream_write(addr + off, line_bytes());
+  ///
+  /// which is how the kernel's table (re-)initialisation billed its slab
+  /// wipe: one logical access per line-sized chunk, each chunk a full-line
+  /// streaming store (the final chunk is a full line even when `bytes` is
+  /// not line-aligned, matching that loop). `bytes == 0` performs nothing.
+  ServiceLevel stream_write_range(std::uint64_t addr,
+                                  std::uint64_t bytes) noexcept;
 
   /// Flushes dirty L1+L2 lines, counting their writebacks to HBM (called at
   /// kernel end so short kernels are not under-billed for stores).
@@ -102,11 +169,32 @@ class TieredMemory {
   std::uint32_t line_bytes() const noexcept { return line_bytes_; }
 
  private:
+  /// Line index of a byte address (shift when the line size is a power of
+  /// two — it always is for the modelled devices — else divide).
+  std::uint64_t line_of(std::uint64_t addr) const noexcept {
+    return line_pow2_ ? addr >> line_shift_ : addr / line_bytes_;
+  }
+
+  /// The per-line probe loop over [first, last]; the inline fast path above
+  /// peels off single-line repeats of the memoised L1 lines. The cold
+  /// variant skips the per-line L1 memo probe — bit-identical results (the
+  /// memo is a pure shortcut; the full probe handles memoised lines the
+  /// same way), used where the memo is known useless: a single line whose
+  /// memo probe just missed, or a streaming wipe over fresh lines.
+  ServiceLevel span_access(std::uint64_t first, std::uint64_t last,
+                           bool is_write, bool no_fetch) noexcept;
+  ServiceLevel span_access_cold(std::uint64_t first, std::uint64_t last,
+                                bool is_write, bool no_fetch) noexcept;
+  template <bool UseL1Memo>
+  ServiceLevel span_access_impl(std::uint64_t first, std::uint64_t last,
+                                bool is_write, bool no_fetch) noexcept;
+
   Cache l1_;
   Cache l2_;
   std::uint32_t line_bytes_;
+  std::uint32_t line_shift_ = 0;
+  bool line_pow2_ = false;
   TrafficStats stats_;
-  std::uint64_t dirty_resident_estimate_ = 0;
 };
 
 /// Bump allocator for simulated device addresses. Allocations are aligned

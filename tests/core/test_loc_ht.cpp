@@ -41,6 +41,27 @@ TEST(LocHt, ResetClearsEntries) {
   EXPECT_EQ(t.occupied(), 0U);
 }
 
+TEST(LocHt, LazyResetIsObservationallyFresh) {
+  // reset() at an unchanged size only bumps the epoch; stale slots must
+  // still read as freshly cleared through every accessor, generation
+  // after generation (including across the mer-ladder's many resets).
+  const std::string buf(32, 'A');
+  LocHashTable t;
+  for (std::uint32_t gen = 0; gen < 300; ++gen) {
+    t.reset(64, 0x1000 + gen * 0x800);
+    EXPECT_EQ(t.occupied(), 0U) << "gen " << gen;
+    const bio::KmerView key{buf.data(), 21, 100};
+    EXPECT_EQ(t.find(key), nullptr) << "gen " << gen;
+    // Dirty a couple of slots; the next reset must forget them.
+    HtEntry& e = t.entry(gen % 64);
+    e.key_ptr = buf.data();
+    e.key_len = 21;
+    e.count = 9;
+    t.entry((gen + 7) % 64).key_len = 33;
+    EXPECT_EQ(t.occupied(), 2U) << "gen " << gen;
+  }
+}
+
 TEST(LocHt, SlotAddressing) {
   LocHashTable t;
   t.reset(16, 0x4000);

@@ -4,7 +4,9 @@
 // (n_threads = 1) for every pool size and every steal interleaving.
 
 #include <atomic>
+#include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -167,6 +169,107 @@ TEST(ExecutionEngine, PropagatesBodyExceptions) {
   std::atomic<std::size_t> count{0};
   engine.run_batch(8, 1, [&](std::size_t, WarpKernelContext&) { ++count; });
   EXPECT_EQ(count.load(), 8U);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-pipeline golden bit-identity: every number below was captured from
+// the pre-overhaul seed build (commit de95621). The fast paths (cache memo,
+// nibble recency, epoch invalidation, bulk spans, lazy hash-table reset,
+// slot precompute) all claim exact equivalence, so the full pipeline must
+// keep reproducing these values bit-for-bit — at one thread and at many.
+
+std::uint64_t fnv1a(const std::string& s, std::uint64_t h) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct GoldenNumbers {
+  std::uint64_t ext_hash, bases, n_ext;
+  std::uint64_t cycles, intops, issue_slots, instructions;
+  std::uint64_t probes, insertions, walk_steps, atomics, mer_retries;
+  std::uint64_t accesses, lines_touched, l1_hits, l2_hits, hbm_lines,
+      hbm_read_bytes, hbm_write_bytes;
+  std::uint64_t num_warps, launches;
+  double total_time_s;
+};
+
+void expect_golden(const AssemblyResult& r, const GoldenNumbers& g) {
+  std::uint64_t eh = 1469598103934665603ULL;
+  std::uint64_t bases = 0;
+  for (const auto& e : r.extensions) {
+    eh = fnv1a(e.left, eh);
+    eh = fnv1a(e.right, eh);
+    bases += e.left.size() + e.right.size();
+  }
+  EXPECT_EQ(eh, g.ext_hash);
+  EXPECT_EQ(bases, g.bases);
+  EXPECT_EQ(r.extensions.size(), g.n_ext);
+  const simt::WarpCounters& c = r.stats.totals;
+  EXPECT_EQ(c.cycles, g.cycles);
+  EXPECT_EQ(c.intops, g.intops);
+  EXPECT_EQ(c.issue_slots, g.issue_slots);
+  EXPECT_EQ(c.instructions, g.instructions);
+  EXPECT_EQ(c.probes, g.probes);
+  EXPECT_EQ(c.insertions, g.insertions);
+  EXPECT_EQ(c.walk_steps, g.walk_steps);
+  EXPECT_EQ(c.atomics, g.atomics);
+  EXPECT_EQ(c.mer_retries, g.mer_retries);
+  const memsim::TrafficStats& t = r.stats.traffic;
+  EXPECT_EQ(t.accesses, g.accesses);
+  EXPECT_EQ(t.lines_touched, g.lines_touched);
+  EXPECT_EQ(t.l1_hits, g.l1_hits);
+  EXPECT_EQ(t.l2_hits, g.l2_hits);
+  EXPECT_EQ(t.hbm_lines, g.hbm_lines);
+  EXPECT_EQ(t.hbm_read_bytes, g.hbm_read_bytes);
+  EXPECT_EQ(t.hbm_write_bytes, g.hbm_write_bytes);
+  EXPECT_EQ(r.stats.num_warps, g.num_warps);
+  EXPECT_EQ(r.stats.num_kernel_launches, g.launches);
+  EXPECT_EQ(r.total_time_s, g.total_time_s);
+}
+
+TEST(GoldenBitIdentity, A100K21) {
+  const GoldenNumbers g{
+      6229556296844700221ULL, 2980,     60,       4724627, 12672717,
+      42792576,               1337268,  49267,    42255,   3100,
+      87929,                  0,        368817,   439984,  288902,
+      10177,                  3569,     114208,   4398176, 120,
+      8,                      0.00017015673758865248};
+  const AssemblyInput in = dataset(21, 60, 42);
+  expect_golden(run_with_threads(in, 1), g);
+  expect_golden(run_with_threads(in, resolve_threads(0)), g);
+}
+
+TEST(GoldenBitIdentity, Mi250xK33SmallBatches) {
+  const GoldenNumbers g{
+      11395398159350582881ULL, 3766,     40,       8364652, 12450731,
+      118580864,               1852826,  35902,    28085,   4610,
+      58664,                   11,       190693,   208873,  71796,
+      114750,                  743,      95104,    2763904, 80,
+      28,                      0.00041914176470588232};
+  const AssemblyInput in = dataset(33, 40, 7);
+  AssemblyOptions opts;
+  opts.n_threads = 1;
+  opts.batch_mem_budget_bytes = 1 << 18;
+  const simt::DeviceSpec dev = simt::DeviceSpec::mi250x_gcd();
+  expect_golden(LocalAssembler(dev, opts).run(in), g);
+  opts.n_threads = resolve_threads(0);
+  expect_golden(LocalAssembler(dev, opts).run(in), g);
+}
+
+TEST(GoldenBitIdentity, Max1550K55) {
+  const GoldenNumbers g{
+      704030900663122419ULL, 3460,     24,       5407450, 11819653,
+      47406816,              2962926,  27415,    19640,   4750,
+      41734,                 22,       158866,   197415,  162477,
+      12386,                 744,      47616,    1400192, 48,
+      6,                     0.00044608124999999995};
+  const AssemblyInput in = dataset(55, 24, 3);
+  const simt::DeviceSpec dev = simt::DeviceSpec::max1550_tile();
+  expect_golden(run_with_threads(in, 1, dev), g);
+  expect_golden(run_with_threads(in, resolve_threads(0), dev), g);
 }
 
 TEST(ExecutionEngine, PooledContextReuseMatchesFreshContexts) {

@@ -1,0 +1,299 @@
+// Differential tests for the hot-path Cache/TieredMemory implementation.
+//
+// The fast paths (last-line memo, prefix tag scan, packed-nibble recency,
+// epoch-based invalidation) all claim *exact* equivalence to a plain
+// set-associative true-LRU write-back cache. These tests drive randomized
+// access streams through the real implementation and through a
+// deliberately naive map/list-based oracle that mirrors the seed
+// implementation's contract — lowest-index invalid way first, true LRU
+// with lowest-index tie-break (unreachable: stamps are distinct), dirty
+// victims billed as writebacks — and demand identical results on every
+// single access, not just at the end.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <list>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "memsim/cache.hpp"
+#include "memsim/tiered.hpp"
+
+namespace lassm::memsim {
+namespace {
+
+/// Naive reference model of one cache level, structured for obviousness:
+/// per-set vector of ways, recency kept as an explicit monotonically
+/// increasing stamp, victim chosen by linear scan.
+class OracleCache {
+ public:
+  explicit OracleCache(const CacheConfig& cfg) {
+    const std::uint64_t lines = cfg.num_lines();
+    if (lines == 0) return;
+    ways_ = std::min<std::uint64_t>(
+        std::min<std::uint64_t>(cfg.ways == 0 ? 1 : cfg.ways, 16), lines);
+    std::uint64_t sets = 1;
+    while (sets * 2 <= lines / ways_) sets *= 2;
+    sets_.assign(sets, {});
+  }
+
+  struct Result {
+    bool hit = false;
+    bool writeback = false;
+    std::uint64_t victim_line = 0;
+  };
+
+  Result access(std::uint64_t line, bool is_write) {
+    Result r;
+    if (sets_.empty()) {
+      ++misses_;
+      return r;
+    }
+    std::uint64_t mixed = line * 0x9e3779b97f4a7c15ULL;
+    mixed ^= mixed >> 29;
+    auto& set = sets_[mixed & (sets_.size() - 1)];
+    for (auto& w : set.ways) {
+      if (w.valid && w.line == line) {
+        w.stamp = ++tick_;
+        w.dirty = w.dirty || is_write;
+        ++hits_;
+        r.hit = true;
+        return r;
+      }
+    }
+    ++misses_;
+    // Victim: lowest-index invalid way, else the lowest stamp.
+    if (set.ways.size() < ways_) set.ways.resize(set.ways.size() + 1);
+    std::size_t victim = 0;
+    for (std::size_t w = 0; w < set.ways.size(); ++w) {
+      if (!set.ways[w].valid) {
+        victim = w;
+        break;
+      }
+      if (set.ways[w].stamp < set.ways[victim].stamp) victim = w;
+    }
+    auto& v = set.ways[victim];
+    if (v.valid && v.dirty) {
+      r.writeback = true;
+      r.victim_line = v.line;
+    }
+    v.valid = true;
+    v.line = line;
+    v.dirty = is_write;
+    v.stamp = ++tick_;
+    return r;
+  }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+  void invalidate_all() {
+    for (auto& s : sets_) s.ways.clear();
+  }
+
+ private:
+  struct Way {
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t line = 0;
+    std::uint64_t stamp = 0;
+  };
+  struct Set {
+    std::vector<Way> ways;
+  };
+  std::vector<Set> sets_;
+  std::uint64_t ways_ = 0;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Naive reference of the two-level hierarchy's byte accounting, mirroring
+/// TieredMemory::span_access_impl: L1 probe per line, dirty L1 victims
+/// drain into L2, L2 misses fetch from (and dirty L2 victims write to)
+/// HBM.
+class OracleTiered {
+ public:
+  OracleTiered(const CacheConfig& l1, const CacheConfig& l2)
+      : l1_(l1), l2_(l2), line_bytes_(l1.line_bytes) {}
+
+  ServiceLevel access(std::uint64_t addr, std::uint32_t size, bool is_write,
+                      bool no_fetch) {
+    ++accesses_;
+    if (size == 0) return ServiceLevel::kL1;
+    ServiceLevel deepest = ServiceLevel::kL1;
+    const std::uint64_t first = addr / line_bytes_;
+    const std::uint64_t last = (addr + size - 1) / line_bytes_;
+    for (std::uint64_t line = first; line <= last; ++line) {
+      ++lines_touched_;
+      const auto r1 = l1_.access(line, is_write);
+      if (r1.hit) {
+        ++l1_hits_;
+        continue;
+      }
+      if (r1.writeback) {
+        const auto wb = l2_.access(r1.victim_line, true);
+        if (!wb.hit) {
+          hbm_write_bytes_ += line_bytes_;
+          if (wb.writeback) hbm_write_bytes_ += line_bytes_;
+        } else if (wb.writeback) {
+          hbm_write_bytes_ += line_bytes_;
+        }
+      }
+      const auto r2 = l2_.access(line, is_write);
+      if (r2.hit) {
+        ++l2_hits_;
+        deepest = std::max(deepest, ServiceLevel::kL2);
+        continue;
+      }
+      if (r2.writeback) hbm_write_bytes_ += line_bytes_;
+      if (!no_fetch) {
+        ++hbm_lines_;
+        hbm_read_bytes_ += line_bytes_;
+      }
+      deepest = ServiceLevel::kHbm;
+    }
+    return deepest;
+  }
+
+  std::uint64_t accesses_ = 0, lines_touched_ = 0, l1_hits_ = 0,
+                l2_hits_ = 0, hbm_lines_ = 0, hbm_read_bytes_ = 0,
+                hbm_write_bytes_ = 0;
+  OracleCache l1_;
+  OracleCache l2_;
+  std::uint32_t line_bytes_;
+};
+
+struct StreamParams {
+  std::uint64_t size_bytes;
+  std::uint32_t line_bytes;
+  std::uint32_t ways;
+  std::uint64_t address_space_lines;
+  std::uint32_t seed;
+};
+
+class CacheDifferential : public ::testing::TestWithParam<StreamParams> {};
+
+TEST_P(CacheDifferential, MatchesOracleAccessByAccess) {
+  const StreamParams p = GetParam();
+  const CacheConfig cfg{p.size_bytes, p.line_bytes, p.ways};
+  Cache cache(cfg);
+  OracleCache oracle(cfg);
+
+  std::mt19937_64 rng(p.seed);
+  // Mixed stream: bursts of locality (re-touch recent lines, the memo's
+  // bread and butter) interleaved with uniform lines and periodic
+  // invalidations (the epoch path).
+  std::vector<std::uint64_t> recent;
+  for (int i = 0; i < 60000; ++i) {
+    std::uint64_t line;
+    if (!recent.empty() && rng() % 4 != 0) {
+      line = recent[rng() % recent.size()];
+    } else {
+      line = rng() % p.address_space_lines;
+      recent.push_back(line);
+      if (recent.size() > 12) recent.erase(recent.begin());
+    }
+    const bool is_write = rng() % 3 == 0;
+    const auto got = cache.access(line, is_write);
+    const auto want = oracle.access(line, is_write);
+    ASSERT_EQ(got.hit, want.hit) << "access " << i << " line " << line;
+    ASSERT_EQ(got.writeback, want.writeback) << "access " << i;
+    if (want.writeback) {
+      ASSERT_EQ(got.victim_line, want.victim_line) << "access " << i;
+    }
+    if (i % 9000 == 8999) {
+      cache.invalidate_all();
+      oracle.invalidate_all();
+      recent.clear();
+    }
+  }
+  EXPECT_EQ(cache.stats().hits, oracle.hits());
+  EXPECT_EQ(cache.stats().misses, oracle.misses());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, CacheDifferential,
+    ::testing::Values(
+        // L1-slice-shaped: 32 B lines, 8 ways.
+        StreamParams{24576, 32, 8, 4096, 1},
+        // L2-slice-shaped: 16 ways.
+        StreamParams{40960, 32, 16, 4096, 2},
+        // Tiny, high-conflict: exercises victim choice constantly.
+        StreamParams{4 * 64, 64, 2, 64, 3},
+        // Direct-mapped degenerate.
+        StreamParams{16 * 64, 64, 1, 256, 4},
+        // Odd way count (no SIMD tag path), sparse address space.
+        StreamParams{6 * 64 * 8, 64, 6, 100000, 5}));
+
+// Whole-hierarchy differential: every counter TieredMemory exposes must
+// match the naive model under a kernel-shaped mix of single-line accesses,
+// multi-line ranges, streaming wipes and flush-less resets.
+TEST(TieredDifferentialTest, CountersMatchOracle) {
+  const CacheConfig l1{24576, 32, 8};
+  const CacheConfig l2{40960, 32, 16};
+  TieredMemory mem(l1, l2);
+  OracleTiered oracle(l1, l2);
+
+  std::mt19937_64 rng(20240731);
+  const std::uint64_t arena = 1u << 18;
+  for (int i = 0; i < 40000; ++i) {
+    const std::uint64_t addr = rng() % arena;
+    switch (rng() % 6) {
+      case 0:
+        mem.read(addr, 12);
+        oracle.access(addr, 12, false, false);
+        break;
+      case 1:
+        mem.write(addr, 20);
+        oracle.access(addr, 20, true, false);
+        break;
+      case 2: {  // multi-line k-mer-shaped range
+        const std::uint32_t len = 21 + rng() % 100;
+        mem.read_range(addr, len);
+        oracle.access(addr, len, false, false);
+        break;
+      }
+      case 3:
+        mem.stream_write(addr, 32);
+        oracle.access(addr, 32, true, true);
+        break;
+      case 4: {  // streaming wipe == per-line stream_write loop
+        const std::uint64_t bytes = 32 * (1 + rng() % 64);
+        const std::uint64_t base = addr & ~std::uint64_t{31};
+        mem.stream_write_range(base, bytes);
+        for (std::uint64_t off = 0; off < bytes; off += 32) {
+          oracle.access(base + off, 32, true, true);
+        }
+        break;
+      }
+      default:
+        mem.read(addr, 1);
+        oracle.access(addr, 1, false, false);
+        break;
+    }
+    if (i % 4000 == 3999) {
+      // A fresh oracle == TieredMemory::reset() (invalidation without
+      // writeback billing plus zeroed counters).
+      mem.reset();
+      oracle = OracleTiered(l1, l2);
+    }
+  }
+  const TrafficStats& s = mem.stats();
+  EXPECT_EQ(s.accesses, oracle.accesses_);
+  EXPECT_EQ(s.lines_touched, oracle.lines_touched_);
+  EXPECT_EQ(s.l1_hits, oracle.l1_hits_);
+  EXPECT_EQ(s.l2_hits, oracle.l2_hits_);
+  EXPECT_EQ(s.hbm_lines, oracle.hbm_lines_);
+  EXPECT_EQ(s.hbm_read_bytes, oracle.hbm_read_bytes_);
+  EXPECT_EQ(s.hbm_write_bytes, oracle.hbm_write_bytes_);
+  EXPECT_EQ(mem.l1().stats().hits, oracle.l1_.hits());
+  EXPECT_EQ(mem.l1().stats().misses, oracle.l1_.misses());
+  EXPECT_EQ(mem.l2().stats().hits, oracle.l2_.hits());
+  EXPECT_EQ(mem.l2().stats().misses, oracle.l2_.misses());
+}
+
+}  // namespace
+}  // namespace lassm::memsim
