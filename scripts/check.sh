@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
-# Race-checking gate for the parallel execution engine and the tracing
-# layer riding on it.
+# Sanitizer gate for the parallel execution engine, the tracing layer and
+# the fault-injection/resilience paths.
 #
-# Configures a second build tree with warnings + ThreadSanitizer, runs the
-# engine's determinism/parallelism tests, the memsim differential/golden
-# bit-identity suites and the tracer's span/metrics tests under TSan, then
-# drives a traced multi-threaded end-to-end run and validates the emitted
-# trace/metrics JSON with python3 -m json.tool. Finishes with a Release
-# perf smoke: the memsim hot-path bench must still beat its recorded seed
-# baseline. Any race, test failure, malformed JSON or perf regression
-# fails the script. Usage:
+# Leg 1 (TSan): configures a build tree with warnings + ThreadSanitizer,
+# runs the engine's determinism/parallelism tests, the memsim
+# differential/golden bit-identity suites, the fault-matrix suite and the
+# tracer's span/metrics tests, then drives a traced multi-threaded
+# end-to-end run and validates the emitted trace/metrics JSON with
+# python3 -m json.tool.
+# Leg 2 (ASan+UBSan): rebuilds with AddressSanitizer + UBSan and runs the
+# parser fuzz corpus, the fault matrix and the checkpoint suite — the
+# error paths exercised by injected faults and corrupted inputs must be
+# leak-, overflow- and UB-clean, not just reach the right verdict.
+# Finishes with a Release perf smoke: the memsim hot-path bench must still
+# beat its recorded seed baseline. Any race, sanitizer report, test
+# failure, malformed JSON or perf regression fails the script. Usage:
 #
 #   scripts/check.sh [build-dir]     # default: build-tsan
 set -euo pipefail
@@ -24,7 +29,8 @@ cmake -B "$BUILD" -S . \
   -DLASSM_BUILD_BENCH=OFF \
   -DLASSM_BUILD_EXAMPLES=ON
 
-cmake --build "$BUILD" -j --target tests_core tests_trace tests_memsim quickstart
+cmake --build "$BUILD" -j \
+  --target tests_core tests_trace tests_memsim tests_resilience quickstart
 
 # The parallel-assembler suite drives the pool across thread counts, batch
 # shapes, steal interleavings and the error path; any data race in the
@@ -34,6 +40,13 @@ cmake --build "$BUILD" -j --target tests_core tests_trace tests_memsim quickstar
 TSAN_OPTIONS="halt_on_error=1" \
   "$BUILD/tests/tests_core" \
   --gtest_filter='ParallelAssembler.*:ExecutionEngine.*:GoldenBitIdentity.*'
+
+# The fault matrix crosses every injection seam with serial and 4-thread
+# execution: retries, quarantines, watchdog aborts and device loss all
+# happen while the pool is live, so isolation bugs (a retried task racing
+# its own first attempt, a quarantine touching a neighbour's slot) trip
+# TSan here.
+TSAN_OPTIONS="halt_on_error=1" "$BUILD/tests/tests_resilience"
 
 # The cache/tiered differential oracles under TSan: the memo, packed
 # recency and epoch paths must match the naive model access by access.
@@ -59,6 +72,33 @@ python3 -m json.tool "$METRICS_OUT" > /dev/null
 echo "check.sh: trace/metrics JSON valid."
 
 echo "check.sh: TSan run clean."
+
+# --- Leg 2: ASan + UBSan over the error paths. --------------------------
+# The fuzz corpus (corrupted FASTA/FASTQ/dataset streams), the fault
+# matrix and the checkpoint suite deliberately drive every parser and
+# recovery path through its failure branches; ASan/UBSan turn a latent
+# overflow, use-after-free or UB in those branches into a hard failure
+# even when the test's verdict would still come out right.
+ASAN_BUILD="${BUILD}-asan"
+cmake -B "$ASAN_BUILD" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-Wall -Wextra -fsanitize=address,undefined -fno-sanitize-recover=all" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
+  -DLASSM_BUILD_BENCH=OFF \
+  -DLASSM_BUILD_EXAMPLES=OFF
+
+cmake --build "$ASAN_BUILD" -j \
+  --target tests_bio tests_resilience tests_pipeline tests_workload
+
+ASAN_OPTIONS="detect_leaks=1" \
+  "$ASAN_BUILD/tests/tests_bio" --gtest_filter='FastaFuzz.*'
+ASAN_OPTIONS="detect_leaks=1" "$ASAN_BUILD/tests/tests_resilience"
+ASAN_OPTIONS="detect_leaks=1" \
+  "$ASAN_BUILD/tests/tests_pipeline" \
+  --gtest_filter='Checkpoint.*:MultiGpuResilient.*'
+ASAN_OPTIONS="detect_leaks=1" "$ASAN_BUILD/tests/tests_workload"
+
+echo "check.sh: ASan+UBSan run clean."
 
 # Release perf smoke: the hot-path bench carries its seed-build baseline;
 # demand the probe loop still clears a healthy margin over it (the

@@ -2,7 +2,6 @@
 
 #include <istream>
 #include <ostream>
-#include <stdexcept>
 
 #include "bio/dna.hpp"
 
@@ -10,7 +9,15 @@ namespace lassm::bio {
 
 namespace {
 constexpr std::size_t kWrap = 80;
+
+[[noreturn]] void parse_fail(std::string_view stream_name,
+                             std::uint64_t line, std::uint64_t record,
+                             std::string what) {
+  throw StatusError(Error(
+      ErrorCode::kParseError, std::move(what),
+      SourceContext{std::string(stream_name), line, record}));
 }
+}  // namespace
 
 void write_fasta(std::ostream& os, const ContigSet& contigs) {
   for (const Contig& c : contigs) {
@@ -22,16 +29,24 @@ void write_fasta(std::ostream& os, const ContigSet& contigs) {
   }
 }
 
-std::vector<FastaRecord> read_fasta(std::istream& is) {
+std::vector<FastaRecord> read_fasta(std::istream& is,
+                                    std::string_view stream_name) {
   std::vector<FastaRecord> records;
   std::string line;
+  std::uint64_t lineno = 0;
   while (std::getline(is, line)) {
+    ++lineno;
     if (line.empty()) continue;
     if (line[0] == '>') {
+      if (line.size() == 1) {
+        parse_fail(stream_name, lineno, records.size() + 1,
+                   "FASTA: empty record name");
+      }
       records.push_back({line.substr(1), {}});
     } else {
       if (records.empty()) {
-        throw std::runtime_error("FASTA: sequence data before first header");
+        parse_fail(stream_name, lineno, 0,
+                   "FASTA: sequence data before first header");
       }
       records.back().seq += line;
     }
@@ -48,24 +63,35 @@ void write_fastq(std::ostream& os, const ReadSet& reads) {
   }
 }
 
-ReadSet read_fastq(std::istream& is, std::size_t* n_dropped) {
+ReadSet read_fastq(std::istream& is, std::size_t* n_dropped,
+                   std::string_view stream_name) {
   ReadSet out;
   std::size_t dropped = 0;
+  std::uint64_t lineno = 0;
+  std::uint64_t record = 0;
   std::string header, seq, plus, qual;
   while (std::getline(is, header)) {
+    ++lineno;
     if (header.empty()) continue;
+    ++record;
+    const std::uint64_t header_line = lineno;
     if (header[0] != '@') {
-      throw std::runtime_error("FASTQ: expected '@' header, got: " + header);
+      parse_fail(stream_name, header_line, record,
+                 "FASTQ: expected '@' header, got: " + header);
     }
     if (!std::getline(is, seq) || !std::getline(is, plus) ||
         !std::getline(is, qual)) {
-      throw std::runtime_error("FASTQ: truncated record: " + header);
+      parse_fail(stream_name, header_line, record,
+                 "FASTQ: truncated record: " + header);
     }
+    lineno += 3;
     if (plus.empty() || plus[0] != '+') {
-      throw std::runtime_error("FASTQ: expected '+' separator in: " + header);
+      parse_fail(stream_name, header_line + 2, record,
+                 "FASTQ: expected '+' separator in: " + header);
     }
     if (seq.size() != qual.size()) {
-      throw std::runtime_error("FASTQ: seq/qual length mismatch in: " + header);
+      parse_fail(stream_name, header_line + 3, record,
+                 "FASTQ: seq/qual length mismatch in: " + header);
     }
     if (!is_valid_sequence(seq)) {
       ++dropped;

@@ -2,14 +2,22 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bio/contig.hpp"
 #include "bio/read.hpp"
+#include "resilience/status.hpp"
 
 /// Minimal FASTA/FASTQ I/O for the examples and the pipeline. Parsers are
 /// tolerant of wrapped FASTA lines and blank lines; FASTQ is the strict
 /// 4-line record form produced by modern instruments.
+///
+/// Malformed input throws StatusError with code kParseError and a
+/// SourceContext carrying the stream name, the 1-based line number and the
+/// 1-based record ordinal — so "reads.fq:41 (record 11)" lands in the
+/// message instead of a context-free complaint. StatusError derives
+/// std::runtime_error, so pre-existing catch sites are unaffected.
 namespace lassm::bio {
 
 struct FastaRecord {
@@ -20,16 +28,20 @@ struct FastaRecord {
 /// Writes contigs as FASTA (one record per contig, 80-column wrapping).
 void write_fasta(std::ostream& os, const ContigSet& contigs);
 
-/// Parses FASTA records from a stream. Throws std::runtime_error on
-/// malformed input.
-std::vector<FastaRecord> read_fasta(std::istream& is);
+/// Parses FASTA records from a stream. `stream_name` seeds the error
+/// context (pass the file path when reading a file). Throws
+/// StatusError(kParseError) on malformed input.
+std::vector<FastaRecord> read_fasta(std::istream& is,
+                                    std::string_view stream_name = "fasta");
 
 /// Writes a ReadSet as FASTQ ("@read<i>" naming).
 void write_fastq(std::ostream& os, const ReadSet& reads);
 
 /// Parses FASTQ into a ReadSet. Reads containing non-ACGT bases are
 /// dropped (returned in *n_dropped if non-null) — mirroring the upstream
-/// filtering MetaHipMer applies before local assembly.
-ReadSet read_fastq(std::istream& is, std::size_t* n_dropped = nullptr);
+/// filtering MetaHipMer applies before local assembly. Throws
+/// StatusError(kParseError) on structurally malformed records.
+ReadSet read_fastq(std::istream& is, std::size_t* n_dropped = nullptr,
+                   std::string_view stream_name = "fastq");
 
 }  // namespace lassm::bio

@@ -9,13 +9,19 @@
 #include "core/exec.hpp"
 #include "core/ladder.hpp"
 #include "memsim/tiered.hpp"
+#include "resilience/fault_plan.hpp"
 #include "trace/trace.hpp"
 
 namespace lassm::core {
 
 LocalAssembler::LocalAssembler(simt::DeviceSpec dev, simt::ProgrammingModel pm,
                                AssemblyOptions opts)
-    : dev_(std::move(dev)), pm_(pm), opts_(opts) {}
+    : dev_(std::move(dev)), pm_(pm), opts_(opts) {
+  // Fail fast with a typed, field-naming error instead of letting a
+  // malformed configuration surface as UB deep inside the kernel.
+  dev_.validate().throw_if_error();
+  opts_.validate().throw_if_error();
+}
 
 LocalAssembler::LocalAssembler(simt::DeviceSpec dev, AssemblyOptions opts)
     : LocalAssembler(dev, dev.native_model, opts) {}
@@ -252,11 +258,19 @@ AssemblyResult LocalAssembler::run(const AssemblyInput& in) const {
   // path as the oracle. Host threading only changes who drives the
   // simulated warps — every task's result and every merged counter is
   // bit-identical either way, so the modelled time is too.
+  //
+  // An armed fault plan switches every launch onto the engine's isolated
+  // path (even at one thread, where the engine runs caller-only — equal to
+  // the serial oracle by the context reconfigure-equivalence contract), so
+  // task exceptions quarantine instead of crashing the run.
+  const resilience::FaultPlan* const plan = opts_.fault_plan;
+  const bool armed = plan != nullptr;
   const unsigned n_threads = resolve_threads(opts_.n_threads);
   std::unique_ptr<WarpExecutionEngine> engine;
-  if (n_threads > 1 && in.contigs.size() > 1) {
+  if (armed || (n_threads > 1 && in.contigs.size() > 1)) {
     engine = std::make_unique<WarpExecutionEngine>(dev_, pm_, opts_,
                                                    n_threads);
+    result.failures.serial_fallback = engine->degraded();
   }
 
   // Observability is strictly read-only: spans and metrics are recorded
@@ -266,7 +280,14 @@ AssemblyResult LocalAssembler::run(const AssemblyInput& in) const {
   const std::uint32_t driver_track =
       tracer != nullptr ? tracer->track("host", "driver") : 0;
 
+  // Launch ordinals for the device-loss seam: each completed (side, batch)
+  // launch counts one; a scheduled loss fires between launches, exactly
+  // like a device dropping out between kernel invocations.
+  std::uint32_t batch_ordinal = 0;
+  bool lost = false;
+
   for (Side side : {Side::kRight, Side::kLeft}) {
+    if (lost) break;
     const bio::ReadSet& reads = side == Side::kRight ? in.reads : rc_reads;
     if (side == Side::kLeft && !any_left) continue;
     const double side_t0 = tracer != nullptr ? tracer->host_now_us() : 0.0;
@@ -308,6 +329,12 @@ AssemblyResult LocalAssembler::run(const AssemblyInput& in) const {
         task.table_sim_base = lay.table_addr[pos];
         task.walkbuf_sim_addr = lay.walkbuf_addr[pos];
         task.kmer_len = in.kmer_len;
+        // Keyed by the contig's stable id (not its position), so fault
+        // decisions survive re-partitioning — a device-loss recovery rerun
+        // of this contig on another rank sees identical injections.
+        task.fault_key =
+            resilience::contig_fault_key(in.contigs[id].id,
+                                         side == Side::kRight);
       }
 
       // Per-position warp outcomes; the extension strings are moved into
@@ -315,8 +342,10 @@ AssemblyResult LocalAssembler::run(const AssemblyInput& in) const {
       // (slots are disjoint — contig independence), while counters and
       // traffic stay here for the deterministic post-barrier merge.
       std::vector<WarpResult> outcomes(n_tasks);
-      const auto process = [&](std::size_t pos, WarpKernelContext& ctx) {
-        WarpResult wr = ctx.run(tasks[pos]);
+      const auto process_attempt = [&](std::size_t pos,
+                                       WarpKernelContext& ctx,
+                                       unsigned attempt) {
+        WarpResult wr = ctx.run(tasks[pos], attempt);
         bio::ContigExtension& ext =
             result.extensions[batch.contig_ids[pos]];
         if (side == Side::kRight) {
@@ -329,14 +358,52 @@ AssemblyResult LocalAssembler::run(const AssemblyInput& in) const {
         }
         outcomes[pos] = std::move(wr);
       };
+      const auto process = [&](std::size_t pos, WarpKernelContext& ctx) {
+        process_attempt(pos, ctx, 0);
+      };
 
       const double launch_t0 =
           tracer != nullptr ? tracer->host_now_us() : 0.0;
-      if (engine != nullptr) {
+      const std::size_t faults_before = result.failures.faults.size();
+      if (armed) {
+        // Isolated path: a throwing task (injected or organic) quarantines
+        // after bounded retries instead of failing the launch; unaffected
+        // tasks are untouched (disjoint slots, deterministic schedule).
+        engine->run_batch_isolated(
+            n_tasks, concurrency, process_attempt,
+            [&](std::size_t pos) { return tasks[pos].fault_key; }, plan,
+            opts_.max_task_retries, batch_ordinal, result.failures);
+      } else if (engine != nullptr) {
         engine->run_batch(n_tasks, concurrency, process);
       } else {
         WarpKernelContext ctx(dev_, pm_, opts_, concurrency);
         for (std::size_t pos = 0; pos < n_tasks; ++pos) process(pos, ctx);
+      }
+      if (armed) {
+        for (const WarpResult& wr : outcomes) {
+          result.failures.mem_faults += wr.mem_faults;
+          result.failures.walks_aborted += wr.walk_aborts;
+        }
+        if (tracer != nullptr) {
+          for (std::size_t f = faults_before;
+               f < result.failures.faults.size(); ++f) {
+            const resilience::TaskFault& tf = result.failures.faults[f];
+            trace::Event fe;
+            fe.kind = trace::Event::Kind::kInstant;
+            fe.track = driver_track;
+            fe.name = tf.quarantined ? "task quarantined" : "task retried";
+            fe.cat = "resilience";
+            fe.ts_us = tracer->host_now_us();
+            fe.args = {
+                trace::Arg::n("fault_key",
+                              static_cast<double>(tf.fault_key)),
+                trace::Arg::n("batch", static_cast<double>(tf.batch)),
+                trace::Arg::n("attempts", tf.attempts),
+                trace::Arg::s("code", error_code_name(tf.code)),
+            };
+            tracer->record(std::move(fe));
+          }
+        }
       }
 
       // Merge in batch position (ascending contig-id within the batch's
@@ -365,6 +432,31 @@ AssemblyResult LocalAssembler::run(const AssemblyInput& in) const {
       }
       result.stats.merge(launch.stats);
       result.launches.push_back(std::move(launch));
+      ++batch_ordinal;
+
+      // Device-loss seam: the simulated device drops out between kernel
+      // launches. Completed launches' extensions were already copied back
+      // (the real driver stages results per batch), so the run returns
+      // early with them intact and lists what is left unfinished.
+      if (armed && plan->device_lost(opts_.fault_rank, batch_ordinal)) {
+        lost = true;
+        result.device_lost = true;
+        ++result.failures.devices_lost;
+        if (tracer != nullptr) {
+          trace::Event de;
+          de.kind = trace::Event::Kind::kInstant;
+          de.track = driver_track;
+          de.name = "device lost";
+          de.cat = "resilience";
+          de.ts_us = tracer->host_now_us();
+          de.args = {
+              trace::Arg::n("rank", opts_.fault_rank),
+              trace::Arg::n("after_batch", batch_ordinal),
+          };
+          tracer->record(std::move(de));
+        }
+        break;
+      }
     }
 
     if (tracer != nullptr) {
@@ -381,9 +473,40 @@ AssemblyResult LocalAssembler::run(const AssemblyInput& in) const {
   // multiple bins in flight), so the run executes as one scheduling pool:
   // the modelled total uses the merged warp stream, not the sum of
   // per-launch times (which would serialise every bin's straggler).
+  result.completed_batches = batch_ordinal;
+  if (lost) {
+    // A contig is final only when every one of its launches completed.
+    // Left launches (when present) run after all right launches, so a
+    // batch's last ordinal is n_batches + b (or just b with no left side).
+    for (std::uint32_t b = 0;
+         b < static_cast<std::uint32_t>(batches.size()); ++b) {
+      const std::uint32_t last_ordinal =
+          any_left ? static_cast<std::uint32_t>(batches.size()) + b : b;
+      if (last_ordinal < batch_ordinal) continue;
+      for (std::uint32_t id : batches[b].contig_ids) {
+        result.unfinished_contigs.push_back(id);
+      }
+    }
+    std::sort(result.unfinished_contigs.begin(),
+              result.unfinished_contigs.end());
+  }
+
   result.time = simt::estimate_time(dev_, result.stats);
   result.total_time_s = result.time.total_s;
   if (tracer != nullptr) record_run_metrics(result, tracer->metrics());
+  if (tracer != nullptr && armed) {
+    trace::MetricsRegistry& reg = tracer->metrics();
+    const resilience::FailureReport& fr = result.failures;
+    reg.counter(trace::names::kResilienceFaultsInjected)
+        .add(fr.faults.size() + fr.mem_faults + fr.walks_aborted +
+             fr.devices_lost);
+    reg.counter(trace::names::kResilienceTasksRetried).add(fr.tasks_retried);
+    reg.counter(trace::names::kResilienceTasksQuarantined)
+        .add(fr.tasks_quarantined);
+    reg.counter(trace::names::kResilienceWalksAborted).add(fr.walks_aborted);
+    reg.counter(trace::names::kResilienceMemFaults).add(fr.mem_faults);
+    reg.counter(trace::names::kResilienceDevicesLost).add(fr.devices_lost);
+  }
   return result;
 }
 

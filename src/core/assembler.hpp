@@ -6,6 +6,7 @@
 #include "core/input.hpp"
 #include "core/kernel.hpp"
 #include "core/options.hpp"
+#include "resilience/report.hpp"
 #include "simt/perf_model.hpp"
 #include "trace/metrics.hpp"
 
@@ -32,6 +33,21 @@ struct AssemblyResult {
   /// Breakdown of total_time_s (issue / memory / wave bound).
   simt::TimeBreakdown time;
   std::vector<LaunchBreakdown> launches;
+
+  /// Failure accounting of the resilient execution mode. Always clean()
+  /// when AssemblyOptions::fault_plan is unset (legacy path) or the armed
+  /// plan injected nothing and nothing failed organically.
+  resilience::FailureReport failures;
+  /// True when the simulated device was lost mid-run (FaultPlan device-loss
+  /// event matched this run's fault_rank): the run returns early with every
+  /// completed batch's extensions intact and the rest listed below.
+  bool device_lost = false;
+  /// (side, batch) launches completed before the loss (both sides counted).
+  std::uint32_t completed_batches = 0;
+  /// Indices into the input's contig list whose extensions are NOT final
+  /// because the device died before all their launches ran. Empty unless
+  /// device_lost.
+  std::vector<std::uint32_t> unfinished_contigs;
 
   std::uint64_t total_extension_bases() const noexcept {
     std::uint64_t n = 0;

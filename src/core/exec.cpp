@@ -16,11 +16,34 @@ WarpExecutionEngine::WarpExecutionEngine(const simt::DeviceSpec& dev,
                                          unsigned n_threads)
     : dev_(dev), pm_(pm), opts_(opts),
       n_threads_(resolve_threads(n_threads)), tracer_(opts.trace) {
+  // Injected pool-start failure (kPoolStart seam): behave exactly as if no
+  // worker thread could be created — run caller-only, degraded.
+  const resilience::FaultPlan* plan = opts.fault_plan;
+  if (plan != nullptr && n_threads_ > 1 &&
+      plan->fires(resilience::Seam::kPoolStart, 0)) {
+    n_threads_ = 1;
+    degraded_ = true;
+  }
+  // Serial-fallback degradation: a thread the OS refuses to create shrinks
+  // the pool to whatever started (worst case just the caller) instead of
+  // failing the run — results are bit-identical at any worker count.
+  pool_.reserve(n_threads_ - 1);
+  for (unsigned wid = 1; wid < n_threads_; ++wid) {
+    try {
+      pool_.emplace_back([this, wid] { worker_loop(wid); });
+    } catch (const std::system_error&) {
+      n_threads_ = static_cast<unsigned>(pool_.size()) + 1;
+      degraded_ = true;
+      break;
+    }
+  }
   contexts_.resize(n_threads_);
   context_concurrency_.assign(n_threads_, 0);
   if (tracer_ != nullptr) {
     // Register every worker's host track (and the claim/steal counters) up
-    // front so nothing in the hot loop has to take the tracer mutex.
+    // front so nothing in the hot loop has to take the tracer mutex. Pool
+    // threads idle until run_batch publishes a job, so filling these after
+    // the spawn is safe.
     worker_tracks_.reserve(n_threads_);
     for (unsigned wid = 0; wid < n_threads_; ++wid) {
       worker_tracks_.push_back(
@@ -29,10 +52,6 @@ WarpExecutionEngine::WarpExecutionEngine(const simt::DeviceSpec& dev,
     worker_buffers_.resize(n_threads_);
     claims_metric_ = &tracer_->metrics().counter(trace::names::kExecClaims);
     steals_metric_ = &tracer_->metrics().counter(trace::names::kExecSteals);
-  }
-  pool_.reserve(n_threads_ - 1);
-  for (unsigned wid = 1; wid < n_threads_; ++wid) {
-    pool_.emplace_back([this, wid] { worker_loop(wid); });
   }
 }
 
@@ -176,6 +195,83 @@ void WarpExecutionEngine::run_batch(
     }
   }
   if (job.error) std::rethrow_exception(job.error);
+}
+
+void WarpExecutionEngine::run_batch_isolated(
+    std::size_t n, std::uint64_t concurrency,
+    const std::function<void(std::size_t, WarpKernelContext&, unsigned)>&
+        body,
+    const std::function<std::uint64_t(std::size_t)>& key_of,
+    const resilience::FaultPlan* plan, unsigned max_retries,
+    std::uint64_t batch_ordinal, resilience::FailureReport& report) {
+  if (n == 0) return;
+  using resilience::Seam;
+
+  // Per-task failure slots: disjoint, so workers record their own tasks'
+  // exceptions without any lock, and a thrown task can never poison a
+  // sibling or take down the launch.
+  std::vector<std::exception_ptr> errors(n);
+
+  const auto attempt_once = [&](std::size_t i, WarpKernelContext& ctx,
+                                unsigned attempt) {
+    try {
+      if (plan != nullptr &&
+          plan->fires(Seam::kTaskException, key_of(i), attempt)) {
+        throw StatusError(
+            Error(ErrorCode::kTaskFailed, "injected worker-task exception",
+                  SourceContext{"task", 0, key_of(i)}));
+      }
+      body(i, ctx, attempt);
+      errors[i] = nullptr;
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+
+  run_batch(n, concurrency,
+            [&](std::size_t i, WarpKernelContext& ctx) {
+              attempt_once(i, ctx, 0);
+            });
+
+  // Retry pass: driver-side, ascending task order, on worker 0's context —
+  // one deterministic serial schedule regardless of which worker failed
+  // the task or how many threads the pool has.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!errors[i]) continue;
+    unsigned attempts = 1;
+    for (unsigned retry = 1; retry <= max_retries && errors[i]; ++retry) {
+      ++report.tasks_retried;
+      attempt_once(i, context_for(0, concurrency), retry);
+      ++attempts;
+    }
+
+    resilience::TaskFault fault;
+    fault.fault_key = key_of(i);
+    fault.batch = batch_ordinal;
+    fault.index = i;
+    fault.attempts = attempts;
+    fault.quarantined = static_cast<bool>(errors[i]);
+    if (errors[i]) {
+      ++report.tasks_quarantined;
+      try {
+        std::rethrow_exception(errors[i]);
+      } catch (const StatusError& e) {
+        fault.code = e.code();
+        fault.message = e.error().message();
+      } catch (const std::exception& e) {
+        fault.code = ErrorCode::kTaskFailed;
+        fault.message = e.what();
+      } catch (...) {
+        fault.code = ErrorCode::kTaskFailed;
+        fault.message = "unknown exception";
+      }
+    } else {
+      // Retried to success: transient fault absorbed.
+      fault.code = ErrorCode::kTaskFailed;
+      fault.message = "transient failure, recovered by retry";
+    }
+    report.faults.push_back(std::move(fault));
+  }
 }
 
 }  // namespace lassm::core

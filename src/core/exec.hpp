@@ -11,6 +11,8 @@
 
 #include "core/kernel.hpp"
 #include "core/options.hpp"
+#include "resilience/fault_plan.hpp"
+#include "resilience/report.hpp"
 #include "simt/device.hpp"
 #include "trace/trace.hpp"
 
@@ -56,6 +58,12 @@ class WarpExecutionEngine {
  public:
   /// Spawns `resolve_threads(n_threads) - 1` pool threads; the thread
   /// calling run_batch participates as worker 0.
+  ///
+  /// Pool-start failure (a std::thread that cannot be created, or the
+  /// injected kPoolStart seam of an armed fault plan) degrades instead of
+  /// throwing: the engine keeps whatever workers it managed to start — in
+  /// the worst case only the caller — and reports degraded(). Results are
+  /// unaffected by construction (bit-identical at every worker count).
   WarpExecutionEngine(const simt::DeviceSpec& dev, simt::ProgrammingModel pm,
                       const AssemblyOptions& opts, unsigned n_threads = 0);
   ~WarpExecutionEngine();
@@ -64,6 +72,10 @@ class WarpExecutionEngine {
   WarpExecutionEngine& operator=(const WarpExecutionEngine&) = delete;
 
   unsigned n_threads() const noexcept { return n_threads_; }
+
+  /// True when the constructor could not start the requested pool and the
+  /// engine is running with fewer workers than asked for.
+  bool degraded() const noexcept { return degraded_; }
 
   /// Runs `body(i, ctx)` for every i in [0, n) across the pool and blocks
   /// until all calls completed (the launch barrier). `concurrency` is the
@@ -76,6 +88,33 @@ class WarpExecutionEngine {
   void run_batch(std::size_t n, std::uint64_t concurrency,
                  const std::function<void(std::size_t, WarpKernelContext&)>&
                      body);
+
+  /// The hardened variant of run_batch: per-task exception isolation with
+  /// bounded deterministic retry and quarantine instead of run_batch's
+  /// fail-the-launch rethrow.
+  ///
+  /// `body(i, ctx, attempt)` runs every task; a task that throws is
+  /// recorded in its own slot (slots are disjoint — no worker blocks or
+  /// poisons another) and, after the launch barrier, retried by the
+  /// calling thread in ascending task order on worker 0's context, up to
+  /// `max_retries` more attempts. A task that still fails is quarantined:
+  /// its result slot keeps whatever the body left (for warp tasks,
+  /// nothing), and a TaskFault lands in `report`. `key_of(i)` supplies the
+  /// task's stable fault key, used both for reporting and for the engine's
+  /// own kTaskException injection seam when `plan` is armed (transient:
+  /// fires only at attempt 0, so the first retry clears it).
+  ///
+  /// Determinism: injection is a pure function of (plan, key, attempt),
+  /// retries run serially in ascending order on one context, and isolation
+  /// only observes exceptions — with no armed seam firing, results are
+  /// byte-identical to run_batch at every thread count.
+  void run_batch_isolated(
+      std::size_t n, std::uint64_t concurrency,
+      const std::function<void(std::size_t, WarpKernelContext&, unsigned)>&
+          body,
+      const std::function<std::uint64_t(std::size_t)>& key_of,
+      const resilience::FaultPlan* plan, unsigned max_retries,
+      std::uint64_t batch_ordinal, resilience::FailureReport& report);
 
  private:
   /// One worker's slice of the batch: [next, end) items not yet claimed.
@@ -126,6 +165,7 @@ class WarpExecutionEngine {
   Job* job_ = nullptr;
   std::uint64_t epoch_ = 0;        ///< bumped once per published job
   bool stopping_ = false;
+  bool degraded_ = false;          ///< pool start failed; fewer workers
   std::vector<std::thread> pool_;
 };
 

@@ -5,6 +5,7 @@
 
 #include "bio/murmur.hpp"
 #include "bio/quality.hpp"
+#include "resilience/fault_plan.hpp"
 
 namespace lassm::core {
 
@@ -30,7 +31,36 @@ void WarpKernelContext::reconfigure(std::uint64_t concurrency) {
   mem_ = memsim::TieredMemory(l1_cfg_, l2_cfg_);
 }
 
-WarpResult WarpKernelContext::run(const WarpTask& task) {
+void WarpKernelContext::validate_task(const WarpTask& task) const {
+  const auto corrupt = [&](std::string what) {
+    return StatusError(Error(ErrorCode::kCorruptInput,
+                             "WarpKernelContext: " + std::move(what),
+                             SourceContext{"task", 0, task.fault_key}));
+  };
+  if (task.reads == nullptr) throw corrupt("null read set");
+  const std::size_t n_reads = task.reads->size();
+  for (std::uint32_t rid : task.read_ids) {
+    if (rid >= n_reads)
+      throw corrupt("read id " + std::to_string(rid) + " out of range (" +
+                    std::to_string(n_reads) + " reads)");
+  }
+  if (task.kmer_len == 0) throw corrupt("zero kmer_len");
+}
+
+WarpResult WarpKernelContext::run(const WarpTask& task, unsigned attempt) {
+  const resilience::FaultPlan* plan = opts_.fault_plan;
+  if (plan != nullptr) {
+    // Hardened entry: reject genuinely malformed payloads, then the
+    // injected bad-input seam (persistent — the "same" malformed task
+    // fails its retries too and ends up quarantined).
+    validate_task(task);
+    if (plan->fires(resilience::Seam::kBadInput, task.fault_key, attempt)) {
+      throw StatusError(
+          Error(ErrorCode::kCorruptInput,
+                "injected malformed task payload",
+                SourceContext{"task", 0, task.fault_key}));
+    }
+  }
   // Reset contract (see header): clear every piece of cross-task scratch
   // this call reads before the task's own writes — the hierarchy here, the
   // lanes here (insert_lockstep reads only lanes it first overwrites, but a
@@ -79,10 +109,27 @@ WarpResult WarpKernelContext::run(const WarpTask& task) {
     const std::uint64_t rung_start_cycles = ctr.cycles;
     const std::uint64_t rung_start_probes = ctr.probes;
 
+    // Injected seams, keyed per (task, rung) so different rungs of one
+    // contig fault independently but deterministically. mer < 256, so the
+    // shifted key cannot collide across tasks.
+    bool inject_hang = false;
+    if (plan != nullptr) {
+      const std::uint64_t rung_key = (task.fault_key << 8) ^ mer;
+      if (plan->fires(resilience::Seam::kMemStall, rung_key, attempt)) {
+        // Transient tier interruption: dirty lines written back, caches
+        // dropped — the rung's remaining accesses re-fetch from HBM.
+        mem.fault_interrupt();
+        ++res.mem_faults;
+      }
+      inject_hang =
+          plan->fires(resilience::Seam::kWalkHang, rung_key, attempt);
+    }
+
     table_.reset(slots, task.table_sim_base);
     construct(task, mer, mem, ctr);
     const std::uint64_t construct_end_cycles = ctr.cycles;
-    WalkOutcome walk = merwalk(task, mer, mem, ctr);
+    WalkOutcome walk = merwalk(task, mer, mem, ctr, inject_hang);
+    if (walk.state == WalkState::kAborted) ++res.walk_aborts;
 
     if (res.trace != nullptr) {
       WarpTaskTrace::Rung r;
@@ -293,7 +340,7 @@ void WarpKernelContext::insert_lockstep(const WarpTask& task,
 
 WarpKernelContext::WalkOutcome WarpKernelContext::merwalk(
     const WarpTask& task, std::uint32_t mer, memsim::TieredMemory& mem,
-    simt::WarpCounters& ctr) {
+    simt::WarpCounters& ctr, bool inject_hang) {
   WalkOutcome out;
   if (task.contig.size() < mer) return out;  // kMissing
   const std::uint32_t n = table_.slots();
@@ -314,9 +361,24 @@ WarpKernelContext::WalkOutcome WarpKernelContext::merwalk(
 
   out.state = WalkState::kRunning;
   std::uint32_t step = 0;
+  // Watchdog: a healthy walk either terminates or grows by one base per
+  // iteration, so it can pass the kLimit check at most max_walk_len times.
+  // The budget therefore never trips on a healthy walk (observation only —
+  // a local counter, nothing modelled is charged), but bounds every walk
+  // that stops making progress, injected or organic.
+  std::uint64_t iterations = 0;
+  const std::uint64_t watchdog_budget =
+      static_cast<std::uint64_t>(opts_.max_walk_len) + 2;
   while (out.state == WalkState::kRunning) {
     if (out.walk.size() >= opts_.max_walk_len) {
       out.state = WalkState::kLimit;
+      break;
+    }
+    if (++iterations > watchdog_budget) {
+      // Runaway walk: cancel and discard the partial extension — an
+      // aborted walk must not contribute bases the ladder could accept.
+      out.state = WalkState::kAborted;
+      out.walk.clear();
       break;
     }
     ++ctr.walk_steps;
@@ -363,6 +425,14 @@ WarpKernelContext::WalkOutcome WarpKernelContext::merwalk(
     if (choice.state != WalkState::kRunning) {
       out.state = choice.state;
       break;
+    }
+
+    if (inject_hang) {
+      // Injected hang: the chosen base is discarded and the node unmarked,
+      // so the next iteration repeats this one exactly — no progress, no
+      // termination. Only the watchdog above gets the walk out.
+      found->visit_epoch = walk_epoch_ - 1;
+      continue;
     }
 
     walkbuf_.push_back(choice.ext);

@@ -56,6 +56,11 @@ struct WarpTask {
   std::uint64_t table_sim_base = 0;
   std::uint64_t walkbuf_sim_addr = 0;
   std::uint32_t kmer_len = 0;
+  /// Stable fault-injection identity (resilience::contig_fault_key of the
+  /// contig's id and walk side). Pure metadata: unused unless
+  /// AssemblyOptions::fault_plan is armed, and independent of batching and
+  /// thread assignment so injected faults are deterministic.
+  std::uint64_t fault_key = 0;
 };
 
 /// Per-task trace record, produced only when AssemblyOptions::trace is set:
@@ -85,6 +90,9 @@ struct WarpResult {
   simt::WarpCounters counters;
   memsim::TrafficStats traffic;
   std::unique_ptr<WarpTaskTrace> trace;   ///< null unless tracing
+  /// Fault accounting (always zero without an armed fault plan).
+  std::uint32_t mem_faults = 0;           ///< injected tier interruptions
+  std::uint32_t walk_aborts = 0;          ///< rungs the watchdog cancelled
 };
 
 /// Executes contig-end warps for one kernel launch. The context owns the
@@ -110,7 +118,19 @@ class WarpKernelContext {
 
   /// Simulates one warp end-to-end: the mer-size ladder of
   /// {construct (Algorithm 1) -> mer-walk (Algorithm 2)} rounds of Fig. 4.
-  WarpResult run(const WarpTask& task);
+  ///
+  /// `attempt` is the execution attempt (0 = first try); it only matters
+  /// when AssemblyOptions::fault_plan is armed, where transient seams fire
+  /// exclusively at attempt 0 so retries can succeed. In armed mode the
+  /// task payload is validated first (out-of-range read ids and ids whose
+  /// sequences cannot back a k-mer view raise a kCorruptInput StatusError
+  /// instead of undefined behaviour), the injected bad-input seam raises
+  /// the same error, injected mem stalls interrupt the tier between rungs,
+  /// and a watchdog cancels walks that exceed the max_walk_len-derived
+  /// iteration budget as WalkState::kAborted. All of this is observation
+  /// or injection only: with an empty armed plan the modelled numbers are
+  /// bit-identical to the unarmed path.
+  WarpResult run(const WarpTask& task, unsigned attempt = 0);
 
   /// Re-derives the fair-share cache slices for a new batch concurrency,
   /// keeping the context's scratch allocations. Equivalent to constructing
@@ -129,6 +149,11 @@ class WarpKernelContext {
     bool valid = false;
   };
 
+  /// Armed-mode payload validation: raises a kCorruptInput StatusError on
+  /// a task whose read ids or geometry would otherwise be undefined
+  /// behaviour (never called on the unarmed fast path).
+  void validate_task(const WarpTask& task) const;
+
   void construct(const WarpTask& task, std::uint32_t mer,
                  memsim::TieredMemory& mem, simt::WarpCounters& ctr);
 
@@ -142,8 +167,13 @@ class WarpKernelContext {
     std::string walk;
     WalkState state = WalkState::kMissing;
   };
+  /// `inject_hang` simulates a walk that stops making progress (the
+  /// kWalkHang seam): the chosen extension is repeatedly discarded, which
+  /// without the watchdog would loop forever. The watchdog budget bounds
+  /// every walk regardless.
   WalkOutcome merwalk(const WarpTask& task, std::uint32_t mer,
-                      memsim::TieredMemory& mem, simt::WarpCounters& ctr);
+                      memsim::TieredMemory& mem, simt::WarpCounters& ctr,
+                      bool inject_hang);
 
   const simt::DeviceSpec& dev_;
   simt::ProgrammingModel pm_;

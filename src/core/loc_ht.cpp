@@ -16,6 +16,7 @@ const char* walk_state_name(WalkState s) noexcept {
     case WalkState::kLoop: return "loop";
     case WalkState::kLimit: return "limit";
     case WalkState::kMissing: return "missing";
+    case WalkState::kAborted: return "aborted";
   }
   return "?";
 }

@@ -56,6 +56,7 @@ enum class WalkState : std::uint8_t {
   kLoop,     ///< revisited a node (retry with longer mer)
   kLimit,    ///< hit max_walk_len (accepted)
   kMissing,  ///< k-mer not present in table (accepted, zero/short walk)
+  kAborted,  ///< watchdog cancelled a walk that stopped making progress
 };
 
 const char* walk_state_name(WalkState s) noexcept;

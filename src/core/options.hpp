@@ -3,9 +3,14 @@
 #include <cstdint>
 
 #include "bio/quality.hpp"
+#include "resilience/status.hpp"
 
 namespace lassm::trace {
 class Tracer;
+}
+
+namespace lassm::resilience {
+class FaultPlan;
 }
 
 namespace lassm::core {
@@ -71,6 +76,30 @@ struct AssemblyOptions {
 
   /// Minimum high-quality votes for an extension to be viable.
   int min_viable_votes = bio::kMinViableVotes;
+
+  /// Fault injection & hardening (non-owning). Null — the default — keeps
+  /// the legacy fast paths untouched. Non-null arms the resilient
+  /// execution mode: per-task exception isolation with bounded retry and
+  /// quarantine, walk watchdogs, task validation and the plan's injected
+  /// seams (see src/resilience/fault_plan.hpp). An *empty* armed plan
+  /// injects nothing, and armed runs with an empty plan stay bit-identical
+  /// to unarmed runs (the hardened paths only observe, never perturb).
+  const resilience::FaultPlan* fault_plan = nullptr;
+
+  /// Retry budget for transiently-failed tasks in armed mode: a task that
+  /// throws is re-executed on the driver thread up to this many times, in
+  /// ascending task order, before being quarantined.
+  unsigned max_task_retries = 2;
+
+  /// This run's rank identity for FaultPlan::device_lost matching (set by
+  /// run_multi_gpu_resilient; single-device runs are rank 0).
+  std::uint32_t fault_rank = 0;
+
+  /// Rejects out-of-domain configurations (zero max_walk_len, zero ladder
+  /// step, load factor outside (0, 1], non-power-of-two subgroup
+  /// override, ...) with a kInvalidArgument Status naming the field.
+  /// LocalAssembler's constructor enforces this.
+  Status validate() const;
 };
 
 }  // namespace lassm::core

@@ -23,6 +23,18 @@ struct CacheConfig {
   std::uint64_t num_lines() const noexcept {
     return line_bytes == 0 ? 0 : size_bytes / line_bytes;
   }
+
+  /// Rejects configurations the simulator cannot model: zero or
+  /// non-power-of-two line size, zero or non-power-of-two associativity
+  /// outside the supported [1, 16] (the packed-recency fast paths assume
+  /// power-of-two geometry). Returns true when well-formed; callers that
+  /// need a message use DeviceSpec::validate, which checks its slices.
+  bool well_formed() const noexcept {
+    const auto pow2 = [](std::uint64_t v) {
+      return v != 0 && (v & (v - 1)) == 0;
+    };
+    return pow2(line_bytes) && pow2(ways) && ways <= 16;
+  }
 };
 
 struct CacheStats {

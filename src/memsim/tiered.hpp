@@ -156,6 +156,14 @@ class TieredMemory {
   /// kernel end so short kernels are not under-billed for stores).
   void flush() noexcept;
 
+  /// Transient service interruption (the fault-injection mem-stall seam):
+  /// models the tier dropping its cached state mid-kernel. Dirty lines are
+  /// written back (billed like flush()) and both levels are invalidated, so
+  /// every subsequent access re-fetches from HBM. Counters keep
+  /// accumulating across the interruption — the perturbation is visible in
+  /// the task's traffic, which is the point.
+  void fault_interrupt() noexcept { flush(); }
+
   /// Returns the hierarchy to its just-constructed state: all lines
   /// invalidated (without billing writebacks) and all counters zeroed.
   /// Lets a pooled warp context reuse one hierarchy across tasks instead of

@@ -9,7 +9,8 @@ namespace lassm::model {
 CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
     : path_(path), out_(path) {
   if (!out_) {
-    throw std::runtime_error("CsvWriter: cannot open " + path);
+    throw StatusError(Error(ErrorCode::kIoError, "CsvWriter: cannot open",
+                            SourceContext{path}));
   }
   std::string line;
   for (std::size_t i = 0; i < header.size(); ++i) {
@@ -22,8 +23,18 @@ CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
 void CsvWriter::write_line(const std::string& line) {
   out_ << line << '\n';
   if (!out_) {
-    throw std::runtime_error("CsvWriter: write failed for " + path_);
+    throw StatusError(Error(ErrorCode::kIoError, "CsvWriter: write failed",
+                            SourceContext{path_}));
   }
+}
+
+Status CsvWriter::finish() {
+  out_.flush();
+  if (!out_) {
+    return Status(ErrorCode::kIoError, "CsvWriter: flush failed",
+                  SourceContext{path_});
+  }
+  return Status::ok();
 }
 
 std::string results_dir() {

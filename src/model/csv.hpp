@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "resilience/status.hpp"
+
 /// Minimal CSV emission so every reproduced table/figure also lands on disk
 /// as machine-readable data (bench binaries write these next to their
 /// stdout rendering).
@@ -12,7 +14,8 @@ namespace lassm::model {
 
 class CsvWriter {
  public:
-  /// Opens `path` for writing and emits the header row. Throws on failure.
+  /// Opens `path` for writing and emits the header row. Throws
+  /// StatusError(kIoError) on failure.
   CsvWriter(const std::string& path, std::vector<std::string> header);
 
   /// Appends one row; values are stringified with operator<<.
@@ -30,6 +33,12 @@ class CsvWriter {
   }
 
   const std::string& path() const noexcept { return path_; }
+
+  /// Flushes and reports any buffered write failure the rows above hid in
+  /// stream state. Without a finish() call a full disk would only surface
+  /// in the destructor, which must swallow it; callers that care about the
+  /// artifact actually landing on disk should check this.
+  Status finish();
 
  private:
   void write_line(const std::string& line);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/binning.hpp"
+#include "resilience/fault_plan.hpp"
 
 namespace lassm::pipeline {
 
@@ -101,6 +102,176 @@ MultiGpuResult run_multi_gpu(const core::AssemblyInput& in,
     bio::ContigExtension ext = per_rank_ext[r][next_local[r]++];
     ext.contig_id = in.contigs[id].id;
     result.extensions[id] = std::move(ext);
+  }
+  return result;
+}
+
+namespace {
+
+/// Sub-input over a subset of contigs (ascending global order), with each
+/// contig's mapped reads copied and reindexed — the same localisation
+/// partition_input performs per rank.
+core::AssemblyInput subset_input(const core::AssemblyInput& in,
+                                 const std::vector<std::uint32_t>& ids) {
+  core::AssemblyInput sub;
+  sub.kmer_len = in.kmer_len;
+  sub.left_reads.resize(ids.size());
+  sub.right_reads.resize(ids.size());
+  for (std::size_t local = 0; local < ids.size(); ++local) {
+    const std::uint32_t id = ids[local];
+    sub.contigs.push_back(in.contigs[id]);
+    auto copy_side = [&](const std::vector<std::uint32_t>& src,
+                         std::vector<std::uint32_t>& dst) {
+      for (std::uint32_t read_id : src) {
+        dst.push_back(static_cast<std::uint32_t>(sub.reads.append(
+            in.reads.seq(read_id), in.reads.qual(read_id))));
+      }
+    };
+    copy_side(in.left_reads[id], sub.left_reads[local]);
+    copy_side(in.right_reads[id], sub.right_reads[local]);
+  }
+  return sub;
+}
+
+}  // namespace
+
+MultiGpuResult run_multi_gpu_resilient(
+    const core::AssemblyInput& in,
+    const std::vector<simt::DeviceSpec>& devices,
+    const core::AssemblyOptions& opts, const resilience::FaultPlan* plan) {
+  if (devices.empty()) {
+    throw StatusError(Error(
+        ErrorCode::kInvalidArgument,
+        "run_multi_gpu_resilient: device list must not be empty"));
+  }
+  for (const simt::DeviceSpec& d : devices) d.validate().throw_if_error();
+
+  std::vector<std::uint32_t> rank_of;
+  const auto parts = partition_input(
+      in, static_cast<std::uint32_t>(devices.size()), &rank_of);
+
+  // members[r]: the rank's contigs as global input indices, in the rank's
+  // local order (ascending — partition_input sorts each rank's members).
+  std::vector<std::vector<std::uint32_t>> members(parts.size());
+  for (std::uint32_t id = 0; id < in.contigs.size(); ++id) {
+    members[rank_of[id]].push_back(id);
+  }
+
+  MultiGpuResult result;
+  result.extensions.resize(in.contigs.size());
+
+  struct LostWork {
+    std::uint32_t rank = 0;
+    std::uint32_t after_batch = 0;
+    std::vector<std::uint32_t> global_ids;  ///< unfinished, ascending
+  };
+  std::vector<LostWork> lost;
+
+  for (std::uint32_t r = 0; r < parts.size(); ++r) {
+    core::AssemblyOptions ropts = opts;
+    ropts.fault_plan = plan;
+    ropts.fault_rank = r;
+    core::LocalAssembler assembler(devices[r], ropts);
+    const core::AssemblyResult rr = assembler.run(parts[r]);
+
+    result.failures.merge(rr.failures);
+    RankReport rep;
+    rep.rank = r;
+    rep.contigs = parts[r].contigs.size();
+    rep.reads = parts[r].reads.size();
+    rep.time_s = rr.total_time_s;
+    rep.lost = rr.device_lost;
+    result.total_gpu_s += rr.total_time_s;
+    result.ranks.push_back(rep);
+
+    // Completed batches' extensions survive the loss (copied back per
+    // batch); only the unfinished tail needs recovery.
+    for (std::size_t local = 0; local < members[r].size(); ++local) {
+      bio::ContigExtension ext = rr.extensions[local];
+      ext.contig_id = in.contigs[members[r][local]].id;
+      result.extensions[members[r][local]] = std::move(ext);
+    }
+    if (rr.device_lost) {
+      LostWork lw;
+      lw.rank = r;
+      lw.after_batch = rr.completed_batches;
+      for (std::uint32_t local : rr.unfinished_contigs) {
+        lw.global_ids.push_back(members[r][local]);
+      }
+      lost.push_back(std::move(lw));
+    }
+  }
+
+  if (!lost.empty()) {
+    std::vector<std::uint32_t> survivors;
+    for (const RankReport& rep : result.ranks) {
+      if (!rep.lost) survivors.push_back(rep.rank);
+    }
+    if (survivors.empty()) {
+      throw StatusError(Error(ErrorCode::kDeviceLost,
+                              "run_multi_gpu_resilient: every rank lost "
+                              "its device; nothing to recover onto"));
+    }
+
+    // Rebalance: all lost ranks' unfinished contigs, LPT-split across the
+    // survivors, rerun under the kRecoveryRank sentinel (scheduled losses
+    // name real ranks, so recovery cannot be re-lost). Contig-identity
+    // fault keys make every per-task seam fire identically on the
+    // survivor, so recovered extensions are bit-identical to what the
+    // lost rank would have produced.
+    std::vector<std::uint32_t> orphan_ids;
+    for (const LostWork& lw : lost) {
+      orphan_ids.insert(orphan_ids.end(), lw.global_ids.begin(),
+                        lw.global_ids.end());
+    }
+    std::sort(orphan_ids.begin(), orphan_ids.end());
+
+    const core::AssemblyInput sub = subset_input(in, orphan_ids);
+    std::vector<std::uint32_t> sub_rank_of;
+    const auto sub_parts = partition_input(
+        sub, static_cast<std::uint32_t>(survivors.size()), &sub_rank_of);
+    std::vector<std::vector<std::uint32_t>> sub_members(sub_parts.size());
+    for (std::uint32_t i = 0; i < sub.contigs.size(); ++i) {
+      sub_members[sub_rank_of[i]].push_back(i);
+    }
+
+    for (std::uint32_t s = 0; s < sub_parts.size(); ++s) {
+      const std::uint32_t survivor = survivors[s];
+      core::AssemblyOptions ropts = opts;
+      ropts.fault_plan = plan;
+      ropts.fault_rank = kRecoveryRank;
+      core::LocalAssembler assembler(devices[survivor], ropts);
+      const core::AssemblyResult rr = assembler.run(sub_parts[s]);
+      if (rr.device_lost) {
+        throw StatusError(Error(ErrorCode::kDeviceLost,
+                                "run_multi_gpu_resilient: recovery rerun "
+                                "reported device loss"));
+      }
+      result.failures.merge(rr.failures);
+      // Recovery serialises after the loss on the survivor's device.
+      result.ranks[survivor].time_s += rr.total_time_s;
+      result.total_gpu_s += rr.total_time_s;
+
+      for (std::size_t local = 0; local < sub_members[s].size(); ++local) {
+        const std::uint32_t global = orphan_ids[sub_members[s][local]];
+        bio::ContigExtension ext = rr.extensions[local];
+        ext.contig_id = in.contigs[global].id;
+        result.extensions[global] = std::move(ext);
+      }
+    }
+
+    for (const LostWork& lw : lost) {
+      resilience::RebalanceEvent ev;
+      ev.lost_rank = lw.rank;
+      ev.after_batch = lw.after_batch;
+      ev.moved_contigs = lw.global_ids.size();
+      ev.survivors = survivors;
+      result.failures.rebalances.push_back(std::move(ev));
+    }
+  }
+
+  for (const RankReport& rep : result.ranks) {
+    result.makespan_s = std::max(result.makespan_s, rep.time_s);
   }
   return result;
 }

@@ -19,6 +19,9 @@ struct RankReport {
   std::uint64_t contigs = 0;
   std::uint64_t reads = 0;
   double time_s = 0.0;        ///< modelled kernel time on this rank's GPU
+  /// Resilient runs only: this rank's simulated device was lost mid-run
+  /// and its unfinished contigs were rebalanced onto survivors.
+  bool lost = false;
 };
 
 struct MultiGpuResult {
@@ -27,6 +30,9 @@ struct MultiGpuResult {
   std::vector<RankReport> ranks;
   double makespan_s = 0.0;    ///< max rank time (ranks run concurrently)
   double total_gpu_s = 0.0;   ///< sum of rank times (resource cost)
+  /// Aggregated failure accounting across all ranks plus one
+  /// RebalanceEvent per lost device (resilient runs; clean otherwise).
+  resilience::FailureReport failures;
 
   /// Load balance: mean rank time / max rank time (1.0 == perfect).
   double balance() const noexcept {
@@ -52,5 +58,34 @@ MultiGpuResult run_multi_gpu(const core::AssemblyInput& in,
                              const simt::DeviceSpec& device,
                              std::uint32_t num_ranks,
                              const core::AssemblyOptions& opts = {});
+
+/// Rank identity of device-loss recovery reruns: reruns are pinned to this
+/// sentinel so a FaultPlan's scheduled losses (which name real ranks) can
+/// never re-kill the recovery pass — recovery terminates by construction.
+inline constexpr std::uint32_t kRecoveryRank = 0xFFFFFFFFu;
+
+/// Device-loss-tolerant multi-GPU run: one rank per entry of `devices`
+/// (heterogeneous specs allowed), each with `plan` armed and its
+/// fault_rank set, so the plan's device-loss events fire on the matching
+/// rank mid-run. A lost rank keeps the extensions of its completed
+/// batches; its unfinished contigs are re-partitioned across the surviving
+/// devices (LPT, like the initial split), rerun under kRecoveryRank, and
+/// recorded as a RebalanceEvent in `failures`. Because fault keys are
+/// contig-identity based, a recovered contig's extension is bit-identical
+/// to what the lost rank would have produced, and every per-task seam of
+/// the plan (injection, retry, quarantine) behaves identically on the
+/// survivor.
+///
+/// Recovery work serialises after the loss on each survivor, which is how
+/// the added time lands in that rank's RankReport and the makespan.
+/// Throws StatusError(kInvalidArgument) on an empty device list and
+/// StatusError(kDeviceLost) when every rank is lost (nothing to recover
+/// onto). `plan` may be null (equivalent to run_multi_gpu with hardening
+/// armed off) or empty (armed, nothing fires — bit-identical results).
+MultiGpuResult run_multi_gpu_resilient(
+    const core::AssemblyInput& in,
+    const std::vector<simt::DeviceSpec>& devices,
+    const core::AssemblyOptions& opts,
+    const resilience::FaultPlan* plan);
 
 }  // namespace lassm::pipeline

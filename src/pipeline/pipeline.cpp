@@ -1,6 +1,10 @@
 #include "pipeline/pipeline.hpp"
 
+#include <bit>
+#include <cstdio>
+#include <fstream>
 #include <ostream>
+#include <sstream>
 
 #include "core/reference.hpp"
 #include "pipeline/kmer_analysis.hpp"
@@ -9,6 +13,18 @@
 namespace lassm::pipeline {
 
 namespace {
+
+constexpr const char* kCheckpointMagic = "LASSM_CHECKPOINT";
+constexpr int kCheckpointVersion = 1;
+
+/// Doubles cross the checkpoint as their IEEE-754 bit pattern in hex, so
+/// depth/time values round-trip bit-exactly (decimal formatting would not).
+std::uint64_t double_bits(double v) noexcept {
+  return std::bit_cast<std::uint64_t>(v);
+}
+double bits_double(std::uint64_t bits) noexcept {
+  return std::bit_cast<double>(bits);
+}
 
 /// Records a completed host-side stage span on the pipeline's driver track;
 /// a no-op (two pointer checks) when tracing is off.
@@ -26,6 +42,150 @@ void record_stage(trace::Tracer* tracer, std::uint32_t track,
 
 }  // namespace
 
+Status save_checkpoint(std::ostream& os, const PipelineCheckpoint& cp) {
+  os << kCheckpointMagic << ' ' << kCheckpointVersion << '\n';
+  os << "contig_k " << cp.contig_k << '\n';
+  os << "ladder " << cp.k_iterations.size();
+  for (std::uint32_t k : cp.k_iterations) os << ' ' << k;
+  os << '\n';
+  os << "rounds_done " << cp.rounds_done << '\n';
+  os << "kmers " << cp.kmers_total << ' ' << cp.kmers_filtered << '\n';
+  os << "dbg " << cp.dbg.nodes << ' ' << cp.dbg.forks << ' '
+     << cp.dbg.dead_ends << ' ' << cp.dbg.contigs << '\n';
+  os << "contigs " << cp.contigs.size() << '\n';
+  for (const bio::Contig& c : cp.contigs) {
+    os << c.id << ' ' << std::hex << double_bits(c.depth) << std::dec << ' '
+       << c.seq << '\n';
+  }
+  os << "iterations " << cp.iterations.size() << '\n';
+  for (const IterationReport& it : cp.iterations) {
+    os << it.k << ' ' << it.contigs << ' ' << it.total_bases << ' '
+       << it.n50 << ' ' << it.mapped_reads << ' ' << it.extension_bases
+       << ' ' << std::hex << double_bits(it.kernel_time_s) << std::dec
+       << '\n';
+  }
+  os << "end\n";
+  os.flush();
+  if (!os) {
+    return Status(ErrorCode::kIoError,
+                  "save_checkpoint: stream write/flush failed");
+  }
+  return Status::ok();
+}
+
+Result<PipelineCheckpoint> load_checkpoint(std::istream& is) {
+  const auto fail = [](std::string what,
+                       std::uint64_t record = 0) -> Error {
+    return Error(ErrorCode::kParseError,
+                 "load_checkpoint: " + std::move(what),
+                 SourceContext{"checkpoint", 0, record});
+  };
+  const auto expect = [&](const char* token) {
+    std::string got;
+    return static_cast<bool>(is >> got) && got == token;
+  };
+
+  PipelineCheckpoint cp;
+  if (!expect(kCheckpointMagic)) return fail("missing magic");
+  int version = 0;
+  if (!(is >> version) || version != kCheckpointVersion) {
+    return fail("unsupported version");
+  }
+  if (!expect("contig_k") || !(is >> cp.contig_k) || cp.contig_k == 0) {
+    return fail("contig_k");
+  }
+  std::size_t n_ladder = 0;
+  if (!expect("ladder") || !(is >> n_ladder) || n_ladder > 64) {
+    return fail("ladder header");
+  }
+  cp.k_iterations.resize(n_ladder);
+  for (std::uint32_t& k : cp.k_iterations) {
+    if (!(is >> k) || k == 0) return fail("ladder entry");
+  }
+  if (!expect("rounds_done") || !(is >> cp.rounds_done) ||
+      cp.rounds_done > n_ladder) {
+    return fail("rounds_done");
+  }
+  if (!expect("kmers") || !(is >> cp.kmers_total >> cp.kmers_filtered)) {
+    return fail("kmers");
+  }
+  if (!expect("dbg") || !(is >> cp.dbg.nodes >> cp.dbg.forks >>
+                          cp.dbg.dead_ends >> cp.dbg.contigs)) {
+    return fail("dbg");
+  }
+
+  std::size_t n_contigs = 0;
+  if (!expect("contigs") || !(is >> n_contigs)) return fail("contig count");
+  cp.contigs.reserve(std::min<std::size_t>(n_contigs, 1U << 20));
+  for (std::size_t i = 0; i < n_contigs; ++i) {
+    bio::Contig c;
+    std::uint64_t depth_bits = 0;
+    if (!(is >> c.id >> std::hex >> depth_bits >> std::dec >> c.seq)) {
+      return fail("contig record", i + 1);
+    }
+    c.depth = bits_double(depth_bits);
+    cp.contigs.push_back(std::move(c));
+  }
+
+  std::size_t n_iters = 0;
+  if (!expect("iterations") || !(is >> n_iters) || n_iters > n_ladder) {
+    return fail("iteration count");
+  }
+  if (n_iters != cp.rounds_done) return fail("iteration/rounds mismatch");
+  cp.iterations.resize(n_iters);
+  for (std::size_t i = 0; i < n_iters; ++i) {
+    IterationReport& it = cp.iterations[i];
+    std::uint64_t time_bits = 0;
+    if (!(is >> it.k >> it.contigs >> it.total_bases >> it.n50 >>
+          it.mapped_reads >> it.extension_bases >> std::hex >> time_bits >>
+          std::dec)) {
+      return fail("iteration record", i + 1);
+    }
+    it.kernel_time_s = bits_double(time_bits);
+  }
+  if (!expect("end")) return fail("missing end marker (truncated file?)");
+  return cp;
+}
+
+Status save_checkpoint_file(const std::string& path,
+                            const PipelineCheckpoint& cp) {
+  // Write-to-temp + rename so a crash mid-write can never tear the
+  // previous good checkpoint.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) {
+      return Status(ErrorCode::kIoError,
+                    "save_checkpoint: cannot open " + tmp,
+                    SourceContext{tmp});
+    }
+    if (Status s = save_checkpoint(os, cp); !s) return s;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status(ErrorCode::kIoError,
+                  "save_checkpoint: cannot rename " + tmp + " -> " + path,
+                  SourceContext{path});
+  }
+  return Status::ok();
+}
+
+Result<PipelineCheckpoint> load_checkpoint_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    return Error(ErrorCode::kIoError,
+                 "load_checkpoint: cannot open " + path,
+                 SourceContext{path});
+  }
+  auto result = load_checkpoint(is);
+  if (!result.is_ok()) {
+    Error e = result.error();
+    SourceContext ctx = e.context();
+    ctx.file = path;
+    return Error(e.code(), e.message(), std::move(ctx));
+  }
+  return result;
+}
+
 PipelineResult run_pipeline(const bio::ReadSet& reads,
                             const simt::DeviceSpec& device,
                             const PipelineOptions& opts, std::ostream* log) {
@@ -37,32 +197,90 @@ PipelineResult run_pipeline(const bio::ReadSet& reads,
   const double pipeline_t0 =
       tracer != nullptr ? tracer->host_now_us() : 0.0;
 
-  // Stage 1: k-mer analysis with error filtering.
-  double stage_t0 = pipeline_t0;
-  KmerCounts counts = count_kmers(reads, opts.contig_k);
-  result.kmers_total = counts.size();
-  result.kmers_filtered = filter_low_count(counts, opts.min_kmer_count);
-  record_stage(tracer, driver_track, "kmer_analysis", stage_t0);
-  if (log != nullptr) {
-    *log << "[pipeline] k-mer analysis: " << result.kmers_total
-         << " distinct k-mers, " << result.kmers_filtered
-         << " filtered as likely errors\n";
+  // Resume: adopt a matching checkpoint's state and skip its completed
+  // work. A missing file is the normal cold start; a corrupt or
+  // differently-configured checkpoint is ignored (and logged), never
+  // trusted.
+  std::size_t rounds_done = 0;
+  bool resumed = false;
+  if (!opts.checkpoint_path.empty()) {
+    auto loaded = load_checkpoint_file(opts.checkpoint_path);
+    if (loaded.is_ok()) {
+      PipelineCheckpoint cp = std::move(loaded).take();
+      if (cp.contig_k == opts.contig_k &&
+          cp.k_iterations == opts.k_iterations) {
+        result.contigs = std::move(cp.contigs);
+        result.dbg = cp.dbg;
+        result.kmers_total = cp.kmers_total;
+        result.kmers_filtered = cp.kmers_filtered;
+        result.iterations = std::move(cp.iterations);
+        rounds_done = cp.rounds_done;
+        resumed = true;
+        if (log != nullptr) {
+          *log << "[pipeline] resumed from " << opts.checkpoint_path
+               << ": " << rounds_done << "/" << opts.k_iterations.size()
+               << " k-rounds already done\n";
+        }
+      } else if (log != nullptr) {
+        *log << "[pipeline] ignoring checkpoint " << opts.checkpoint_path
+             << ": configuration mismatch\n";
+      }
+    } else if (loaded.error().code() != ErrorCode::kIoError &&
+               log != nullptr) {
+      *log << "[pipeline] ignoring checkpoint: "
+           << loaded.error().to_string() << "\n";
+    }
   }
 
-  // Stage 2: global de Bruijn graph -> contigs.
-  stage_t0 = tracer != nullptr ? tracer->host_now_us() : 0.0;
-  result.contigs =
-      generate_contigs(counts, opts.contig_k, opts.min_contig_len,
-                       &result.dbg);
-  record_stage(tracer, driver_track, "contig_generation", stage_t0);
-  if (log != nullptr) {
-    *log << "[pipeline] contig generation: " << result.contigs.size()
-         << " contigs, " << bio::total_contig_bases(result.contigs)
-         << " bases, N50=" << bio::n50(result.contigs) << "\n";
+  const auto checkpoint_now = [&](std::size_t done) {
+    if (opts.checkpoint_path.empty()) return;
+    PipelineCheckpoint cp;
+    cp.contig_k = opts.contig_k;
+    cp.k_iterations = opts.k_iterations;
+    cp.rounds_done = static_cast<std::uint32_t>(done);
+    cp.kmers_total = result.kmers_total;
+    cp.kmers_filtered = result.kmers_filtered;
+    cp.dbg = result.dbg;
+    cp.contigs = result.contigs;
+    cp.iterations = result.iterations;
+    if (Status s = save_checkpoint_file(opts.checkpoint_path, cp);
+        !s && log != nullptr) {
+      *log << "[pipeline] checkpoint write failed: " << s.to_string()
+           << "\n";
+    }
+  };
+
+  if (!resumed) {
+    // Stage 1: k-mer analysis with error filtering.
+    double stage_t0 = pipeline_t0;
+    KmerCounts counts = count_kmers(reads, opts.contig_k);
+    result.kmers_total = counts.size();
+    result.kmers_filtered = filter_low_count(counts, opts.min_kmer_count);
+    record_stage(tracer, driver_track, "kmer_analysis", stage_t0);
+    if (log != nullptr) {
+      *log << "[pipeline] k-mer analysis: " << result.kmers_total
+           << " distinct k-mers, " << result.kmers_filtered
+           << " filtered as likely errors\n";
+    }
+
+    // Stage 2: global de Bruijn graph -> contigs.
+    stage_t0 = tracer != nullptr ? tracer->host_now_us() : 0.0;
+    result.contigs =
+        generate_contigs(counts, opts.contig_k, opts.min_contig_len,
+                         &result.dbg);
+    record_stage(tracer, driver_track, "contig_generation", stage_t0);
+    if (log != nullptr) {
+      *log << "[pipeline] contig generation: " << result.contigs.size()
+           << " contigs, " << bio::total_contig_bases(result.contigs)
+           << " bases, N50=" << bio::n50(result.contigs) << "\n";
+    }
+    checkpoint_now(0);
   }
 
   // Stage 3: iterative {alignment -> local assembly} over the k ladder.
-  for (std::uint32_t k : opts.k_iterations) {
+  for (std::size_t round = rounds_done; round < opts.k_iterations.size();
+       ++round) {
+    const std::uint32_t k = opts.k_iterations[round];
     const double round_t0 =
         tracer != nullptr ? tracer->host_now_us() : 0.0;
     AlignStats astats;
@@ -100,6 +318,7 @@ PipelineResult run_pipeline(const bio::ReadSet& reads,
     record_stage(tracer, driver_track, "k-round " + std::to_string(k),
                  round_t0);
     result.iterations.push_back(report);
+    checkpoint_now(round + 1);
     if (log != nullptr) {
       *log << "[pipeline] local assembly k=" << k << ": mapped "
            << report.mapped_reads << " reads, +" << report.extension_bases

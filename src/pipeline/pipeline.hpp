@@ -26,6 +26,14 @@ struct PipelineOptions {
   /// Run local assembly on the CPU reference instead of a simulated device
   /// (faster; no performance counters).
   bool use_reference = false;
+  /// Checkpoint file path ("" = checkpointing off). With a path set, the
+  /// pipeline state is written after k-mer analysis / contig generation and
+  /// after every completed k-round; a fresh run that finds a loadable
+  /// checkpoint whose configuration matches (same contig_k and k ladder)
+  /// resumes from the last completed round instead of starting over. The
+  /// resumed run's result is bit-identical to an uninterrupted one: the
+  /// checkpoint round-trips contig depths and modelled times exactly.
+  std::string checkpoint_path;
 };
 
 struct IterationReport {
@@ -45,6 +53,35 @@ struct PipelineResult {
   std::uint64_t kmers_filtered = 0;
   std::vector<IterationReport> iterations;
 };
+
+/// On-disk pipeline state between k-rounds: everything stage 3 needs to
+/// continue (contigs so far, per-round reports, stage-1/2 summary numbers)
+/// plus the configuration fingerprint used to reject checkpoints from a
+/// differently-configured run.
+struct PipelineCheckpoint {
+  std::uint32_t contig_k = 0;
+  std::vector<std::uint32_t> k_iterations;  ///< full ladder of the run
+  std::uint32_t rounds_done = 0;            ///< completed stage-3 rounds
+  std::uint64_t kmers_total = 0;
+  std::uint64_t kmers_filtered = 0;
+  DbgStats dbg;
+  bio::ContigSet contigs;                   ///< state after `rounds_done`
+  std::vector<IterationReport> iterations;  ///< one per completed round
+};
+
+/// Writes/reads a checkpoint. Text format, versioned; doubles (contig
+/// depth, modelled kernel time) round-trip bit-exactly via their IEEE bit
+/// patterns. save returns kIoError if the stream fails; load returns
+/// kParseError (with line context) on malformed/truncated input, so a
+/// checkpoint torn by a crash is rejected rather than resumed.
+Status save_checkpoint(std::ostream& os, const PipelineCheckpoint& cp);
+Result<PipelineCheckpoint> load_checkpoint(std::istream& is);
+
+/// Path convenience wrappers. load returns kIoError when the file cannot
+/// be opened (distinct from a corrupt file's kParseError).
+Status save_checkpoint_file(const std::string& path,
+                            const PipelineCheckpoint& cp);
+Result<PipelineCheckpoint> load_checkpoint_file(const std::string& path);
 
 /// Assembles `reads` on the given device model. `log` (optional) receives a
 /// line per stage.

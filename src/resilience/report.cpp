@@ -1,0 +1,37 @@
+#include "resilience/report.hpp"
+
+#include <sstream>
+
+namespace lassm::resilience {
+
+void FailureReport::merge(const FailureReport& other) {
+  faults.insert(faults.end(), other.faults.begin(), other.faults.end());
+  rebalances.insert(rebalances.end(), other.rebalances.begin(),
+                    other.rebalances.end());
+  tasks_retried += other.tasks_retried;
+  tasks_quarantined += other.tasks_quarantined;
+  walks_aborted += other.walks_aborted;
+  mem_faults += other.mem_faults;
+  devices_lost += other.devices_lost;
+  serial_fallback = serial_fallback || other.serial_fallback;
+}
+
+std::string FailureReport::summary() const {
+  if (clean()) return "clean";
+  std::ostringstream out;
+  out << faults.size() << " task fault(s), " << tasks_retried
+      << " retried, " << tasks_quarantined << " quarantined, "
+      << walks_aborted << " walk(s) aborted, " << mem_faults
+      << " mem fault(s), " << devices_lost << " device(s) lost";
+  if (!rebalances.empty()) {
+    out << "; rebalanced";
+    for (const RebalanceEvent& e : rebalances)
+      out << " [rank " << e.lost_rank << " after batch " << e.after_batch
+          << ": " << e.moved_contigs << " contig(s) -> "
+          << e.survivors.size() << " survivor(s)]";
+  }
+  if (serial_fallback) out << "; serial fallback";
+  return out.str();
+}
+
+}  // namespace lassm::resilience

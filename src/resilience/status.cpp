@@ -1,0 +1,51 @@
+#include "resilience/status.hpp"
+
+namespace lassm {
+
+const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kIoError: return "io_error";
+    case ErrorCode::kCorruptInput: return "corrupt_input";
+    case ErrorCode::kTaskFailed: return "task_failed";
+    case ErrorCode::kWalkAborted: return "walk_aborted";
+    case ErrorCode::kDeviceLost: return "device_lost";
+    case ErrorCode::kResourceExhausted: return "resource_exhausted";
+    case ErrorCode::kFailedPrecondition: return "failed_precondition";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string SourceContext::to_string() const {
+  if (empty()) return {};
+  std::string s = file.empty() ? std::string("<input>") : file;
+  if (line != 0) {
+    s += ':';
+    s += std::to_string(line);
+  }
+  if (record != 0) {
+    s += " (record ";
+    s += std::to_string(record);
+    s += ')';
+  }
+  return s;
+}
+
+std::string Error::to_string() const {
+  std::string s = error_code_name(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  if (!context_.empty()) {
+    s += " [";
+    s += context_.to_string();
+    s += ']';
+  }
+  return s;
+}
+
+}  // namespace lassm

@@ -1,0 +1,164 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+/// Typed error taxonomy of the library (the `lassm::resilience` module's
+/// foundation). Fallible operations either return a Status / Result<T> or
+/// throw StatusError — a std::runtime_error subclass carrying the same
+/// typed Error — so legacy catch sites keep working while new code can
+/// switch on the error code and read the source context (file / line /
+/// record) instead of string-matching what() messages.
+namespace lassm {
+
+/// Stable error codes; every failure in the library maps onto one.
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,     ///< caller-supplied configuration/argument rejected
+  kParseError,          ///< malformed textual input (FASTA/FASTQ/dataset)
+  kIoError,             ///< stream/file open, write or flush failure
+  kCorruptInput,        ///< task payload failed validation (bad contig/read)
+  kTaskFailed,          ///< a worker task threw (transient unless repeated)
+  kWalkAborted,         ///< watchdog cancelled a runaway mer-walk
+  kDeviceLost,          ///< simulated device dropped out mid-run
+  kResourceExhausted,   ///< pool/thread/memory acquisition failed
+  kFailedPrecondition,  ///< internal invariant violated by input state
+  kInternal,            ///< anything else (bug)
+};
+
+const char* error_code_name(ErrorCode code) noexcept;
+
+/// Where an error came from: an input name (file path or logical stream
+/// name) plus optional 1-based line and record ordinals (0 = unknown).
+struct SourceContext {
+  std::string file;
+  std::uint64_t line = 0;
+  std::uint64_t record = 0;
+
+  bool empty() const noexcept {
+    return file.empty() && line == 0 && record == 0;
+  }
+  /// "path:12 (record 3)" — empty string when nothing is known.
+  std::string to_string() const;
+};
+
+/// One failure: code + human message + source context.
+class Error {
+ public:
+  Error() = default;
+  Error(ErrorCode code, std::string message, SourceContext context = {})
+      : code_(code), message_(std::move(message)),
+        context_(std::move(context)) {}
+
+  ErrorCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+  const SourceContext& context() const noexcept { return context_; }
+
+  /// "parse_error: truncated record [reads.fq:41 (record 11)]".
+  std::string to_string() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kInternal;
+  std::string message_;
+  SourceContext context_;
+};
+
+/// Throwable wrapper around Error. Derives std::runtime_error so existing
+/// `catch (const std::runtime_error&)` / `EXPECT_THROW(..., runtime_error)`
+/// sites keep working; new code catches StatusError and reads the code.
+class StatusError : public std::runtime_error {
+ public:
+  explicit StatusError(Error error)
+      : std::runtime_error(error.to_string()), error_(std::move(error)) {}
+
+  const Error& error() const noexcept { return error_; }
+  ErrorCode code() const noexcept { return error_.code(); }
+
+ private:
+  Error error_;
+};
+
+/// Success, or an Error. Convertible to bool (true == ok) so call sites
+/// written against the old `bool` file writers keep compiling.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept = default;  ///< ok
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(runtime/explicit)
+  Status(ErrorCode code, std::string message, SourceContext context = {})
+      : error_(Error(code, std::move(message), std::move(context))) {}
+
+  static Status ok() noexcept { return Status(); }
+
+  bool is_ok() const noexcept { return !error_.has_value(); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  ErrorCode code() const noexcept {
+    return error_ ? error_->code() : ErrorCode::kOk;
+  }
+  /// Requires !is_ok().
+  const Error& error() const {
+    assert(error_.has_value());
+    return *error_;
+  }
+  /// "ok" or the error rendering.
+  std::string to_string() const {
+    return error_ ? error_->to_string() : "ok";
+  }
+  /// Throws StatusError when not ok; no-op otherwise.
+  void throw_if_error() const {
+    if (error_) throw StatusError(*error_);
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+/// A value or an Error — the Result<T>-style return channel for paths where
+/// exceptions are the wrong tool (parsers fed untrusted bytes, I/O).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}       // NOLINT(runtime/explicit)
+  Result(Error error) : v_(std::move(error)) {}   // NOLINT(runtime/explicit)
+
+  bool is_ok() const noexcept { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  /// Value access requires is_ok(); value_or_throw() raises StatusError on
+  /// the error alternative instead of asserting.
+  const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(is_ok());
+    return std::get<T>(v_);
+  }
+  T&& take() && {
+    assert(is_ok());
+    return std::get<T>(std::move(v_));
+  }
+  T value_or_throw() && {
+    if (!is_ok()) throw StatusError(std::get<Error>(v_));
+    return std::get<T>(std::move(v_));
+  }
+
+  /// Requires !is_ok().
+  const Error& error() const {
+    assert(!is_ok());
+    return std::get<Error>(v_);
+  }
+  Status status() const {
+    return is_ok() ? Status::ok() : Status(std::get<Error>(v_));
+  }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+}  // namespace lassm

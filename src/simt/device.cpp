@@ -20,6 +20,39 @@ const char* model_name(ProgrammingModel m) noexcept {
   return "?";
 }
 
+namespace {
+
+constexpr bool is_pow2(std::uint64_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+Status bad(const std::string& what) {
+  return Status(ErrorCode::kInvalidArgument, "DeviceSpec: " + what);
+}
+
+}  // namespace
+
+Status DeviceSpec::validate() const {
+  if (warp_width == 0 || !is_pow2(warp_width))
+    return bad("warp_width must be a nonzero power of two");
+  if (num_cus == 0) return bad("num_cus must be > 0");
+  if (line_bytes == 0 || !is_pow2(line_bytes))
+    return bad("line_bytes must be a nonzero power of two");
+  if (l1_per_cu_bytes == 0) return bad("l1_per_cu_bytes must be > 0");
+  if (l2_bytes == 0) return bad("l2_bytes must be > 0");
+  if (perf.resident_warps_per_cu == 0)
+    return bad("perf.resident_warps_per_cu must be > 0");
+  if (!(perf.clock_ghz > 0.0)) return bad("perf.clock_ghz must be > 0");
+  if (perf.intops_per_cycle_per_cu == 0)
+    return bad("perf.intops_per_cycle_per_cu must be > 0");
+  if (!l1_slice_config().well_formed() ||
+      !l2_slice_config(1).well_formed())
+    return bad(
+        "cache slice geometry (line size / associativity) must be "
+        "power-of-two with ways in [1, 16]");
+  return Status::ok();
+}
+
 memsim::CacheConfig DeviceSpec::l1_slice_config(std::uint64_t) const {
   memsim::CacheConfig cfg;
   cfg.size_bytes = l1_slice_bytes();

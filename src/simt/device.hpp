@@ -6,6 +6,7 @@
 #include <string>
 
 #include "memsim/cache.hpp"
+#include "resilience/status.hpp"
 
 namespace lassm::simt {
 
@@ -96,6 +97,12 @@ struct DeviceSpec {
 
   memsim::CacheConfig l1_slice_config(std::uint64_t concurrent_unused = 0) const;
   memsim::CacheConfig l2_slice_config(std::uint64_t concurrent) const;
+
+  /// Rejects out-of-domain device models — zero or non-power-of-two warp
+  /// width / line size, zero CUs, empty caches, zero resident warps or
+  /// clock — with a kInvalidArgument Status naming the field.
+  /// LocalAssembler's constructor enforces this on its device.
+  Status validate() const;
 
   /// NVIDIA A100 (Perlmutter, CUDA 12.0). 108 SMs, 192 KB L1/SM, 40 MB L2,
   /// 40 GB HBM2e @ 1555 GB/s; INTOP peak 358 GINTOPS (Fig. 6a).

@@ -146,13 +146,29 @@ std::ofstream open_for_write(const std::string& path) {
   return std::ofstream(path);
 }
 
+/// Shared tail of the file writers: flush, then report any accumulated
+/// stream failure (open succeeded but a write or the flush did not) as a
+/// typed error naming the path.
+Status finish_write(std::ofstream& out, const std::string& path) {
+  out.flush();
+  if (!out) {
+    return Status(ErrorCode::kIoError, "write failed (disk full?)",
+                  SourceContext{path});
+  }
+  return Status::ok();
+}
+
 }  // namespace
 
-bool write_chrome_trace_file(const std::string& path, const Tracer& tracer) {
+Status write_chrome_trace_file(const std::string& path,
+                               const Tracer& tracer) {
   std::ofstream out = open_for_write(path);
-  if (!out) return false;
+  if (!out) {
+    return Status(ErrorCode::kIoError, "cannot open for writing",
+                  SourceContext{path});
+  }
   write_chrome_trace(out, tracer);
-  return static_cast<bool>(out);
+  return finish_write(out, path);
 }
 
 void write_metrics_json(std::ostream& os, const MetricsSnapshot& snapshot) {
@@ -197,12 +213,15 @@ void write_metrics_json(std::ostream& os, const MetricsSnapshot& snapshot) {
   os << "\n  }\n}\n";
 }
 
-bool write_metrics_json_file(const std::string& path,
-                             const MetricsSnapshot& snapshot) {
+Status write_metrics_json_file(const std::string& path,
+                               const MetricsSnapshot& snapshot) {
   std::ofstream out = open_for_write(path);
-  if (!out) return false;
+  if (!out) {
+    return Status(ErrorCode::kIoError, "cannot open for writing",
+                  SourceContext{path});
+  }
   write_metrics_json(out, snapshot);
-  return static_cast<bool>(out);
+  return finish_write(out, path);
 }
 
 void write_metrics_csv(std::ostream& os, const MetricsSnapshot& snapshot) {

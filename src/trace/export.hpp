@@ -3,6 +3,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "resilience/status.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
 
@@ -16,16 +17,20 @@ namespace lassm::trace {
 /// chrome://tracing.
 void write_chrome_trace(std::ostream& os, const Tracer& tracer);
 
-/// write_chrome_trace to `path`; returns false (without throwing) when the
-/// file cannot be opened.
-bool write_chrome_trace_file(const std::string& path, const Tracer& tracer);
+/// write_chrome_trace to `path`. Returns kIoError (never throws) when the
+/// file cannot be opened or the write/flush fails — a full disk is
+/// reported, not swallowed. Status converts to bool (true == ok), so
+/// `if (write_chrome_trace_file(...))` call sites read unchanged.
+Status write_chrome_trace_file(const std::string& path,
+                               const Tracer& tracer);
 
 /// Writes a metrics snapshot as JSON: {"counters": {...}, "gauges": {...},
 /// "histograms": {name: {"bounds": [...], "counts": [...], "count": n,
 /// "sum": n, "mean": x, "p50": b, "p90": b, "p99": b}}}.
 void write_metrics_json(std::ostream& os, const MetricsSnapshot& snapshot);
-bool write_metrics_json_file(const std::string& path,
-                             const MetricsSnapshot& snapshot);
+/// Same I/O contract as write_chrome_trace_file.
+Status write_metrics_json_file(const std::string& path,
+                               const MetricsSnapshot& snapshot);
 
 /// Flat CSV rendering of a snapshot: kind,name,field,value — one row per
 /// counter/gauge and per histogram aggregate/bucket.

@@ -50,6 +50,20 @@ inline constexpr const char* kLaunchWarps = "launch.warps";
 inline constexpr const char* kExecClaims = "exec.claims";
 inline constexpr const char* kExecSteals = "exec.steals";
 
+/// Resilient-execution fault accounting (recorded only when an armed
+/// FaultPlan is threaded through AssemblyOptions and tracing is on).
+inline constexpr const char* kResilienceFaultsInjected =
+    "resilience.faults_injected";
+inline constexpr const char* kResilienceTasksRetried =
+    "resilience.tasks_retried";
+inline constexpr const char* kResilienceTasksQuarantined =
+    "resilience.tasks_quarantined";
+inline constexpr const char* kResilienceWalksAborted =
+    "resilience.walks_aborted";
+inline constexpr const char* kResilienceMemFaults = "resilience.mem_faults";
+inline constexpr const char* kResilienceDevicesLost =
+    "resilience.devices_lost";
+
 inline constexpr const char* kHistWarpCycles = "hist.warp_cycles";
 inline constexpr const char* kHistProbeRounds = "hist.probe_rounds_per_rung";
 inline constexpr const char* kHistWalkLen = "hist.walk_len";

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "resilience/status.hpp"
+
 #include "core/reference.hpp"
 
 namespace lassm::workload {
@@ -35,8 +37,9 @@ DatasetParams table2_params(std::uint32_t k) {
       p.target_avg_extn = 227.0;
       break;
     default:
-      throw std::invalid_argument(
-          "table2_params: the study uses k in {21, 33, 55, 77}");
+      throw StatusError(Error(
+          ErrorCode::kInvalidArgument,
+          "table2_params: the study uses k in {21, 33, 55, 77}"));
   }
   return p;
 }

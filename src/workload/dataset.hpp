@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/input.hpp"
+#include "resilience/status.hpp"
 
 namespace lassm::workload {
 

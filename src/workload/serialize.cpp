@@ -1,8 +1,10 @@
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <sstream>
-#include <stdexcept>
 
+#include "bio/dna.hpp"
+#include "resilience/status.hpp"
 #include "workload/dataset.hpp"
 
 namespace lassm::workload {
@@ -10,6 +12,12 @@ namespace lassm::workload {
 namespace {
 constexpr const char* kMagic = "LASSM_DATASET";
 constexpr int kVersion = 1;
+
+/// Cap applied before reserve(): header counts come from untrusted bytes,
+/// so a corrupt "contigs 99999999999" line must not become a multi-GB
+/// allocation before the (missing) records are even read. Vectors still
+/// grow past the cap if the records really are there.
+constexpr std::size_t kReserveCap = std::size_t{1} << 20;
 }  // namespace
 
 void save_dataset(std::ostream& os, const core::AssemblyInput& in) {
@@ -35,8 +43,10 @@ void save_dataset(std::ostream& os, const core::AssemblyInput& in) {
 
 namespace {
 
-[[noreturn]] void bad(const std::string& what) {
-  throw std::runtime_error("load_dataset: malformed input: " + what);
+[[noreturn]] void bad(const std::string& what, std::uint64_t record = 0) {
+  throw StatusError(Error(ErrorCode::kParseError,
+                          "load_dataset: malformed input: " + what,
+                          SourceContext{"dataset", 0, record}));
 }
 
 void expect_token(std::istream& is, const char* token) {
@@ -58,10 +68,13 @@ core::AssemblyInput load_dataset(std::istream& is) {
   expect_token(is, "contigs");
   std::size_t n_contigs = 0;
   if (!(is >> n_contigs)) bad("contig count");
-  in.contigs.reserve(n_contigs);
+  in.contigs.reserve(std::min(n_contigs, kReserveCap));
   for (std::size_t i = 0; i < n_contigs; ++i) {
     bio::Contig c;
-    if (!(is >> c.id >> c.depth >> c.seq)) bad("contig record");
+    if (!(is >> c.id >> c.depth >> c.seq)) bad("contig record", i + 1);
+    if (!bio::is_valid_sequence(c.seq)) {
+      bad("contig sequence has non-ACGT bases", i + 1);
+    }
     in.contigs.push_back(std::move(c));
   }
 
@@ -70,7 +83,13 @@ core::AssemblyInput load_dataset(std::istream& is) {
   if (!(is >> n_reads)) bad("read count");
   for (std::size_t i = 0; i < n_reads; ++i) {
     std::string seq, qual;
-    if (!(is >> seq >> qual)) bad("read record");
+    if (!(is >> seq >> qual)) bad("read record", i + 1);
+    if (!bio::is_valid_sequence(seq)) {
+      bad("read sequence has non-ACGT bases", i + 1);
+    }
+    if (seq.size() != qual.size()) {
+      bad("read seq/qual length mismatch", i + 1);
+    }
     in.reads.append(seq, qual);
   }
 
@@ -83,14 +102,14 @@ core::AssemblyInput load_dataset(std::istream& is) {
     std::size_t c = 0;
     char side = 0;
     std::uint32_t r = 0;
-    if (!(is >> c >> side >> r)) bad("mapping record");
-    if (c >= n_contigs || r >= n_reads) bad("mapping out of range");
+    if (!(is >> c >> side >> r)) bad("mapping record", i + 1);
+    if (c >= n_contigs || r >= n_reads) bad("mapping out of range", i + 1);
     if (side == 'L') {
       in.left_reads[c].push_back(r);
     } else if (side == 'R') {
       in.right_reads[c].push_back(r);
     } else {
-      bad("mapping side");
+      bad("mapping side", i + 1);
     }
   }
   return in;

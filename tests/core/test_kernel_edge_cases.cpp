@@ -145,15 +145,54 @@ TEST(KernelEdge, TrafficOrderingInvariant) {
   }
 }
 
-TEST(KernelEdge, ZeroWalkBudget) {
+TEST(KernelEdge, OptionValidationCoversEveryField) {
+  // Every independently breakable field is rejected, with the field named
+  // in the message (same contract as DeviceSpec::validate).
+  struct Case {
+    const char* field;
+    void (*break_opts)(AssemblyOptions&);
+  };
+  const Case cases[] = {
+      {"max_walk_len", [](AssemblyOptions& o) { o.max_walk_len = 0; }},
+      {"mer_ladder_step", [](AssemblyOptions& o) { o.mer_ladder_step = 0; }},
+      {"min_mer_len", [](AssemblyOptions& o) { o.min_mer_len = 0; }},
+      {"max_mer_rungs", [](AssemblyOptions& o) { o.max_mer_rungs = 0; }},
+      {"table_load_factor",
+       [](AssemblyOptions& o) { o.table_load_factor = 0.0; }},
+      {"table_load_factor",
+       [](AssemblyOptions& o) { o.table_load_factor = 1.5; }},
+      {"batch_mem_budget_bytes",
+       [](AssemblyOptions& o) { o.batch_mem_budget_bytes = 0; }},
+      {"subgroup_override",
+       [](AssemblyOptions& o) { o.subgroup_override = 3; }},
+      {"subgroup_override",
+       [](AssemblyOptions& o) { o.subgroup_override = 256; }},
+  };
+  for (const Case& c : cases) {
+    AssemblyOptions opts;
+    c.break_opts(opts);
+    const Status s = opts.validate();
+    EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument) << c.field;
+    EXPECT_NE(s.to_string().find(c.field), std::string::npos)
+        << "error does not name the field: " << s.to_string();
+  }
+  EXPECT_TRUE(static_cast<bool>(AssemblyOptions{}.validate()));
+}
+
+TEST(KernelEdge, ZeroWalkBudgetRejected) {
+  // A zero walk budget used to be a silent degenerate configuration (every
+  // walk empty); option validation now rejects it at construction with a
+  // typed, field-naming error.
   AssemblyOptions opts;
   opts.max_walk_len = 0;
-  const std::string tmpl = random_seq(19, 300);
-  auto in = one_contig(tmpl.substr(0, 100), {tmpl.substr(60, 120)});
-  const auto r = LocalAssembler(dev(), opts).run(in);
-  EXPECT_TRUE(r.extensions[0].right.empty());
-  const auto ref = reference_extend(in, opts);
-  EXPECT_TRUE(ref[0].right.empty());
+  EXPECT_EQ(opts.validate().code(), ErrorCode::kInvalidArgument);
+  try {
+    LocalAssembler assembler(dev(), opts);
+    FAIL() << "constructor accepted max_walk_len == 0";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument);
+    EXPECT_NE(e.error().message().find("max_walk_len"), std::string::npos);
+  }
 }
 
 }  // namespace

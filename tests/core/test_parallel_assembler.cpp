@@ -15,6 +15,8 @@
 #include "core/assembler.hpp"
 #include "core/exec.hpp"
 #include "core/reference.hpp"
+#include "resilience/fault_plan.hpp"
+#include "trace/trace.hpp"
 #include "workload/dataset.hpp"
 
 namespace lassm::core {
@@ -270,6 +272,71 @@ TEST(GoldenBitIdentity, Max1550K55) {
   const simt::DeviceSpec dev = simt::DeviceSpec::max1550_tile();
   expect_golden(run_with_threads(in, 1, dev), g);
   expect_golden(run_with_threads(in, resolve_threads(0), dev), g);
+}
+
+TEST(GoldenBitIdentity, A100K21WithEmptyArmedFaultPlan) {
+  // The resilience hardening's bit-identity contract: arming an empty
+  // FaultPlan routes the run through the isolated/validated execution
+  // paths (watchdog on, task isolation on) without changing one golden
+  // number — serial and threaded, traced and untraced.
+  const GoldenNumbers g{
+      6229556296844700221ULL, 2980,     60,       4724627, 12672717,
+      42792576,               1337268,  49267,    42255,   3100,
+      87929,                  0,        368817,   439984,  288902,
+      10177,                  3569,     114208,   4398176, 120,
+      8,                      0.00017015673758865248};
+  const AssemblyInput in = dataset(21, 60, 42);
+  const resilience::FaultPlan empty_plan(12345);
+  AssemblyOptions opts;
+  opts.fault_plan = &empty_plan;
+  for (unsigned n : {1U, resolve_threads(0)}) {
+    SCOPED_TRACE("n_threads=" + std::to_string(n));
+    opts.n_threads = n;
+    opts.trace = nullptr;
+    AssemblyResult r = LocalAssembler(simt::DeviceSpec::a100(), opts).run(in);
+    expect_golden(r, g);
+    EXPECT_TRUE(r.failures.clean());
+
+    trace::Tracer tracer;
+    opts.trace = &tracer;
+    r = LocalAssembler(simt::DeviceSpec::a100(), opts).run(in);
+    expect_golden(r, g);
+    EXPECT_TRUE(r.failures.clean());
+  }
+}
+
+TEST(ExecutionEngine, IsolatedBatchQuarantinesOnlyTheFailingTask) {
+  // run_batch_isolated's direct contract: a task that keeps throwing is
+  // retried then quarantined; every other index runs exactly once and the
+  // engine survives.
+  const AssemblyOptions opts;
+  const simt::DeviceSpec dev = simt::DeviceSpec::a100();
+  WarpExecutionEngine engine(dev, simt::ProgrammingModel::kCuda, opts, 4);
+  constexpr std::size_t kN = 64;
+  std::vector<std::atomic<int>> first_attempts(kN);
+  resilience::FailureReport report;
+  engine.run_batch_isolated(
+      kN, 1,
+      [&](std::size_t i, WarpKernelContext&, unsigned) {
+        if (i == 40) throw std::runtime_error("persistent failure");
+        first_attempts[i].fetch_add(1, std::memory_order_relaxed);
+      },
+      [](std::size_t i) { return static_cast<std::uint64_t>(i); },
+      /*plan=*/nullptr, /*max_retries=*/2, /*batch_ordinal=*/0, report);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(first_attempts[i].load(), i == 40 ? 0 : 1) << i;
+  }
+  EXPECT_EQ(report.tasks_quarantined, 1U);
+  EXPECT_EQ(report.tasks_retried, 2U);
+  ASSERT_EQ(report.faults.size(), 1U);
+  EXPECT_EQ(report.faults[0].index, 40U);
+  EXPECT_TRUE(report.faults[0].quarantined);
+  EXPECT_EQ(report.faults[0].attempts, 3U);
+
+  // Engine stays usable for normal batches afterwards.
+  std::atomic<std::size_t> count{0};
+  engine.run_batch(8, 1, [&](std::size_t, WarpKernelContext&) { ++count; });
+  EXPECT_EQ(count.load(), 8U);
 }
 
 TEST(ExecutionEngine, PooledContextReuseMatchesFreshContexts) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "resilience/fault_plan.hpp"
 #include "workload/dataset.hpp"
 
 namespace lassm::pipeline {
@@ -98,6 +99,130 @@ TEST(MultiGpu, ReportsAccountEveryContig) {
   EXPECT_NEAR(r.total_gpu_s,
               r.ranks[0].time_s + r.ranks[1].time_s + r.ranks[2].time_s,
               1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Device-loss recovery (run_multi_gpu_resilient).
+
+std::vector<simt::DeviceSpec> a100s(std::size_t n) {
+  return std::vector<simt::DeviceSpec>(n, simt::DeviceSpec::a100());
+}
+
+TEST(MultiGpuResilient, NullOrEmptyPlanMatchesBaseline) {
+  const auto in = dataset();
+  const auto base = run_multi_gpu(in, simt::DeviceSpec::a100(), 3);
+  const resilience::FaultPlan empty(9);
+  for (const resilience::FaultPlan* plan :
+       {static_cast<const resilience::FaultPlan*>(nullptr), &empty}) {
+    const auto r = run_multi_gpu_resilient(in, a100s(3), {}, plan);
+    ASSERT_EQ(r.extensions.size(), base.extensions.size());
+    for (std::size_t i = 0; i < base.extensions.size(); ++i) {
+      EXPECT_EQ(r.extensions[i].left, base.extensions[i].left) << i;
+      EXPECT_EQ(r.extensions[i].right, base.extensions[i].right) << i;
+      EXPECT_EQ(r.extensions[i].contig_id, base.extensions[i].contig_id);
+    }
+    EXPECT_TRUE(r.failures.clean());
+    EXPECT_EQ(r.makespan_s, base.makespan_s);
+  }
+}
+
+TEST(MultiGpuResilient, LostRankIsRebalancedBitIdentically) {
+  const auto in = dataset(60);
+  const auto base = run_multi_gpu(in, simt::DeviceSpec::a100(), 3);
+
+  resilience::FaultPlan plan(42);
+  plan.add_device_loss(/*rank=*/1, /*after_batch=*/1);
+  const auto r = run_multi_gpu_resilient(in, a100s(3), {}, &plan);
+
+  // The loss is visible in the report...
+  EXPECT_EQ(r.failures.devices_lost, 1U);
+  ASSERT_EQ(r.failures.rebalances.size(), 1U);
+  const resilience::RebalanceEvent& ev = r.failures.rebalances[0];
+  EXPECT_EQ(ev.lost_rank, 1U);
+  EXPECT_EQ(ev.after_batch, 1U);
+  EXPECT_GT(ev.moved_contigs, 0U);
+  EXPECT_EQ(ev.survivors, (std::vector<std::uint32_t>{0U, 2U}));
+  ASSERT_EQ(r.ranks.size(), 3U);
+  EXPECT_TRUE(r.ranks[1].lost);
+  EXPECT_FALSE(r.ranks[0].lost);
+  EXPECT_FALSE(r.ranks[2].lost);
+
+  // ...and invisible in the results: every contig (faulted rank or not)
+  // ends with exactly the extension the loss-free run produced, because
+  // fault keys are contig-identity based and recovery reruns are
+  // bit-identical.
+  ASSERT_EQ(r.extensions.size(), base.extensions.size());
+  for (std::size_t i = 0; i < base.extensions.size(); ++i) {
+    EXPECT_EQ(r.extensions[i].left, base.extensions[i].left) << i;
+    EXPECT_EQ(r.extensions[i].right, base.extensions[i].right) << i;
+    EXPECT_EQ(r.extensions[i].contig_id, base.extensions[i].contig_id);
+  }
+
+  // Recovery serialises on the survivors: their rank time grew, so the
+  // makespan can only be >= the loss-free one.
+  EXPECT_GE(r.makespan_s, base.makespan_s);
+}
+
+TEST(MultiGpuResilient, MultipleLossesRecoverOntoTheLastSurvivor) {
+  const auto in = dataset(40);
+  const auto base = run_multi_gpu(in, simt::DeviceSpec::a100(), 3);
+  resilience::FaultPlan plan(1);
+  plan.add_device_loss(0, 1);
+  plan.add_device_loss(2, 1);
+  const auto r = run_multi_gpu_resilient(in, a100s(3), {}, &plan);
+  EXPECT_EQ(r.failures.devices_lost, 2U);
+  EXPECT_EQ(r.failures.rebalances.size(), 2U);
+  for (std::size_t i = 0; i < base.extensions.size(); ++i) {
+    EXPECT_EQ(r.extensions[i].left, base.extensions[i].left) << i;
+    EXPECT_EQ(r.extensions[i].right, base.extensions[i].right) << i;
+  }
+}
+
+TEST(MultiGpuResilient, AllRanksLostThrowsDeviceLost) {
+  const auto in = dataset(20);
+  resilience::FaultPlan plan(2);
+  plan.add_device_loss(0, 1);
+  plan.add_device_loss(1, 1);
+  try {
+    run_multi_gpu_resilient(in, a100s(2), {}, &plan);
+    FAIL() << "every rank lost, but the run claimed success";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDeviceLost);
+  }
+}
+
+TEST(MultiGpuResilient, EmptyDeviceListIsInvalidArgument) {
+  const auto in = dataset(5);
+  try {
+    run_multi_gpu_resilient(in, {}, {}, nullptr);
+    FAIL() << "empty device list accepted";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument);
+  }
+}
+
+TEST(MultiGpuResilient, PerTaskFaultsFollowTheContigAcrossRecovery) {
+  // A plan mixing device loss with per-task quarantine: the quarantine
+  // decision is keyed on contig identity, so a contig quarantined on the
+  // lost rank is quarantined again (identically) on the survivor.
+  const auto in = dataset(40);
+  resilience::FaultPlan plan(77);
+  plan.arm(resilience::Seam::kBadInput, 0.15);
+  plan.add_device_loss(1, 1);
+
+  // Baseline: same per-task plan, no device loss.
+  resilience::FaultPlan no_loss(77);
+  no_loss.arm(resilience::Seam::kBadInput, 0.15);
+
+  const auto base = run_multi_gpu_resilient(in, a100s(3), {}, &no_loss);
+  const auto r = run_multi_gpu_resilient(in, a100s(3), {}, &plan);
+  ASSERT_EQ(r.extensions.size(), base.extensions.size());
+  for (std::size_t i = 0; i < base.extensions.size(); ++i) {
+    EXPECT_EQ(r.extensions[i].left, base.extensions[i].left) << i;
+    EXPECT_EQ(r.extensions[i].right, base.extensions[i].right) << i;
+  }
+  EXPECT_EQ(r.failures.devices_lost, 1U);
+  EXPECT_GT(base.failures.tasks_quarantined, 0U) << "vacuous: nothing fired";
 }
 
 }  // namespace

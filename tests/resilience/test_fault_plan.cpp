@@ -1,0 +1,183 @@
+// FaultPlan semantics: the pure fires() decision function, transient vs
+// persistent seams, device-loss scheduling, and the spec parser behind
+// LASSM_FAULTPLAN.
+
+#include "resilience/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace lassm::resilience {
+namespace {
+
+TEST(FaultPlan, EmptyPlanNeverFires) {
+  const FaultPlan plan(123);
+  EXPECT_TRUE(plan.empty());
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    for (std::size_t s = 0; s < kSeamCount; ++s) {
+      EXPECT_FALSE(plan.fires(static_cast<Seam>(s), key));
+    }
+  }
+  EXPECT_FALSE(plan.device_lost(0, 0));
+}
+
+TEST(FaultPlan, FiresIsDeterministicAndSeedDependent) {
+  FaultPlan a(1), b(1), c(2);
+  for (FaultPlan* p : {&a, &b, &c}) p->arm(Seam::kTaskException, 0.25);
+  int diffs = 0;
+  for (std::uint64_t key = 0; key < 4096; ++key) {
+    EXPECT_EQ(a.fires(Seam::kTaskException, key),
+              b.fires(Seam::kTaskException, key));
+    if (a.fires(Seam::kTaskException, key) !=
+        c.fires(Seam::kTaskException, key)) {
+      ++diffs;
+    }
+  }
+  EXPECT_GT(diffs, 0) << "different seeds must select different keys";
+}
+
+TEST(FaultPlan, RateZeroNeverFiresRateOneAlwaysFires) {
+  FaultPlan plan(7);
+  plan.arm(Seam::kBadInput, 0.0);
+  plan.arm(Seam::kWalkHang, 1.0);
+  for (std::uint64_t key = 0; key < 256; ++key) {
+    EXPECT_FALSE(plan.fires(Seam::kBadInput, key));
+    EXPECT_TRUE(plan.fires(Seam::kWalkHang, key));
+  }
+}
+
+TEST(FaultPlan, RateRoughlyMatchesFiringFraction) {
+  FaultPlan plan(99);
+  plan.arm(Seam::kTaskException, 0.1);
+  int fired = 0;
+  constexpr int kKeys = 20000;
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    fired += plan.fires(Seam::kTaskException, key) ? 1 : 0;
+  }
+  EXPECT_GT(fired, kKeys / 20);      // > 5%
+  EXPECT_LT(fired, kKeys * 3 / 20);  // < 15%
+}
+
+TEST(FaultPlan, TransientSeamsFireOnlyOnFirstAttempt) {
+  FaultPlan plan(5);
+  plan.arm(Seam::kTaskException, 1.0);
+  plan.arm(Seam::kMemStall, 1.0);
+  plan.arm(Seam::kBadInput, 1.0);
+  plan.arm(Seam::kWalkHang, 1.0);
+  const std::uint64_t key = 17;
+  // Transient: a retry of the same key succeeds.
+  EXPECT_TRUE(plan.fires(Seam::kTaskException, key, 0));
+  EXPECT_FALSE(plan.fires(Seam::kTaskException, key, 1));
+  EXPECT_TRUE(plan.fires(Seam::kMemStall, key, 0));
+  EXPECT_FALSE(plan.fires(Seam::kMemStall, key, 1));
+  // Persistent: retries keep failing (quarantine food).
+  EXPECT_TRUE(plan.fires(Seam::kBadInput, key, 0));
+  EXPECT_TRUE(plan.fires(Seam::kBadInput, key, 2));
+  EXPECT_TRUE(plan.fires(Seam::kWalkHang, key, 0));
+  EXPECT_TRUE(plan.fires(Seam::kWalkHang, key, 2));
+}
+
+TEST(FaultPlan, SeamsAreIndependent) {
+  FaultPlan plan(11);
+  plan.arm(Seam::kTaskException, 0.5);
+  plan.arm(Seam::kWalkHang, 0.5);
+  int both = 0, either = 0;
+  for (std::uint64_t key = 0; key < 4096; ++key) {
+    const bool a = plan.fires(Seam::kTaskException, key);
+    const bool b = plan.fires(Seam::kWalkHang, key);
+    both += (a && b) ? 1 : 0;
+    either += (a || b) ? 1 : 0;
+  }
+  // If the seams shared their hash, both == either/... would collapse.
+  EXPECT_GT(both, 0);
+  EXPECT_LT(both, either);
+}
+
+TEST(FaultPlan, DeviceLossMatchesExactBatchCount) {
+  FaultPlan plan(3);
+  plan.add_device_loss(1, 2);
+  EXPECT_FALSE(plan.device_lost(1, 0));
+  EXPECT_FALSE(plan.device_lost(1, 1));
+  EXPECT_TRUE(plan.device_lost(1, 2));
+  EXPECT_FALSE(plan.device_lost(0, 2));
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlan, ContigFaultKeySeparatesSides) {
+  EXPECT_NE(contig_fault_key(7, false), contig_fault_key(7, true));
+  EXPECT_NE(contig_fault_key(7, false), contig_fault_key(8, false));
+  EXPECT_EQ(contig_fault_key(7, true), contig_fault_key(7, true));
+}
+
+TEST(FaultPlanParse, ParsesFullSpec) {
+  auto r = FaultPlan::parse(
+      "seed=42 task_exception=0.05 bad_input=0.01 device_loss=1@2");
+  ASSERT_TRUE(r.is_ok());
+  const FaultPlan plan = std::move(r).take();
+  EXPECT_EQ(plan.seed(), 42U);
+  EXPECT_DOUBLE_EQ(plan.rate(Seam::kTaskException), 0.05);
+  EXPECT_DOUBLE_EQ(plan.rate(Seam::kBadInput), 0.01);
+  ASSERT_EQ(plan.device_losses().size(), 1U);
+  EXPECT_EQ(plan.device_losses()[0].rank, 1U);
+  EXPECT_EQ(plan.device_losses()[0].after_batch, 2U);
+}
+
+TEST(FaultPlanParse, RoundTripsThroughToSpec) {
+  auto r = FaultPlan::parse(
+      "seed=7 mem_stall=0.25 walk_hang=0.5 device_loss=0@1 device_loss=2@3");
+  ASSERT_TRUE(r.is_ok());
+  const FaultPlan plan = std::move(r).take();
+  auto r2 = FaultPlan::parse(plan.to_spec());
+  ASSERT_TRUE(r2.is_ok());
+  const FaultPlan plan2 = std::move(r2).take();
+  EXPECT_EQ(plan.seed(), plan2.seed());
+  for (std::size_t s = 0; s < kSeamCount; ++s) {
+    EXPECT_DOUBLE_EQ(plan.rate(static_cast<Seam>(s)),
+                     plan2.rate(static_cast<Seam>(s)));
+  }
+  EXPECT_EQ(plan.device_losses().size(), plan2.device_losses().size());
+}
+
+TEST(FaultPlanParse, RejectsMalformedSpecs) {
+  for (const char* spec :
+       {"seed", "seed=", "seed=x", "task_exception=2notanumber",
+        "unknown_seam=0.5", "device_loss=1", "device_loss=@2",
+        "device_loss=a@b", "=0.5"}) {
+    auto r = FaultPlan::parse(spec);
+    EXPECT_FALSE(r.is_ok()) << spec;
+    if (!r.is_ok()) {
+      EXPECT_EQ(r.error().code(), ErrorCode::kParseError) << spec;
+    }
+  }
+}
+
+TEST(FaultPlanParse, FromEnvReadsAndValidates) {
+  ::setenv("LASSM_FAULTPLAN", "seed=9 walk_hang=0.125", 1);
+  auto plan = FaultPlan::from_env();
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->seed(), 9U);
+  EXPECT_DOUBLE_EQ(plan->rate(Seam::kWalkHang), 0.125);
+
+  ::setenv("LASSM_FAULTPLAN", "walk_hang=notanumber", 1);
+  EXPECT_THROW(FaultPlan::from_env(), StatusError);
+
+  ::unsetenv("LASSM_FAULTPLAN");
+  EXPECT_FALSE(FaultPlan::from_env().has_value());
+}
+
+TEST(FaultPlan, SeamNamesAreUniqueAndSnakeCase) {
+  for (std::size_t a = 0; a < kSeamCount; ++a) {
+    const std::string name = seam_name(static_cast<Seam>(a));
+    EXPECT_FALSE(name.empty());
+    for (char ch : name) {
+      EXPECT_TRUE((ch >= 'a' && ch <= 'z') || ch == '_') << name;
+    }
+    for (std::size_t b = a + 1; b < kSeamCount; ++b) {
+      EXPECT_NE(name, std::string(seam_name(static_cast<Seam>(b))));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lassm::resilience

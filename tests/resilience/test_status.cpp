@@ -1,0 +1,83 @@
+// The typed error taxonomy: Status/Result plumbing, StatusError bridging to
+// legacy std::runtime_error catch sites, and source-context rendering.
+
+#include "resilience/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace lassm {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+  s.throw_if_error();  // no-op
+}
+
+TEST(Status, CarriesError) {
+  const Status s(ErrorCode::kIoError, "disk full",
+                 SourceContext{"out.json"});
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_FALSE(static_cast<bool>(s));
+  EXPECT_EQ(s.code(), ErrorCode::kIoError);
+  EXPECT_NE(s.to_string().find("io_error"), std::string::npos);
+  EXPECT_NE(s.to_string().find("out.json"), std::string::npos);
+  EXPECT_THROW(s.throw_if_error(), StatusError);
+}
+
+TEST(Status, StatusErrorIsARuntimeError) {
+  // The bridge contract: every pre-existing catch (std::runtime_error&)
+  // site keeps working when the throw site upgrades to StatusError.
+  try {
+    throw StatusError(Error(ErrorCode::kParseError, "bad record",
+                            SourceContext{"reads.fq", 41, 11}));
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("parse_error"), std::string::npos);
+    EXPECT_NE(what.find("reads.fq:41"), std::string::npos);
+    EXPECT_NE(what.find("record 11"), std::string::npos);
+  }
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+    const char* name = error_code_name(static_cast<ErrorCode>(c));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::string(name).size(), 0U);
+  }
+}
+
+TEST(SourceContext, Rendering) {
+  EXPECT_EQ(SourceContext{}.to_string(), "");
+  EXPECT_EQ((SourceContext{"f.txt", 0, 0}).to_string(), "f.txt");
+  EXPECT_EQ((SourceContext{"f.txt", 12, 0}).to_string(), "f.txt:12");
+  EXPECT_EQ((SourceContext{"f.txt", 12, 3}).to_string(),
+            "f.txt:12 (record 3)");
+}
+
+TEST(Result, HoldsValueOrError) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.is_ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_TRUE(ok.status().is_ok());
+
+  Result<int> bad(Error(ErrorCode::kCorruptInput, "nope"));
+  EXPECT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.error().code(), ErrorCode::kCorruptInput);
+  EXPECT_EQ(bad.status().code(), ErrorCode::kCorruptInput);
+  EXPECT_THROW(std::move(bad).value_or_throw(), StatusError);
+}
+
+TEST(Result, TakeMovesTheValue) {
+  Result<std::string> r(std::string(100, 'x'));
+  const std::string v = std::move(r).take();
+  EXPECT_EQ(v.size(), 100U);
+}
+
+}  // namespace
+}  // namespace lassm

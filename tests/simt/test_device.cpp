@@ -57,6 +57,47 @@ TEST(Device, StudyDevicesOrder) {
   EXPECT_EQ(devices[2].vendor, Vendor::kIntel);
 }
 
+TEST(Device, ValidateAcceptsEveryStudyDevice) {
+  for (const DeviceSpec& d : DeviceSpec::study_devices()) {
+    const Status s = d.validate();
+    EXPECT_TRUE(static_cast<bool>(s)) << d.name << ": " << s.to_string();
+  }
+}
+
+TEST(Device, ValidateRejectsBrokenGeometry) {
+  // Each broken field is rejected with kInvalidArgument and an error
+  // message that names the field, so a hand-built DeviceSpec fails fast
+  // instead of producing nonsense cache slices downstream.
+  struct Case {
+    const char* field;
+    void (*break_spec)(DeviceSpec&);
+  };
+  const Case cases[] = {
+      {"warp_width", [](DeviceSpec& d) { d.warp_width = 0; }},
+      {"warp_width", [](DeviceSpec& d) { d.warp_width = 33; }},  // not pow2
+      {"num_cus", [](DeviceSpec& d) { d.num_cus = 0; }},
+      {"line_bytes", [](DeviceSpec& d) { d.line_bytes = 0; }},
+      {"line_bytes", [](DeviceSpec& d) { d.line_bytes = 100; }},  // not pow2
+      {"l1_per_cu_bytes", [](DeviceSpec& d) { d.l1_per_cu_bytes = 0; }},
+      {"l2_bytes", [](DeviceSpec& d) { d.l2_bytes = 0; }},
+      {"resident_warps_per_cu",
+       [](DeviceSpec& d) { d.perf.resident_warps_per_cu = 0; }},
+      {"clock_ghz", [](DeviceSpec& d) { d.perf.clock_ghz = 0.0; }},
+      {"clock_ghz", [](DeviceSpec& d) { d.perf.clock_ghz = -1.3; }},
+      {"intops_per_cycle_per_cu",
+       [](DeviceSpec& d) { d.perf.intops_per_cycle_per_cu = 0; }},
+  };
+  for (const Case& c : cases) {
+    DeviceSpec d = DeviceSpec::a100();
+    c.break_spec(d);
+    const Status s = d.validate();
+    EXPECT_FALSE(static_cast<bool>(s)) << c.field << " accepted";
+    EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument) << c.field;
+    EXPECT_NE(s.to_string().find(c.field), std::string::npos)
+        << "error does not name the field: " << s.to_string();
+  }
+}
+
 TEST(Device, SliceScalesWithDilutionAndConcurrency) {
   DeviceSpec d = DeviceSpec::a100();
   d.perf.cache_dilution = 1.0;

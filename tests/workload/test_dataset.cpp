@@ -38,8 +38,13 @@ INSTANTIATE_TEST_SUITE_P(
                       TableIIRow{77, 2544, 7838, 175, 775962, 227.0}));
 
 TEST(Table2, RejectsUnknownK) {
-  EXPECT_THROW(table2_params(31), std::invalid_argument);
-  EXPECT_THROW(table2_params(0), std::invalid_argument);
+  EXPECT_THROW(table2_params(31), StatusError);
+  EXPECT_THROW(table2_params(0), StatusError);
+  try {
+    table2_params(31);
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument);
+  }
 }
 
 TEST(DatasetStatsTest, CountsStaticCharacteristics) {
