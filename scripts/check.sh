@@ -30,7 +30,8 @@ cmake -B "$BUILD" -S . \
   -DLASSM_BUILD_EXAMPLES=ON
 
 cmake --build "$BUILD" -j \
-  --target tests_core tests_trace tests_memsim tests_resilience quickstart
+  --target tests_core tests_trace tests_memsim tests_resilience \
+  tests_pipeline quickstart
 
 # The parallel-assembler suite drives the pool across thread counts, batch
 # shapes, steal interleavings and the error path; any data race in the
@@ -40,6 +41,14 @@ cmake --build "$BUILD" -j \
 TSAN_OPTIONS="halt_on_error=1" \
   "$BUILD/tests/tests_core" \
   --gtest_filter='ParallelAssembler.*:ExecutionEngine.*:GoldenBitIdentity.*'
+
+# The parallel front-end suite runs k-mer counting/filtering, contig
+# generation, alignment and the whole pipeline across thread counts with
+# per-shard merge phases live on the pool; a race in the sharded tables,
+# the chunked partial maps or run_host_batch trips TSan here, and the
+# seed-pinned golden fingerprints catch any almost-identical output.
+TSAN_OPTIONS="halt_on_error=1" \
+  "$BUILD/tests/tests_pipeline" --gtest_filter='FrontendParallel.*'
 
 # The fault matrix crosses every injection seam with serial and 4-thread
 # execution: retries, quarantines, watchdog aborts and device loss all
@@ -119,5 +128,22 @@ speedup = j["speedup"]["probe"]
 print(f"check.sh: probe speedup vs seed baseline: {speedup:.2f}x")
 if speedup < 1.5:
     sys.exit("check.sh: FAIL - memsim probe loop regressed below 1.5x of the recorded baseline")
+EOF
+
+# Same deal for the pipeline front-end: its bench records the seed-build
+# per-stage wall clock; single-thread k-mer counting must still clear a
+# healthy margin over it (the flat-table + rolling-window overhaul
+# measured well above 2x — 1.5x absorbs machine noise without letting a
+# real regression through).
+cmake --build "$PERF_BUILD" -j --target bench_pipeline_frontend > /dev/null
+LASSM_RESULTS_DIR="$PERF_BUILD/results" "$PERF_BUILD/bench/bench_pipeline_frontend"
+python3 - "$PERF_BUILD/results/BENCH_frontend.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    j = json.load(f)
+speedup = j["speedup"]["count"]
+print(f"check.sh: k-mer count speedup vs seed baseline: {speedup:.2f}x")
+if speedup < 1.5:
+    sys.exit("check.sh: FAIL - k-mer counting regressed below 1.5x of the recorded baseline")
 EOF
 echo "check.sh: perf smoke clean."

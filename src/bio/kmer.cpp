@@ -1,55 +1,10 @@
 #include "bio/kmer.hpp"
 
-#include <cassert>
-
 namespace lassm::bio {
-
-void PackedKmer::set_code(std::uint32_t i, int code) noexcept {
-  const std::uint32_t bit = i * 2;
-  const std::uint32_t word = bit / 64;
-  const std::uint32_t shift = 62 - (bit % 64);
-  w_[word] &= ~(std::uint64_t{3} << shift);
-  w_[word] |= (static_cast<std::uint64_t>(code) & 3) << shift;
-}
-
-int PackedKmer::code_at(std::uint32_t i) const noexcept {
-  const std::uint32_t bit = i * 2;
-  const std::uint32_t word = bit / 64;
-  const std::uint32_t shift = 62 - (bit % 64);
-  return static_cast<int>((w_[word] >> shift) & 3);
-}
-
-PackedKmer PackedKmer::pack(std::string_view s) noexcept {
-  assert(s.size() <= kMaxK);
-  PackedKmer km;
-  km.k_ = static_cast<std::uint32_t>(s.size());
-  for (std::uint32_t i = 0; i < km.k_; ++i) {
-    const int code = base_to_code(s[i]);
-    assert(code >= 0 && "PackedKmer requires ACGT input");
-    km.set_code(i, code);
-  }
-  return km;
-}
 
 std::string PackedKmer::unpack() const {
   std::string out(k_, 'A');
   for (std::uint32_t i = 0; i < k_; ++i) out[i] = code_to_base(code_at(i));
-  return out;
-}
-
-PackedKmer PackedKmer::successor(int code) const noexcept {
-  PackedKmer out;
-  out.k_ = k_;
-  for (std::uint32_t i = 0; i + 1 < k_; ++i) out.set_code(i, code_at(i + 1));
-  if (k_ > 0) out.set_code(k_ - 1, code);
-  return out;
-}
-
-PackedKmer PackedKmer::predecessor(int code) const noexcept {
-  PackedKmer out;
-  out.k_ = k_;
-  if (k_ > 0) out.set_code(0, code);
-  for (std::uint32_t i = 1; i < k_; ++i) out.set_code(i, code_at(i - 1));
   return out;
 }
 
@@ -65,19 +20,6 @@ PackedKmer PackedKmer::reverse_complement() const noexcept {
 PackedKmer PackedKmer::canonical() const noexcept {
   PackedKmer rc = reverse_complement();
   return (*this <=> rc) <= 0 ? *this : rc;
-}
-
-std::uint64_t PackedKmer::hash64() const noexcept {
-  // SplitMix64-style finalizer folded over the words plus k, giving a
-  // well-mixed 64-bit value without allocating.
-  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ k_;
-  for (std::uint64_t w : w_) {
-    std::uint64_t z = h + w + 0x9e3779b97f4a7c15ULL;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    h = z ^ (z >> 31);
-  }
-  return h;
 }
 
 }  // namespace lassm::bio

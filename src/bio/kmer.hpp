@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <compare>
 #include <cstdint>
 #include <string>
@@ -41,12 +42,38 @@ inline constexpr std::uint32_t kMaxK = 128;
 /// Bruijn graph). Packing is big-endian in base order: the first base of the
 /// k-mer occupies the highest-order occupied bits, which makes lexicographic
 /// comparison equal to integer comparison word by word.
+///
+/// The graph/counting hot paths (pack, successor, predecessor, hash64) are
+/// inline whole-word operations: successor/predecessor are a 2-bit shift
+/// across the word array rather than a per-base repack, which is what makes
+/// the de Bruijn traversal's 4-way neighbour probes cheap. Bits past
+/// position k() - 1 are always zero — the shift implementations rely on
+/// that invariant and preserve it.
 class PackedKmer {
  public:
   PackedKmer() = default;
 
   /// Packs s[0..k); every character must be ACGT (checked in debug builds).
-  static PackedKmer pack(std::string_view s) noexcept;
+  static PackedKmer pack(std::string_view s) noexcept {
+    assert(s.size() <= kMaxK);
+    PackedKmer km;
+    km.k_ = static_cast<std::uint32_t>(s.size());
+    std::uint64_t w = 0;
+    std::uint32_t word = 0;
+    std::uint32_t filled = 0;
+    for (const char ch : s) {
+      const int code = base_to_code(ch);
+      assert(code >= 0 && "PackedKmer requires ACGT input");
+      w = (w << 2) | (static_cast<std::uint64_t>(code) & 3);
+      if (++filled == 32) {
+        km.w_[word++] = w;
+        w = 0;
+        filled = 0;
+      }
+    }
+    if (filled != 0) km.w_[word] = w << (64 - 2 * filled);
+    return km;
+  }
 
   /// Unpacks back to an ASCII string of length k().
   std::string unpack() const;
@@ -54,15 +81,49 @@ class PackedKmer {
   std::uint32_t k() const noexcept { return k_; }
 
   /// 2-bit code of base at position i (0 = first base).
-  int code_at(std::uint32_t i) const noexcept;
+  int code_at(std::uint32_t i) const noexcept {
+    const std::uint32_t bit = i * 2;
+    return static_cast<int>((w_[bit / 64] >> (62 - (bit % 64))) & 3);
+  }
 
   /// k-mer shifted left by one base with `code` appended (the de Bruijn
   /// successor along edge `code`). Length is preserved.
-  PackedKmer successor(int code) const noexcept;
+  PackedKmer successor(int code) const noexcept {
+    PackedKmer out;
+    out.k_ = k_;
+    if (k_ == 0) return out;
+    // Shift the whole 2-bit string left by one base; the slot at position
+    // k-1 receives zeros (beyond-k bits are zero by invariant), then the
+    // new last base lands there.
+    for (std::uint32_t j = 0; j + 1 < kWords; ++j) {
+      out.w_[j] = (w_[j] << 2) | (w_[j + 1] >> 62);
+    }
+    out.w_[kWords - 1] = w_[kWords - 1] << 2;
+    const std::uint32_t bit = (k_ - 1) * 2;
+    out.w_[bit / 64] |= (static_cast<std::uint64_t>(code) & 3)
+                        << (62 - (bit % 64));
+    return out;
+  }
 
   /// k-mer shifted right by one base with `code` prepended (the de Bruijn
   /// predecessor whose successor along this k-mer's last base is *this).
-  PackedKmer predecessor(int code) const noexcept;
+  PackedKmer predecessor(int code) const noexcept {
+    PackedKmer out;
+    out.k_ = k_;
+    if (k_ == 0) return out;
+    for (std::uint32_t j = kWords - 1; j > 0; --j) {
+      out.w_[j] = (w_[j] >> 2) | (w_[j - 1] << 62);
+    }
+    out.w_[0] = w_[0] >> 2;
+    if (k_ < kMaxK) {
+      // The old last base shifted into position k; clear it to keep the
+      // beyond-k-bits-are-zero invariant.
+      const std::uint32_t bit = k_ * 2;
+      out.w_[bit / 64] &= ~(std::uint64_t{3} << (62 - (bit % 64)));
+    }
+    out.w_[0] |= (static_cast<std::uint64_t>(code) & 3) << 62;
+    return out;
+  }
 
   /// Reverse complement with the same k.
   PackedKmer reverse_complement() const noexcept;
@@ -72,7 +133,18 @@ class PackedKmer {
   PackedKmer canonical() const noexcept;
 
   /// 64-bit mixing hash of the packed words (for host hash maps).
-  std::uint64_t hash64() const noexcept;
+  std::uint64_t hash64() const noexcept {
+    // SplitMix64-style finalizer folded over the words plus k, giving a
+    // well-mixed 64-bit value without allocating.
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ k_;
+    for (const std::uint64_t w : w_) {
+      std::uint64_t z = h + w + 0x9e3779b97f4a7c15ULL;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      h = z ^ (z >> 31);
+    }
+    return h;
+  }
 
   friend bool operator==(const PackedKmer& a, const PackedKmer& b) noexcept {
     return a.k_ == b.k_ && a.w_ == b.w_;
@@ -89,7 +161,13 @@ class PackedKmer {
   std::array<std::uint64_t, kWords> w_{};
   std::uint32_t k_ = 0;
 
-  void set_code(std::uint32_t i, int code) noexcept;
+  void set_code(std::uint32_t i, int code) noexcept {
+    const std::uint32_t bit = i * 2;
+    const std::uint32_t word = bit / 64;
+    const std::uint32_t shift = 62 - (bit % 64);
+    w_[word] &= ~(std::uint64_t{3} << shift);
+    w_[word] |= (static_cast<std::uint64_t>(code) & 3) << shift;
+  }
 };
 
 /// Hash functor for unordered containers keyed by PackedKmer.
@@ -102,6 +180,40 @@ struct PackedKmerHash {
 /// Number of k-mers in a sequence of length n (0 when n < k).
 constexpr std::uint64_t kmer_count(std::uint64_t n, std::uint32_t k) noexcept {
   return n >= k ? n - k + 1 : 0;
+}
+
+/// Calls f(km, pos) for every k-window of `seq` in sequence order. The
+/// window rolls: each step is one successor() shift instead of a repack,
+/// which is bit-identical to PackedKmer::pack on every window (the shift
+/// drops the outgoing base and appends the incoming one).
+template <class F>
+void for_each_packed_kmer(std::string_view seq, std::uint32_t k, F&& f) {
+  if (k == 0 || seq.size() < k) return;
+  PackedKmer km = PackedKmer::pack(seq.substr(0, k));
+  f(km, std::size_t{0});
+  for (std::size_t pos = 1; pos + k <= seq.size(); ++pos) {
+    km = km.successor(base_to_code(seq[pos + k - 1]));
+    f(km, pos);
+  }
+}
+
+/// Canonical-form variant of for_each_packed_kmer: f receives
+/// min(window, reverse_complement(window)). The reverse complement rolls
+/// alongside the forward window — prepending the complement of each
+/// incoming base via predecessor() — so no window is ever re-complemented
+/// from scratch; the result equals pack(window).canonical() bit for bit.
+template <class F>
+void for_each_canonical_kmer(std::string_view seq, std::uint32_t k, F&& f) {
+  if (k == 0 || seq.size() < k) return;
+  PackedKmer km = PackedKmer::pack(seq.substr(0, k));
+  PackedKmer rc = km.reverse_complement();
+  f((km <=> rc) <= 0 ? km : rc, std::size_t{0});
+  for (std::size_t pos = 1; pos + k <= seq.size(); ++pos) {
+    const int code = base_to_code(seq[pos + k - 1]);
+    km = km.successor(code);
+    rc = rc.predecessor(3 - code);
+    f((km <=> rc) <= 0 ? km : rc, pos);
+  }
 }
 
 }  // namespace lassm::bio

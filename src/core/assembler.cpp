@@ -230,7 +230,13 @@ void record_run_metrics(const AssemblyResult& result,
   for (std::uint64_t c : result.stats.warp_cycles) cycles_hist.observe(c);
 }
 
-AssemblyResult LocalAssembler::run(const AssemblyInput& in) const {
+std::unique_ptr<WarpExecutionEngine> LocalAssembler::make_engine() const {
+  return std::make_unique<WarpExecutionEngine>(
+      dev_, pm_, opts_, resolve_threads(opts_.n_threads));
+}
+
+AssemblyResult LocalAssembler::run(const AssemblyInput& in,
+                                   WarpExecutionEngine* external) const {
   if (in.left_reads.size() != in.contigs.size() ||
       in.right_reads.size() != in.contigs.size()) {
     throw std::invalid_argument(
@@ -266,10 +272,20 @@ AssemblyResult LocalAssembler::run(const AssemblyInput& in) const {
   const resilience::FaultPlan* const plan = opts_.fault_plan;
   const bool armed = plan != nullptr;
   const unsigned n_threads = resolve_threads(opts_.n_threads);
-  std::unique_ptr<WarpExecutionEngine> engine;
+  std::unique_ptr<WarpExecutionEngine> owned;
+  WarpExecutionEngine* engine = nullptr;
   if (armed || (n_threads > 1 && in.contigs.size() > 1)) {
-    engine = std::make_unique<WarpExecutionEngine>(dev_, pm_, opts_,
-                                                   n_threads);
+    // Prefer the caller's shared pool (made by make_engine(), so its
+    // configuration matches); otherwise spin up a run-local one. Either
+    // way an armed kPoolStart seam has already degraded the pool at its
+    // construction — a pure function of the plan, so shared and run-local
+    // pools degrade identically.
+    if (external != nullptr) {
+      engine = external;
+    } else {
+      owned = make_engine();
+      engine = owned.get();
+    }
     result.failures.serial_fallback = engine->degraded();
   }
 

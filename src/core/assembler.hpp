@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/input.hpp"
@@ -11,6 +12,8 @@
 #include "trace/metrics.hpp"
 
 namespace lassm::core {
+
+class WarpExecutionEngine;
 
 /// Stats and modelled time of one simulated kernel launch (one batch, one
 /// extension direction).
@@ -98,7 +101,21 @@ class LocalAssembler {
   /// AssemblyOptions::n_threads != 1 (see src/core/exec.hpp); extensions,
   /// counters, traffic and the modelled time are bit-identical for every
   /// thread count.
-  AssemblyResult run(const AssemblyInput& in) const;
+  ///
+  /// `engine` (optional) supplies an external thread pool to run on — one
+  /// created by make_engine(), so its device/model/options match — letting
+  /// a driver like the pipeline share a single pool across many runs and
+  /// its own host stages instead of respawning threads per k-round. It is
+  /// only used where run() would have created its own pool (parallel or
+  /// fault-armed execution); the n_threads == 1 serial oracle path is
+  /// unchanged. Results are bit-identical with or without it.
+  AssemblyResult run(const AssemblyInput& in,
+                     WarpExecutionEngine* engine = nullptr) const;
+
+  /// Creates a thread pool compatible with run()'s `engine` parameter:
+  /// same device, programming model and options as this assembler,
+  /// n_threads resolved from AssemblyOptions::n_threads.
+  std::unique_ptr<WarpExecutionEngine> make_engine() const;
 
   /// Applies extensions to in.contigs (index-aligned with run()'s input).
   static void apply(AssemblyInput& in, const AssemblyResult& result);

@@ -77,7 +77,17 @@ WarpKernelContext& WarpExecutionEngine::context_for(
 }
 
 void WarpExecutionEngine::work_on(Job& job, unsigned wid) {
-  WarpKernelContext& ctx = context_for(wid, job.concurrency);
+  // Host jobs never touch the simulator: no context is created, so a pool
+  // used only by the pipeline front-end stays allocation-free.
+  WarpKernelContext* const ctx =
+      job.body != nullptr ? &context_for(wid, job.concurrency) : nullptr;
+  const auto run_range = [&](std::size_t begin, std::size_t end) {
+    if (job.body != nullptr) {
+      for (std::size_t i = begin; i < end; ++i) (*job.body)(i, *ctx);
+    } else {
+      for (std::size_t i = begin; i < end; ++i) (*job.host_body)(i, wid);
+    }
+  };
   try {
     // Own segment first, then sweep the others for chunks to steal. The
     // sweep repeats until a full pass over every segment finds nothing
@@ -93,11 +103,11 @@ void WarpExecutionEngine::work_on(Job& job, unsigned wid) {
         if (begin >= seg.end) break;
         const std::size_t end = std::min(seg.end, begin + job.chunk);
         if (tracer_ == nullptr) {
-          for (std::size_t i = begin; i < end; ++i) (*job.body)(i, ctx);
+          run_range(begin, end);
         } else {
           const bool stolen = owner != wid;
           const double t0 = tracer_->host_now_us();
-          for (std::size_t i = begin; i < end; ++i) (*job.body)(i, ctx);
+          run_range(begin, end);
           const double t1 = tracer_->host_now_us();
           trace::Tracer::Buffer& buf = worker_buffers_[wid];
           if (stolen) {
@@ -148,11 +158,24 @@ void WarpExecutionEngine::run_batch(
     std::size_t n, std::uint64_t concurrency,
     const std::function<void(std::size_t, WarpKernelContext&)>& body) {
   if (n == 0) return;
-
   Job job;
   job.n = n;
   job.concurrency = concurrency;
   job.body = &body;
+  execute(job);
+}
+
+void WarpExecutionEngine::run_host_batch(
+    std::size_t n, const std::function<void(std::size_t, unsigned)>& body) {
+  if (n == 0) return;
+  Job job;
+  job.n = n;
+  job.host_body = &body;
+  execute(job);
+}
+
+void WarpExecutionEngine::execute(Job& job) {
+  const std::size_t n = job.n;
   job.participants =
       static_cast<unsigned>(std::min<std::size_t>(n_threads_, n));
   // Chunked self-scheduling: ~4 chunks per worker amortises the claim

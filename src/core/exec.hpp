@@ -89,6 +89,19 @@ class WarpExecutionEngine {
                  const std::function<void(std::size_t, WarpKernelContext&)>&
                      body);
 
+  /// Runs `body(i, worker_id)` for every i in [0, n) across the pool — the
+  /// host-task variant of run_batch for work that is not a simulated warp
+  /// (the pipeline front-end's counting/graph/alignment stages). Same
+  /// scheduling (segments, chunk claiming, stealing), same launch barrier,
+  /// same chunk-span/steal tracing and first-exception rethrow; the only
+  /// difference is that no WarpKernelContext is created or passed — pure
+  /// host jobs on a pool that never ran a warp batch allocate no simulator
+  /// state at all. `worker_id` (in [0, n_threads())) lets the body index
+  /// per-worker scratch; `body` must be safe to invoke concurrently for
+  /// distinct i.
+  void run_host_batch(std::size_t n,
+                      const std::function<void(std::size_t, unsigned)>& body);
+
   /// The hardened variant of run_batch: per-task exception isolation with
   /// bounded deterministic retry and quarantine instead of run_batch's
   /// fail-the-launch rethrow.
@@ -125,7 +138,8 @@ class WarpExecutionEngine {
     std::size_t end = 0;
   };
 
-  /// One parallel region (one simulated kernel launch).
+  /// One parallel region (one simulated kernel launch, or one host-task
+  /// batch — exactly one of `body` / `host_body` is set).
   struct Job {
     std::size_t n = 0;
     std::size_t chunk = 1;
@@ -133,6 +147,7 @@ class WarpExecutionEngine {
     unsigned participants = 0;
     const std::function<void(std::size_t, WarpKernelContext&)>* body =
         nullptr;
+    const std::function<void(std::size_t, unsigned)>* host_body = nullptr;
     std::unique_ptr<Segment[]> segments;
     std::atomic<unsigned> finished{0};
     std::exception_ptr error;  ///< first failure, guarded by engine mutex
@@ -140,6 +155,10 @@ class WarpExecutionEngine {
 
   void worker_loop(unsigned wid);
   void work_on(Job& job, unsigned wid);
+  /// Shared scheduling core of run_batch/run_host_batch: chunks and
+  /// publishes the prepared job, participates as worker 0, waits out the
+  /// barrier, absorbs trace buffers and rethrows the first error.
+  void execute(Job& job);
   WarpKernelContext& context_for(unsigned wid, std::uint64_t concurrency);
 
   const simt::DeviceSpec& dev_;

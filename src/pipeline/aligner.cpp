@@ -1,10 +1,12 @@
 #include "pipeline/aligner.hpp"
 
 #include <algorithm>
-#include <unordered_map>
+#include <array>
 #include <vector>
 
 #include "bio/kmer.hpp"
+#include "pipeline/kmer_table.hpp"
+#include "pipeline/parallel.hpp"
 
 namespace lassm::pipeline {
 
@@ -15,45 +17,101 @@ struct SeedHit {
   std::uint32_t pos = 0;  ///< contig coordinate of the seed
 };
 
-using SeedIndex =
-    std::unordered_map<bio::PackedKmer, std::vector<SeedHit>,
-                       bio::PackedKmerHash>;
-
 /// Highly repetitive seeds are useless and quadratic; drop them.
 constexpr std::size_t kMaxHitsPerSeed = 8;
 
+/// Fixed-capacity hit list: the index never allocates per key. A seed that
+/// would exceed the cap is tombstoned in place (overfull = true, treated
+/// as absent by lookups) the moment its 9th occurrence arrives — no second
+/// full scan to erase repeat-induced seeds, and no transient growth past
+/// the cap.
+struct SeedHits {
+  std::array<SeedHit, kMaxHitsPerSeed> hit{};
+  std::uint8_t n = 0;
+  bool overfull = false;
+};
+
+using SeedIndex = FlatKmerTable<SeedHits>;
+
+void add_occurrence(SeedHits& hits, std::uint32_t contig, std::uint32_t pos) {
+  if (hits.overfull) return;
+  if (hits.n == kMaxHitsPerSeed) {
+    hits.overfull = true;  // 9th occurrence: repeat-induced, drop the seed
+    return;
+  }
+  hits.hit[hits.n++] = {contig, pos};
+}
+
+/// Enumerates the indexed seed windows of one contig in the canonical
+/// order (left end window, then right end window; whole contig when the
+/// windows would overlap). Windows roll via PackedKmer::successor.
+template <class F>
+void for_each_end_seed(const std::string& seq, const AlignerOptions& opts,
+                       F&& f) {
+  if (seq.size() < opts.seed_len) return;
+  const std::string_view sv(seq);
+  const auto window = [&](std::uint64_t begin, std::uint64_t end) {
+    end = std::min<std::uint64_t>(end, seq.size() - opts.seed_len + 1);
+    if (begin >= end) return;
+    bio::PackedKmer km =
+        bio::PackedKmer::pack(sv.substr(begin, opts.seed_len));
+    f(km, static_cast<std::uint32_t>(begin));
+    for (std::uint64_t pos = begin + 1; pos < end; ++pos) {
+      km = km.successor(bio::base_to_code(sv[pos + opts.seed_len - 1]));
+      f(km, static_cast<std::uint32_t>(pos));
+    }
+  };
+  if (seq.size() <= 2ULL * opts.end_window) {
+    window(0, seq.size());
+  } else {
+    window(0, opts.end_window);
+    window(seq.size() - opts.end_window - opts.seed_len + 1, seq.size());
+  }
+}
+
 SeedIndex build_end_index(const bio::ContigSet& contigs,
-                          const AlignerOptions& opts) {
+                          const AlignerOptions& opts,
+                          core::WarpExecutionEngine* pool) {
   SeedIndex index;
-  for (std::uint32_t c = 0; c < contigs.size(); ++c) {
-    const std::string& seq = contigs[c].seq;
-    if (seq.size() < opts.seed_len) continue;
-    auto add_window = [&](std::uint64_t begin, std::uint64_t end) {
-      end = std::min<std::uint64_t>(end, seq.size() - opts.seed_len + 1);
-      for (std::uint64_t pos = begin; pos < end; ++pos) {
-        const bio::PackedKmer seed = bio::PackedKmer::pack(
-            std::string_view(seq).substr(pos, opts.seed_len));
-        auto& hits = index[seed];
-        if (hits.size() <= kMaxHitsPerSeed) {
-          hits.push_back({c, static_cast<std::uint32_t>(pos)});
-        }
+  std::uint64_t windows = 0;
+  for (const bio::Contig& c : contigs) {
+    windows += std::min<std::uint64_t>(
+        bio::kmer_count(c.seq.size(), opts.seed_len), 2ULL * opts.end_window);
+  }
+  index.reserve(windows);
+
+  if (!pool_parallel(pool) || contigs.size() < 2) {
+    for (std::uint32_t c = 0; c < contigs.size(); ++c) {
+      for_each_end_seed(contigs[c].seq, opts,
+                        [&](const bio::PackedKmer& seed, std::uint32_t pos) {
+                          add_occurrence(index.get_or_insert(seed), c, pos);
+                        });
+    }
+    return index;
+  }
+
+  // Phase 1: per-contig occurrence lists in window order (disjoint slots).
+  using Occurrence = std::pair<bio::PackedKmer, std::uint32_t>;
+  std::vector<std::vector<Occurrence>> occ(contigs.size());
+  stage_for(pool, contigs.size(), [&](std::size_t c, unsigned) {
+    for_each_end_seed(contigs[c].seq, opts,
+                      [&](const bio::PackedKmer& seed, std::uint32_t pos) {
+                        occ[c].emplace_back(seed, pos);
+                      });
+  });
+
+  // Phase 2: one task per shard, scanning contigs in ascending order so a
+  // seed's hits land in the same (contig, window) order the serial build
+  // produces. Shards are hash-disjoint, so tasks never share slots.
+  stage_for(pool, SeedIndex::kShards, [&](std::size_t shard, unsigned) {
+    const auto sid = static_cast<std::uint32_t>(shard);
+    for (std::uint32_t c = 0; c < contigs.size(); ++c) {
+      for (const auto& [seed, pos] : occ[c]) {
+        if (SeedIndex::shard_of(seed) != sid) continue;
+        add_occurrence(index.get_or_insert_in_shard(sid, seed), c, pos);
       }
-    };
-    if (seq.size() <= 2ULL * opts.end_window) {
-      add_window(0, seq.size());
-    } else {
-      add_window(0, opts.end_window);
-      add_window(seq.size() - opts.end_window - opts.seed_len + 1, seq.size());
     }
-  }
-  // Drop over-full seeds entirely (repeat-induced).
-  for (auto it = index.begin(); it != index.end();) {
-    if (it->second.size() > kMaxHitsPerSeed) {
-      it = index.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  });
   return index;
 }
 
@@ -75,74 +133,103 @@ std::uint32_t overlap_mismatches(std::string_view read, std::string_view contig,
   return mism;
 }
 
+/// Where one read landed; computed independently per read (parallel), then
+/// committed to the per-contig lists in read order (serial merge).
+enum class PlaceKind : std::uint8_t { kUnaligned, kInterior, kLeft, kRight };
+
+struct Placement {
+  std::uint32_t contig = 0;
+  PlaceKind kind = PlaceKind::kUnaligned;
+};
+
+Placement place_read(std::string_view seq, const bio::ContigSet& contigs,
+                     const SeedIndex& index, const AlignerOptions& opts) {
+  Placement out;
+  if (seq.size() < opts.seed_len) return out;
+  bool interior = false;
+  for (std::uint32_t p = 0; p + opts.seed_len <= seq.size();
+       p += opts.seed_stride) {
+    const bio::PackedKmer seed =
+        bio::PackedKmer::pack(seq.substr(p, opts.seed_len));
+    const SeedHits* hits = index.find(seed);
+    if (hits == nullptr || hits->overfull) continue;
+    for (std::uint8_t h = 0; h < hits->n; ++h) {
+      const SeedHit& hit = hits->hit[h];
+      const std::string& cseq = contigs[hit.contig].seq;
+      const std::int64_t offset =
+          static_cast<std::int64_t>(hit.pos) - static_cast<std::int64_t>(p);
+      if (overlap_mismatches(seq, cseq, offset) > opts.max_mismatches) {
+        continue;
+      }
+      const std::int64_t read_end =
+          offset + static_cast<std::int64_t>(seq.size());
+      const std::int64_t right_overhang =
+          read_end - static_cast<std::int64_t>(cseq.size());
+      const std::int64_t left_overhang = -offset;
+      if (right_overhang >= static_cast<std::int64_t>(opts.min_overhang) &&
+          right_overhang >= left_overhang) {
+        out.contig = hit.contig;
+        out.kind = PlaceKind::kRight;
+        return out;
+      }
+      if (left_overhang >= static_cast<std::int64_t>(opts.min_overhang)) {
+        out.contig = hit.contig;
+        out.kind = PlaceKind::kLeft;
+        return out;
+      }
+      interior = true;  // aligned but fully contained
+    }
+  }
+  if (interior) out.kind = PlaceKind::kInterior;
+  return out;
+}
+
 }  // namespace
 
 core::AssemblyInput align_reads_to_ends(bio::ContigSet contigs,
                                         const bio::ReadSet& reads,
                                         std::uint32_t assembly_k,
                                         const AlignerOptions& opts,
-                                        AlignStats* stats) {
+                                        AlignStats* stats,
+                                        core::WarpExecutionEngine* pool) {
   core::AssemblyInput in;
   in.kmer_len = assembly_k;
   in.contigs = std::move(contigs);
   in.left_reads.resize(in.contigs.size());
   in.right_reads.resize(in.contigs.size());
 
-  const SeedIndex index = build_end_index(in.contigs, opts);
-  AlignStats local;
+  const SeedIndex index = build_end_index(in.contigs, opts, pool);
 
+  // Parallel phase: each read's placement is independent of every other
+  // read's (the index and contigs are read-only here).
+  std::vector<Placement> placed(reads.size());
+  stage_for(pool, reads.size(), [&](std::size_t r, unsigned) {
+    placed[r] = place_read(reads.seq(r), in.contigs, index, opts);
+  });
+
+  // Serial merge in read order: per-contig read lists fill in ascending
+  // read id — exactly the order the serial per-read loop produced — and
+  // the read arena is rebuilt in the same order.
+  AlignStats local;
   for (std::size_t r = 0; r < reads.size(); ++r) {
-    const std::string_view seq = reads.seq(r);
-    if (seq.size() < opts.seed_len) {
-      ++local.unaligned;
-      in.reads.append(seq, reads.qual(r));
-      continue;
-    }
-    bool placed = false;
-    bool interior = false;
-    for (std::uint32_t p = 0;
-         !placed && p + opts.seed_len <= seq.size();
-         p += opts.seed_stride) {
-      const bio::PackedKmer seed =
-          bio::PackedKmer::pack(seq.substr(p, opts.seed_len));
-      const auto it = index.find(seed);
-      if (it == index.end()) continue;
-      for (const SeedHit& hit : it->second) {
-        const std::string& cseq = in.contigs[hit.contig].seq;
-        const std::int64_t offset =
-            static_cast<std::int64_t>(hit.pos) - static_cast<std::int64_t>(p);
-        if (overlap_mismatches(seq, cseq, offset) > opts.max_mismatches) {
-          continue;
-        }
-        const std::int64_t read_end =
-            offset + static_cast<std::int64_t>(seq.size());
-        const std::int64_t right_overhang =
-            read_end - static_cast<std::int64_t>(cseq.size());
-        const std::int64_t left_overhang = -offset;
-        if (right_overhang >= static_cast<std::int64_t>(opts.min_overhang) &&
-            right_overhang >= left_overhang) {
-          in.right_reads[hit.contig].push_back(static_cast<std::uint32_t>(r));
-          ++local.aligned_right;
-          placed = true;
-        } else if (left_overhang >=
-                   static_cast<std::int64_t>(opts.min_overhang)) {
-          in.left_reads[hit.contig].push_back(static_cast<std::uint32_t>(r));
-          ++local.aligned_left;
-          placed = true;
-        } else {
-          interior = true;  // aligned but fully contained
-        }
-        if (placed) break;
-      }
-    }
-    if (!placed) {
-      if (interior) {
+    const Placement& p = placed[r];
+    switch (p.kind) {
+      case PlaceKind::kRight:
+        in.right_reads[p.contig].push_back(static_cast<std::uint32_t>(r));
+        ++local.aligned_right;
+        break;
+      case PlaceKind::kLeft:
+        in.left_reads[p.contig].push_back(static_cast<std::uint32_t>(r));
+        ++local.aligned_left;
+        break;
+      case PlaceKind::kInterior:
         ++local.interior;
-      } else {
+        break;
+      case PlaceKind::kUnaligned:
         ++local.unaligned;
-      }
+        break;
     }
-    in.reads.append(seq, reads.qual(r));
+    in.reads.append(reads.seq(r), reads.qual(r));
   }
 
   if (stats != nullptr) *stats = local;

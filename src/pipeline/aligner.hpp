@@ -4,6 +4,10 @@
 
 #include "core/input.hpp"
 
+namespace lassm::core {
+class WarpExecutionEngine;
+}
+
 /// Alignment stage of the pipeline (Fig. 2): locate each read on a contig
 /// via exact k-mer seeds, verify the overlap with a bounded-mismatch
 /// extension, and keep the reads that hang off a contig end — the inputs
@@ -31,10 +35,18 @@ struct AlignStats {
 
 /// Builds an AssemblyInput from contigs and reads: every read is placed on
 /// at most one contig end (first best seed wins, deterministically).
+///
+/// With a parallel `pool`, the seed index is built per shard from
+/// per-contig window lists and the per-read placement loop is chunked
+/// across workers; placements merge back in read order, so the result —
+/// read lists, stats, read arena — is bit-identical to the serial oracle
+/// (pool == nullptr) at every thread count.
 core::AssemblyInput align_reads_to_ends(bio::ContigSet contigs,
                                         const bio::ReadSet& reads,
                                         std::uint32_t assembly_k,
                                         const AlignerOptions& opts = {},
-                                        AlignStats* stats = nullptr);
+                                        AlignStats* stats = nullptr,
+                                        core::WarpExecutionEngine* pool =
+                                            nullptr);
 
 }  // namespace lassm::pipeline

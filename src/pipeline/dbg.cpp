@@ -1,21 +1,28 @@
 #include "pipeline/dbg.hpp"
 
 #include <algorithm>
-#include <unordered_set>
+#include <array>
 #include <vector>
+
+#include "pipeline/parallel.hpp"
 
 namespace lassm::pipeline {
 
 namespace {
 
-using KmerSet =
-    std::unordered_set<bio::PackedKmer, bio::PackedKmerHash>;
+using Table = KmerCounts::Table;
 
-int out_degree(const KmerSet& nodes, const bio::PackedKmer& km,
+/// Node membership is a live entry (count != 0) in the count map's flat
+/// table — the graph needs no second hash set.
+bool is_node(const std::uint32_t* count) noexcept {
+  return count != nullptr && *count != 0;
+}
+
+int out_degree(const Table& nodes, const bio::PackedKmer& km,
                int* only_code = nullptr) {
   int degree = 0;
   for (int code = 0; code < bio::kNumBases; ++code) {
-    if (nodes.contains(km.successor(code))) {
+    if (is_node(nodes.find(km.successor(code)))) {
       ++degree;
       if (only_code != nullptr) *only_code = code;
     }
@@ -23,12 +30,12 @@ int out_degree(const KmerSet& nodes, const bio::PackedKmer& km,
   return degree;
 }
 
-int in_degree(const KmerSet& nodes, const bio::PackedKmer& km,
+int in_degree(const Table& nodes, const bio::PackedKmer& km,
               bio::PackedKmer* only_pred = nullptr) {
   int degree = 0;
   for (int code = 0; code < bio::kNumBases; ++code) {
     const bio::PackedKmer pred = km.predecessor(code);
-    if (nodes.contains(pred)) {
+    if (is_node(nodes.find(pred))) {
       ++degree;
       if (only_pred != nullptr) *only_pred = pred;
     }
@@ -39,44 +46,110 @@ int in_degree(const KmerSet& nodes, const bio::PackedKmer& km,
 }  // namespace
 
 bio::ContigSet generate_contigs(const KmerCounts& counts, std::uint32_t k,
-                                std::uint32_t min_len, DbgStats* stats) {
-  // Deterministic traversal order: sorted k-mers.
+                                std::uint32_t min_len, DbgStats* stats,
+                                core::WarpExecutionEngine* pool) {
+  (void)k;  // implied by the packed keys; kept for call-site clarity
+  const Table& table = counts.table();
+
+  // Deterministic traversal order: sorted k-mers, built by per-shard
+  // extraction + sort (parallel, shards are disjoint) and a serial 64-way
+  // heap merge — the same sequence a global sort would produce.
+  std::array<std::vector<bio::PackedKmer>, Table::kShards> per_shard;
+  stage_for(pool, Table::kShards, [&](std::size_t shard, unsigned) {
+    std::vector<bio::PackedKmer>& keys = per_shard[shard];
+    keys.reserve(table.shard_entries(static_cast<std::uint32_t>(shard)));
+    table.for_each_in_shard(static_cast<std::uint32_t>(shard),
+                            [&](const Table::Entry& e) {
+                              if (e.value != 0) keys.push_back(e.key);
+                            });
+    std::sort(keys.begin(), keys.end());
+  });
+
   std::vector<bio::PackedKmer> order;
   order.reserve(counts.size());
-  KmerSet nodes;
-  nodes.reserve(counts.size());
-  for (const auto& [km, c] : counts) {
-    (void)c;
-    order.push_back(km);
-    nodes.insert(km);
+  {
+    struct Cursor {
+      const bio::PackedKmer* cur;
+      const bio::PackedKmer* end;
+    };
+    const auto later = [](const Cursor& a, const Cursor& b) {
+      return *b.cur < *a.cur;  // min-heap on the head key
+    };
+    std::vector<Cursor> heap;
+    for (const auto& keys : per_shard) {
+      if (!keys.empty()) heap.push_back({keys.data(), keys.data() + keys.size()});
+    }
+    std::make_heap(heap.begin(), heap.end(), later);
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), later);
+      Cursor& c = heap.back();
+      order.push_back(*c.cur);
+      if (++c.cur == c.end) {
+        heap.pop_back();
+      } else {
+        std::push_heap(heap.begin(), heap.end(), later);
+      }
+    }
   }
-  std::sort(order.begin(), order.end());
 
   DbgStats local_stats;
-  local_stats.nodes = nodes.size();
+  local_stats.nodes = counts.size();
 
-  KmerSet visited;
-  visited.reserve(nodes.size());
+  // Classification pass, chunked across workers: head flags feed pass 1
+  // below, fork/dead-end tallies sum in chunk order. A node is a path head
+  // when its in-degree != 1 or its unique predecessor branches.
+  std::vector<std::uint8_t> is_head(order.size(), 0);
+  const ChunkPlan plan(order.size(), pool);
+  std::vector<std::uint64_t> forks_per_chunk(plan.n_chunks, 0);
+  std::vector<std::uint64_t> deads_per_chunk(plan.n_chunks, 0);
+  stage_for(pool, plan.n_chunks, [&](std::size_t chunk, unsigned) {
+    std::uint64_t forks = 0;
+    std::uint64_t deads = 0;
+    for (std::size_t i = plan.begin(chunk); i < plan.end(chunk); ++i) {
+      const bio::PackedKmer& km = order[i];
+      bio::PackedKmer only_pred;
+      const int in = in_degree(table, km, &only_pred);
+      is_head[i] = (in != 1 || out_degree(table, only_pred) > 1) ? 1 : 0;
+      const int out = out_degree(table, km);
+      if (out > 1) ++forks;
+      if (out == 0) ++deads;
+    }
+    forks_per_chunk[chunk] = forks;
+    deads_per_chunk[chunk] = deads;
+  });
+  for (std::size_t c = 0; c < plan.n_chunks; ++c) {
+    local_stats.forks += forks_per_chunk[c];
+    local_stats.dead_ends += deads_per_chunk[c];
+  }
+
+  // Serial traversal (inherently ordered: contig ids and the visited set
+  // depend on emission order). The visited set is a bitmap over the flat
+  // table's dense slot ids — one probe yields membership, visited id and
+  // depth at once.
+  const auto offsets = table.dense_offsets();
+  std::vector<std::uint8_t> visited(offsets.back(), 0);
   bio::ContigSet contigs;
 
-  auto emit_path = [&](const bio::PackedKmer& start) {
-    if (visited.contains(start)) return;
+  const auto emit_path = [&](const bio::PackedKmer& start) {
+    const Table::Found s = table.dense_find(start, offsets);
+    if (visited[s.id] != 0) return;
     std::string seq = start.unpack();
-    double depth_sum = static_cast<double>(counts.at(start));
+    double depth_sum = static_cast<double>(*s.value);
     std::uint64_t path_nodes = 1;
-    visited.insert(start);
+    visited[s.id] = 1;
 
     bio::PackedKmer cur = start;
     while (true) {
       int only_code = -1;
-      const int out = out_degree(nodes, cur, &only_code);
+      const int out = out_degree(table, cur, &only_code);
       if (out != 1) break;  // dead end or fork: path stops here
       const bio::PackedKmer next = cur.successor(only_code);
-      if (visited.contains(next)) break;        // cycle or join already used
-      if (in_degree(nodes, next) != 1) break;   // join: next starts new path
+      const Table::Found f = table.dense_find(next, offsets);
+      if (visited[f.id] != 0) break;            // cycle or join already used
+      if (in_degree(table, next) != 1) break;   // join: next starts new path
       seq.push_back(bio::code_to_base(only_code));
-      depth_sum += static_cast<double>(counts.at(next));
-      visited.insert(next);
+      depth_sum += static_cast<double>(*f.value);
+      visited[f.id] = 1;
       cur = next;
       ++path_nodes;
     }
@@ -90,20 +163,11 @@ bio::ContigSet generate_contigs(const KmerCounts& counts, std::uint32_t k,
     }
   };
 
-  // Pass 1: start from canonical path heads (in-degree != 1 or the unique
-  // predecessor branches).
-  for (const bio::PackedKmer& km : order) {
-    bio::PackedKmer only_pred;
-    const int in = in_degree(nodes, km, &only_pred);
-    const bool is_head =
-        in != 1 || out_degree(nodes, only_pred) > 1;
-    if (is_head) emit_path(km);
-    const int out = out_degree(nodes, km);
-    if (out > 1) ++local_stats.forks;
-    if (out == 0) ++local_stats.dead_ends;
+  // Pass 1: canonical path heads. Pass 2: anything left is inside a
+  // perfect cycle; break it at the smallest unvisited k-mer.
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (is_head[i] != 0) emit_path(order[i]);
   }
-  // Pass 2: anything left is inside a perfect cycle; break it at the
-  // smallest unvisited k-mer.
   for (const bio::PackedKmer& km : order) emit_path(km);
 
   local_stats.contigs = contigs.size();

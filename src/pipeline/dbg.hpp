@@ -5,6 +5,10 @@
 #include "bio/contig.hpp"
 #include "pipeline/kmer_analysis.hpp"
 
+namespace lassm::core {
+class WarpExecutionEngine;
+}
+
 /// Global de Bruijn graph construction and contig generation (Fig. 2): the
 /// filtered k-mer set forms a graph whose maximal non-branching paths are
 /// the contigs that local assembly later extends.
@@ -22,8 +26,17 @@ struct DbgStats {
 /// dead ends, and when a cycle closes. Contigs shorter than min_len are
 /// dropped. Deterministic: start nodes are processed in lexicographic
 /// k-mer order.
+///
+/// The node set IS the count map — membership probes hit its sharded flat
+/// table directly (no separate hash set). With a parallel `pool`, the
+/// sorted node order is built by per-shard extraction + sort and a serial
+/// 64-way merge, and the head/degree classification pass runs chunked
+/// across workers; the path traversal itself stays serial (it is
+/// inherently ordered), so contigs, depths and stats are bit-identical to
+/// the serial oracle at every thread count.
 bio::ContigSet generate_contigs(const KmerCounts& counts, std::uint32_t k,
                                 std::uint32_t min_len = 0,
-                                DbgStats* stats = nullptr);
+                                DbgStats* stats = nullptr,
+                                core::WarpExecutionEngine* pool = nullptr);
 
 }  // namespace lassm::pipeline

@@ -1,44 +1,156 @@
 #include "pipeline/kmer_analysis.hpp"
 
+#include <algorithm>
+#include <array>
 #include <vector>
+
+#include "pipeline/parallel.hpp"
 
 namespace lassm::pipeline {
 
-KmerCounts count_kmers(const bio::ReadSet& reads, std::uint32_t k,
-                       bool canonical) {
-  KmerCounts counts;
-  counts.reserve(reads.total_bases());
-  for (std::size_t i = 0; i < reads.size(); ++i) {
-    const std::string_view seq = reads.seq(i);
-    if (seq.size() < k) continue;
-    for (std::size_t pos = 0; pos + k <= seq.size(); ++pos) {
-      bio::PackedKmer km = bio::PackedKmer::pack(seq.substr(pos, k));
-      if (canonical) km = km.canonical();
-      ++counts[km];
+namespace {
+
+/// Distinct-k-mer estimate used to pre-size the count map. The window
+/// count bounds the distinct count from above; real shotgun inputs repeat
+/// every genomic k-mer roughly coverage times, so a quarter of the windows
+/// is a comfortable over-estimate at the >= 4x coverage this repo's
+/// workloads use while staying ~100x below the old one-slot-per-base
+/// reservation. A low estimate only costs amortised shard growth.
+std::uint64_t distinct_estimate(std::uint64_t windows) noexcept {
+  return windows / 4 + 1024;
+}
+
+template <class F>
+void for_each_read_kmer(const bio::ReadSet& reads, std::size_t read,
+                        std::uint32_t k, bool canonical, F&& f) {
+  const std::string_view seq = reads.seq(read);
+  if (canonical) {
+    bio::for_each_canonical_kmer(seq, k, f);
+  } else {
+    bio::for_each_packed_kmer(seq, k, f);
+  }
+}
+
+/// Counting is memory-latency bound: every window lands on a random slot
+/// of a table far larger than cache. Hiding that latency is worth more
+/// than any instruction-level tuning, so each k-mer is hashed once, its
+/// probe slot prefetched, and the insert deferred behind a small ring —
+/// by insert time the line has usually arrived, and up to kPrefetchWindow
+/// misses are in flight at once. Insertion order (window order) is
+/// unchanged, so the map is bit-identical to the undeferred loop.
+constexpr std::size_t kPrefetchWindow = 16;
+
+void count_reads_into(KmerCounts& counts, const bio::ReadSet& reads,
+                      std::size_t begin, std::size_t end, std::uint32_t k,
+                      bool canonical) {
+  struct Pending {
+    bio::PackedKmer km;
+    std::uint64_t hash;
+  };
+  std::array<Pending, kPrefetchWindow> ring;
+  for (std::size_t r = begin; r < end; ++r) {
+    std::size_t head = 0;
+    for_each_read_kmer(reads, r, k, canonical,
+                       [&](const bio::PackedKmer& km, std::size_t) {
+                         const std::uint64_t h = km.hash64();
+                         counts.prefetch(h);
+                         Pending& slot = ring[head % kPrefetchWindow];
+                         if (head >= kPrefetchWindow) {
+                           counts.add_hashed(slot.km, slot.hash);
+                         }
+                         slot = {km, h};
+                         ++head;
+                       });
+    const std::size_t pending = std::min(head, kPrefetchWindow);
+    for (std::size_t i = head - pending; i < head; ++i) {
+      const Pending& p = ring[i % kPrefetchWindow];
+      counts.add_hashed(p.km, p.hash);
     }
   }
+}
+
+}  // namespace
+
+KmerCounts count_kmers(const bio::ReadSet& reads, std::uint32_t k,
+                       bool canonical, core::WarpExecutionEngine* pool) {
+  const std::uint64_t windows = reads.total_kmers(k);
+  KmerCounts counts;
+  counts.reserve(distinct_estimate(windows));
+
+  if (!pool_parallel(pool) || reads.size() < 2) {
+    count_reads_into(counts, reads, 0, reads.size(), k, canonical);
+    return counts;
+  }
+
+  // Phase 1: per-chunk partial counts. The chunk decomposition is a pure
+  // function of (read count, worker count) — whichever worker claims a
+  // chunk produces the same partial map, so stealing cannot perturb the
+  // merge below.
+  const ChunkPlan plan(reads.size(), pool);
+  std::vector<KmerCounts> partial(plan.n_chunks);
+  stage_for(pool, plan.n_chunks, [&](std::size_t chunk, unsigned) {
+    KmerCounts& local = partial[chunk];
+    local.reserve(distinct_estimate(windows) / plan.n_chunks);
+    count_reads_into(local, reads, plan.begin(chunk), plan.end(chunk), k,
+                     canonical);
+  });
+
+  // Phase 2: deterministic ordered merge, one task per shard. A k-mer's
+  // shard is a pure function of its hash, so tasks touch disjoint slots of
+  // the destination; each task scans the partials in ascending chunk
+  // order, making the merged layout — not just the contents — independent
+  // of scheduling.
+  stage_for(pool, KmerCounts::Table::kShards, [&](std::size_t shard,
+                                                  unsigned) {
+    const auto sid = static_cast<std::uint32_t>(shard);
+    for (const KmerCounts& local : partial) {
+      local.table().for_each_in_shard(
+          sid, [&](const KmerCounts::Table::Entry& e) {
+            counts.table().get_or_insert_in_shard(sid, e.key) += e.value;
+          });
+    }
+  });
+  counts.rebuild_size();
   return counts;
 }
 
-std::size_t filter_low_count(KmerCounts& counts, std::uint32_t min_count) {
-  std::size_t removed = 0;
-  for (auto it = counts.begin(); it != counts.end();) {
-    if (it->second < min_count) {
-      it = counts.erase(it);
-      ++removed;
-    } else {
-      ++it;
-    }
-  }
-  return removed;
+std::size_t filter_low_count(KmerCounts& counts, std::uint32_t min_count,
+                             core::WarpExecutionEngine* pool) {
+  using Table = KmerCounts::Table;
+  std::array<std::size_t, Table::kShards> removed{};
+  stage_for(pool, Table::kShards, [&](std::size_t shard, unsigned) {
+    std::size_t n = 0;
+    counts.table().for_each_in_shard(
+        static_cast<std::uint32_t>(shard), [&](Table::Entry& e) {
+          if (e.value != 0 && e.value < min_count) {
+            e.value = 0;  // tombstone: reads as absent, keeps probe chains
+            ++n;
+          }
+        });
+    removed[shard] = n;
+  });
+  std::size_t total = 0;
+  for (const std::size_t n : removed) total += n;
+  counts.note_erased(total);
+  return total;
 }
 
 std::vector<std::uint64_t> count_histogram(const KmerCounts& counts,
-                                           std::uint32_t max_bucket) {
+                                           std::uint32_t max_bucket,
+                                           core::WarpExecutionEngine* pool) {
+  using Table = KmerCounts::Table;
+  std::vector<std::vector<std::uint64_t>> partial(
+      Table::kShards, std::vector<std::uint64_t>(max_bucket + 1, 0));
+  stage_for(pool, Table::kShards, [&](std::size_t shard, unsigned) {
+    std::vector<std::uint64_t>& hist = partial[shard];
+    counts.table().for_each_in_shard(
+        static_cast<std::uint32_t>(shard), [&](const Table::Entry& e) {
+          if (e.value != 0) hist[std::min(e.value, max_bucket)] += 1;
+        });
+  });
   std::vector<std::uint64_t> hist(max_bucket + 1, 0);
-  for (const auto& [km, c] : counts) {
-    (void)km;
-    hist[std::min(c, max_bucket)] += 1;
+  for (const auto& h : partial) {
+    for (std::size_t b = 0; b < hist.size(); ++b) hist[b] += h[b];
   }
   return hist;
 }

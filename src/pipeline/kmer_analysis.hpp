@@ -1,31 +1,117 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <stdexcept>
+#include <vector>
 
 #include "bio/kmer.hpp"
 #include "bio/read.hpp"
+#include "pipeline/kmer_table.hpp"
+
+namespace lassm::core {
+class WarpExecutionEngine;
+}
 
 /// K-mer analysis stage of the MetaHipMer pipeline (Fig. 2): count k-mers
 /// across all reads and drop likely-erroneous ones (those seen only once).
 namespace lassm::pipeline {
 
-using KmerCounts =
-    std::unordered_map<bio::PackedKmer, std::uint32_t, bio::PackedKmerHash>;
+/// K-mer -> count map on the sharded flat table (see kmer_table.hpp).
+/// Erasure is a value-level tombstone: a filtered k-mer keeps its slot with
+/// count 0 and reads as absent (contains/at/size all skip it), so the
+/// filter never disturbs probe chains and needs no compaction pass.
+class KmerCountMap {
+ public:
+  using Table = FlatKmerTable<std::uint32_t>;
+
+  std::size_t size() const noexcept { return live_; }
+  bool empty() const noexcept { return live_ == 0; }
+
+  bool contains(const bio::PackedKmer& km) const noexcept {
+    const std::uint32_t* c = table_.find(km);
+    return c != nullptr && *c != 0;
+  }
+
+  /// Count of a present k-mer; throws std::out_of_range (matching the
+  /// std::unordered_map contract this map replaced) when absent.
+  std::uint32_t at(const bio::PackedKmer& km) const {
+    const std::uint32_t* c = table_.find(km);
+    if (c == nullptr || *c == 0) {
+      throw std::out_of_range("KmerCountMap::at: k-mer not present");
+    }
+    return *c;
+  }
+
+  void add(const bio::PackedKmer& km, std::uint32_t n = 1) {
+    std::uint32_t& c = table_.get_or_insert(km);
+    if (c == 0) ++live_;
+    c += n;
+  }
+
+  /// add() with the hash precomputed; pairs with prefetch() in the
+  /// counting loop so each key is hashed exactly once.
+  void add_hashed(const bio::PackedKmer& km, std::uint64_t hash,
+                  std::uint32_t n = 1) {
+    std::uint32_t& c = table_.get_or_insert_hashed(km, hash);
+    if (c == 0) ++live_;
+    c += n;
+  }
+
+  void prefetch(std::uint64_t hash) const noexcept {
+    table_.prefetch_hash(hash);
+  }
+
+  /// Pre-sizes for an expected number of distinct k-mers.
+  void reserve(std::uint64_t expected_distinct) {
+    table_.reserve(expected_distinct);
+  }
+
+  /// Underlying sharded table, exposed for the front-end's per-shard
+  /// parallel phases (count merge, filter, histogram, de Bruijn node
+  /// extraction). Callers that mutate through it must restore the size
+  /// bookkeeping via rebuild_size()/note_erased().
+  Table& table() noexcept { return table_; }
+  const Table& table() const noexcept { return table_; }
+
+  /// Recomputes size() after direct shard-level insertion through table();
+  /// valid only while every occupied entry has a non-zero count (true
+  /// during counting — tombstones only appear when filtering).
+  void rebuild_size() noexcept { live_ = table_.entries(); }
+
+  /// Records `n` entries tombstoned (count set to 0) through table().
+  void note_erased(std::size_t n) noexcept { live_ -= n; }
+
+ private:
+  Table table_;
+  std::size_t live_ = 0;
+};
+
+using KmerCounts = KmerCountMap;
 
 /// Counts every k-mer of every read. The pipeline is strand-specific (the
 /// synthetic workloads emit reads in contig orientation); set `canonical`
 /// to count strand-insensitively instead.
+///
+/// With a parallel `pool`, reads are chunked across the workers into
+/// per-chunk partial maps (windows roll via PackedKmer::successor — no
+/// per-window repack) that are then merged one shard per task, scanning
+/// chunks in ascending order. The merged map's contents are bit-identical
+/// to the serial oracle (pool == nullptr) at every thread count.
 KmerCounts count_kmers(const bio::ReadSet& reads, std::uint32_t k,
-                       bool canonical = false);
+                       bool canonical = false,
+                       core::WarpExecutionEngine* pool = nullptr);
 
 /// Removes k-mers with count < min_count (MetaHipMer's error filter;
 /// singletons are overwhelmingly sequencing errors). Returns the number of
-/// k-mers removed.
-std::size_t filter_low_count(KmerCounts& counts, std::uint32_t min_count = 2);
+/// k-mers removed. Parallel over shards when `pool` is supplied.
+std::size_t filter_low_count(KmerCounts& counts, std::uint32_t min_count = 2,
+                             core::WarpExecutionEngine* pool = nullptr);
 
 /// Histogram of counts (capped at the last bucket), for diagnostics.
+/// Parallel over shards when `pool` is supplied.
 std::vector<std::uint64_t> count_histogram(const KmerCounts& counts,
-                                           std::uint32_t max_bucket = 16);
+                                           std::uint32_t max_bucket = 16,
+                                           core::WarpExecutionEngine* pool =
+                                               nullptr);
 
 }  // namespace lassm::pipeline

@@ -1,0 +1,210 @@
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "bio/kmer.hpp"
+
+/// Sharded open-addressing hash table for the pipeline front-end: the one
+/// key-value layout behind both the k-mer count map (k-mer analysis, de
+/// Bruijn graph) and the aligner's seed index.
+///
+/// Layout: 64 shards selected by the top 6 bits of PackedKmer::hash64();
+/// each shard is a power-of-two vector of flat {key, value} entries probed
+/// linearly from the remaining hash bits, grown at 50% load. An entry with
+/// key.k() == 0 (the default-constructed PackedKmer, which can never be a
+/// real k-mer) is an empty slot.
+///
+/// Sharding is the parallelism contract: because a k-mer's shard is a pure
+/// function of its hash, per-shard operations on *distinct* shards touch
+/// disjoint memory and may run concurrently with no synchronisation — the
+/// front-end's parallel merge/filter/extract phases run one task per shard
+/// on the warp-execution pool. Within a shard, slot order is a
+/// deterministic function of the shard's insertion sequence, so a
+/// deterministic insertion schedule (and the front-end uses one: chunk
+/// results merged in ascending chunk order) yields a deterministic layout.
+namespace lassm::pipeline {
+
+template <class Value>
+class FlatKmerTable {
+ public:
+  static constexpr std::uint32_t kShardBits = 6;
+  static constexpr std::uint32_t kShards = 1u << kShardBits;
+  static constexpr std::uint64_t kNotFound = ~std::uint64_t{0};
+
+  struct Entry {
+    bio::PackedKmer key;
+    Value value{};
+    bool used() const noexcept { return key.k() != 0; }
+  };
+
+  static std::uint32_t shard_of_hash(std::uint64_t h) noexcept {
+    return static_cast<std::uint32_t>(h >> (64 - kShardBits));
+  }
+  static std::uint32_t shard_of(const bio::PackedKmer& km) noexcept {
+    return shard_of_hash(km.hash64());
+  }
+
+  /// Pre-sizes every shard for `expected_entries` total insertions (keeps
+  /// the load factor under 1/2 without growth if the estimate holds).
+  void reserve(std::uint64_t expected_entries) {
+    const std::uint64_t per_shard = expected_entries / kShards + 1;
+    for (Shard& s : shards_) s.reserve(per_shard);
+  }
+
+  /// Occupied slots across all shards (physical entries; a value-level
+  /// tombstone convention, if the caller uses one, is not visible here).
+  std::size_t entries() const noexcept {
+    std::size_t n = 0;
+    for (const Shard& s : shards_) n += s.used;
+    return n;
+  }
+
+  /// Occupied slots of one shard (reserve hint for per-shard extraction).
+  std::size_t shard_entries(std::uint32_t shard) const noexcept {
+    return shards_[shard].used;
+  }
+
+  Value& get_or_insert(const bio::PackedKmer& km) {
+    const std::uint64_t h = km.hash64();
+    return shards_[shard_of_hash(h)].get_or_insert(km, h);
+  }
+
+  /// get_or_insert with the hash already computed (callers that prefetch
+  /// hash each key exactly once).
+  Value& get_or_insert_hashed(const bio::PackedKmer& km, std::uint64_t h) {
+    return shards_[shard_of_hash(h)].get_or_insert(km, h);
+  }
+
+  /// Hints the probe start of `h`'s slot into cache. Insert-heavy loops
+  /// hide the table's random-access latency by prefetching a key several
+  /// iterations before inserting it; a stale hint (the shard rehashed in
+  /// between) costs nothing but the hint.
+  void prefetch_hash(std::uint64_t h) const noexcept {
+    const Shard& s = shards_[shard_of_hash(h)];
+    if (!s.slots.empty()) {
+      __builtin_prefetch(&s.slots[h & (s.slots.size() - 1)]);
+    }
+  }
+
+  /// Shard-local insert for the parallel per-shard merge phases. The
+  /// caller guarantees shard == shard_of(km) and that no other thread
+  /// touches `shard` concurrently (distinct shards are always safe).
+  Value& get_or_insert_in_shard(std::uint32_t shard,
+                                const bio::PackedKmer& km) {
+    const std::uint64_t h = km.hash64();
+    assert(shard == shard_of_hash(h));
+    return shards_[shard].get_or_insert(km, h);
+  }
+
+  const Value* find(const bio::PackedKmer& km) const noexcept {
+    const std::uint64_t h = km.hash64();
+    const Shard& s = shards_[shard_of_hash(h)];
+    if (s.slots.empty()) return nullptr;
+    const std::size_t mask = s.slots.size() - 1;
+    for (std::size_t i = h & mask;; i = (i + 1) & mask) {
+      const Entry& e = s.slots[i];
+      if (!e.used()) return nullptr;
+      if (e.key == km) return &e.value;
+    }
+  }
+
+  /// Visits one shard's occupied entries in slot order.
+  template <class F>
+  void for_each_in_shard(std::uint32_t shard, F&& f) const {
+    for (const Entry& e : shards_[shard].slots) {
+      if (e.used()) f(e);
+    }
+  }
+  template <class F>
+  void for_each_in_shard(std::uint32_t shard, F&& f) {
+    for (Entry& e : shards_[shard].slots) {
+      if (e.used()) f(e);
+    }
+  }
+
+  /// Global slot numbering for read-only side tables (e.g. the de Bruijn
+  /// traversal's visited bitmap): the dense id of shard s's slot i is
+  /// offsets[s] + i, and offsets[kShards] is the total slot count. Valid
+  /// until the next mutation.
+  std::array<std::uint64_t, kShards + 1> dense_offsets() const noexcept {
+    std::array<std::uint64_t, kShards + 1> off{};
+    for (std::uint32_t s = 0; s < kShards; ++s) {
+      off[s + 1] = off[s] + shards_[s].slots.size();
+    }
+    return off;
+  }
+
+  struct Found {
+    std::uint64_t id = kNotFound;  ///< dense slot id, kNotFound if absent
+    const Value* value = nullptr;
+  };
+
+  /// One probe returning both the dense slot id and the value — the
+  /// traversal's membership + visited + depth lookups collapse into this.
+  Found dense_find(
+      const bio::PackedKmer& km,
+      const std::array<std::uint64_t, kShards + 1>& offsets) const noexcept {
+    const std::uint64_t h = km.hash64();
+    const std::uint32_t sid = shard_of_hash(h);
+    const Shard& s = shards_[sid];
+    if (s.slots.empty()) return {};
+    const std::size_t mask = s.slots.size() - 1;
+    for (std::size_t i = h & mask;; i = (i + 1) & mask) {
+      const Entry& e = s.slots[i];
+      if (!e.used()) return {};
+      if (e.key == km) return {offsets[sid] + i, &e.value};
+    }
+  }
+
+ private:
+  struct Shard {
+    std::vector<Entry> slots;  ///< power-of-two or empty
+    std::size_t used = 0;
+
+    void reserve(std::uint64_t expected) {
+      std::size_t want = kMinSlots;
+      while (want < expected * 2) want <<= 1;
+      if (want > slots.size()) rehash(want);
+    }
+
+    Value& get_or_insert(const bio::PackedKmer& km, std::uint64_t h) {
+      if (slots.empty()) {
+        rehash(kMinSlots);
+      } else if ((used + 1) * 2 > slots.size()) {
+        rehash(slots.size() * 2);
+      }
+      const std::size_t mask = slots.size() - 1;
+      for (std::size_t i = h & mask;; i = (i + 1) & mask) {
+        Entry& e = slots[i];
+        if (!e.used()) {
+          ++used;
+          e.key = km;
+          return e.value;
+        }
+        if (e.key == km) return e.value;
+      }
+    }
+
+    void rehash(std::size_t n_slots) {
+      std::vector<Entry> old = std::move(slots);
+      slots.assign(n_slots, Entry{});
+      const std::size_t mask = n_slots - 1;
+      for (Entry& e : old) {
+        if (!e.used()) continue;
+        std::size_t i = e.key.hash64() & mask;
+        while (slots[i].used()) i = (i + 1) & mask;
+        slots[i] = std::move(e);
+      }
+    }
+  };
+
+  static constexpr std::size_t kMinSlots = 16;
+
+  std::array<Shard, kShards> shards_{};
+};
+
+}  // namespace lassm::pipeline

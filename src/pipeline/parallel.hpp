@@ -1,0 +1,59 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+
+#include "core/exec.hpp"
+
+/// Shared scaffolding for the parallel pipeline front-end: every stage
+/// expresses itself as `stage_for` over either work chunks or table shards,
+/// running on the warp-execution pool when one with workers is supplied and
+/// degrading to a plain loop otherwise (pool == nullptr or a single-thread
+/// pool is the serial oracle — same code path, same results).
+namespace lassm::pipeline {
+
+/// True when `pool` can actually run tasks concurrently.
+inline bool pool_parallel(core::WarpExecutionEngine* pool) noexcept {
+  return pool != nullptr && pool->n_threads() > 1;
+}
+
+/// Runs body(i, worker_id) for every i in [0, n): on the pool (work
+/// stealing, launch barrier, first exception rethrown) when it is
+/// parallel, else inline as worker 0 in ascending order.
+inline void stage_for(core::WarpExecutionEngine* pool, std::size_t n,
+                      const std::function<void(std::size_t, unsigned)>& body) {
+  if (n > 1 && pool_parallel(pool)) {
+    pool->run_host_batch(n, body);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) body(i, 0);
+}
+
+/// Fixed decomposition of [0, n_items) into chunks for per-chunk partial
+/// results. The chunk count depends only on (n_items, worker count), never
+/// on scheduling, so per-chunk outputs — and any merge that visits them in
+/// ascending chunk order — are deterministic at every thread count and
+/// steal interleaving.
+struct ChunkPlan {
+  std::size_t n_items = 0;
+  std::size_t n_chunks = 1;
+
+  ChunkPlan(std::size_t items, core::WarpExecutionEngine* pool,
+            std::size_t chunks_per_worker = 4) noexcept
+      : n_items(items) {
+    const std::size_t workers = pool_parallel(pool) ? pool->n_threads() : 1;
+    n_chunks = std::clamp<std::size_t>(workers * chunks_per_worker,
+                                       std::size_t{1},
+                                       std::max<std::size_t>(items, 1));
+  }
+
+  std::size_t begin(std::size_t chunk) const noexcept {
+    return n_items * chunk / n_chunks;
+  }
+  std::size_t end(std::size_t chunk) const noexcept {
+    return n_items * (chunk + 1) / n_chunks;
+  }
+};
+
+}  // namespace lassm::pipeline

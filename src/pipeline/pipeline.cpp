@@ -1,11 +1,15 @@
 #include "pipeline/pipeline.hpp"
 
 #include <bit>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
+#include "core/exec.hpp"
 #include "core/reference.hpp"
 #include "pipeline/kmer_analysis.hpp"
 #include "trace/trace.hpp"
@@ -38,6 +42,23 @@ void record_stage(trace::Tracer* tracer, std::uint32_t track,
   e.ts_us = t0;
   e.dur_us = tracer->host_now_us() - t0;
   tracer->record(std::move(e));
+}
+
+/// Host wall clock for the per-stage timing fields (always measured — two
+/// clock reads per stage — unlike the tracer spans, which need tracing on).
+using StageClock = std::chrono::steady_clock;
+
+double stage_seconds(StageClock::time_point t0) {
+  return std::chrono::duration<double>(StageClock::now() - t0).count();
+}
+
+/// Mirrors one stage's wall clock onto its metrics gauge when tracing.
+void record_stage_gauge(trace::Tracer* tracer, const char* stage,
+                        double seconds) {
+  if (tracer == nullptr) return;
+  tracer->metrics()
+      .gauge(std::string(trace::names::kPipelineStageSecondsPrefix) + stage)
+      .set(seconds);
 }
 
 }  // namespace
@@ -197,6 +218,24 @@ PipelineResult run_pipeline(const bio::ReadSet& reads,
   const double pipeline_t0 =
       tracer != nullptr ? tracer->host_now_us() : 0.0;
 
+  // One shared thread pool for the whole pipeline: the front-end stages
+  // run on it as host batches and every simulated-assembly round runs its
+  // warp launches on it, so threads spawn once per pipeline instead of
+  // once per stage. n_threads == 1 (no pool) is the serial oracle; an
+  // armed kPoolStart fault seam degrades the pool at construction exactly
+  // as it would degrade each per-round pool (the seam is a pure function
+  // of the plan).
+  std::optional<core::LocalAssembler> assembler;
+  if (!opts.use_reference) assembler.emplace(device, opts.assembly);
+  std::unique_ptr<core::WarpExecutionEngine> pool;
+  if (core::resolve_threads(opts.assembly.n_threads) > 1) {
+    pool = assembler.has_value()
+               ? assembler->make_engine()
+               : std::make_unique<core::WarpExecutionEngine>(
+                     device, device.native_model, opts.assembly,
+                     core::resolve_threads(opts.assembly.n_threads));
+  }
+
   // Resume: adopt a matching checkpoint's state and skip its completed
   // work. A missing file is the normal cold start; a corrupt or
   // differently-configured checkpoint is ignored (and logged), never
@@ -253,11 +292,30 @@ PipelineResult run_pipeline(const bio::ReadSet& reads,
   if (!resumed) {
     // Stage 1: k-mer analysis with error filtering.
     double stage_t0 = pipeline_t0;
-    KmerCounts counts = count_kmers(reads, opts.contig_k);
+    StageClock::time_point wall_t0 = StageClock::now();
+    KmerCounts counts =
+        count_kmers(reads, opts.contig_k, /*canonical=*/false, pool.get());
+    result.frontend.count_s = stage_seconds(wall_t0);
     result.kmers_total = counts.size();
-    result.kmers_filtered = filter_low_count(counts, opts.min_kmer_count);
+    wall_t0 = StageClock::now();
+    result.kmers_filtered =
+        filter_low_count(counts, opts.min_kmer_count, pool.get());
+    result.frontend.filter_s = stage_seconds(wall_t0);
     record_stage(tracer, driver_track, "kmer_analysis", stage_t0);
+    record_stage_gauge(tracer, "kmer_count", result.frontend.count_s);
+    record_stage_gauge(tracer, "kmer_filter", result.frontend.filter_s);
+    if (tracer != nullptr) {
+      tracer->metrics()
+          .counter(trace::names::kPipelineKmersDistinct)
+          .add(result.kmers_total);
+      tracer->metrics()
+          .counter(trace::names::kPipelineKmersFiltered)
+          .add(result.kmers_filtered);
+    }
     if (log != nullptr) {
+      // Host wall clock stays out of the log: the log stream is part of
+      // the bit-identical-at-every-thread-count contract. Timings live in
+      // result.frontend and the stage gauges.
       *log << "[pipeline] k-mer analysis: " << result.kmers_total
            << " distinct k-mers, " << result.kmers_filtered
            << " filtered as likely errors\n";
@@ -265,10 +323,18 @@ PipelineResult run_pipeline(const bio::ReadSet& reads,
 
     // Stage 2: global de Bruijn graph -> contigs.
     stage_t0 = tracer != nullptr ? tracer->host_now_us() : 0.0;
+    wall_t0 = StageClock::now();
     result.contigs =
         generate_contigs(counts, opts.contig_k, opts.min_contig_len,
-                         &result.dbg);
+                         &result.dbg, pool.get());
+    result.frontend.dbg_s = stage_seconds(wall_t0);
     record_stage(tracer, driver_track, "contig_generation", stage_t0);
+    record_stage_gauge(tracer, "contig_generation", result.frontend.dbg_s);
+    if (tracer != nullptr) {
+      tracer->metrics()
+          .counter(trace::names::kPipelineContigs)
+          .add(result.contigs.size());
+    }
     if (log != nullptr) {
       *log << "[pipeline] contig generation: " << result.contigs.size()
            << " contigs, " << bio::total_contig_bases(result.contigs)
@@ -284,12 +350,21 @@ PipelineResult run_pipeline(const bio::ReadSet& reads,
     const double round_t0 =
         tracer != nullptr ? tracer->host_now_us() : 0.0;
     AlignStats astats;
+    const StageClock::time_point align_t0 = StageClock::now();
     core::AssemblyInput input = align_reads_to_ends(
-        std::move(result.contigs), reads, k, opts.aligner, &astats);
+        std::move(result.contigs), reads, k, opts.aligner, &astats,
+        pool.get());
 
     IterationReport report;
     report.k = k;
     report.mapped_reads = astats.aligned_left + astats.aligned_right;
+    report.align_time_s = stage_seconds(align_t0);
+    record_stage_gauge(tracer, "align", report.align_time_s);
+    if (tracer != nullptr) {
+      tracer->metrics()
+          .counter(trace::names::kPipelineReadsMapped)
+          .add(report.mapped_reads);
+    }
 
     if (opts.use_reference) {
       // The reference honours the same n_threads knob as the simulator
@@ -304,8 +379,7 @@ PipelineResult run_pipeline(const bio::ReadSet& reads,
         bio::apply_extension(input.contigs[i], exts[i]);
       }
     } else {
-      core::LocalAssembler assembler(device, opts.assembly);
-      core::AssemblyResult ar = assembler.run(input);
+      core::AssemblyResult ar = assembler->run(input, pool.get());
       report.extension_bases = ar.total_extension_bases();
       report.kernel_time_s = ar.total_time_s;
       core::LocalAssembler::apply(input, ar);

@@ -44,6 +44,20 @@ struct IterationReport {
   std::uint64_t mapped_reads = 0;
   std::uint64_t extension_bases = 0;
   double kernel_time_s = 0.0;  ///< modelled device time (0 for reference)
+  /// Host wall-clock seconds of this round's alignment stage.
+  /// Observability only (machine-dependent, unlike the modelled numbers):
+  /// not checkpointed, so rounds restored by a resume report 0.
+  double align_time_s = 0.0;
+};
+
+/// Host wall-clock seconds of the pre-round front-end stages; measured on
+/// every run and mirrored onto the trace metrics gauges when tracing.
+/// Observability only — not checkpointed (a resumed run reports 0 for the
+/// stages it skipped).
+struct FrontendTimings {
+  double count_s = 0.0;   ///< k-mer counting
+  double filter_s = 0.0;  ///< low-count filter
+  double dbg_s = 0.0;     ///< de Bruijn contig generation
 };
 
 struct PipelineResult {
@@ -51,6 +65,7 @@ struct PipelineResult {
   DbgStats dbg;
   std::uint64_t kmers_total = 0;
   std::uint64_t kmers_filtered = 0;
+  FrontendTimings frontend;
   std::vector<IterationReport> iterations;
 };
 
@@ -85,6 +100,13 @@ Result<PipelineCheckpoint> load_checkpoint_file(const std::string& path);
 
 /// Assembles `reads` on the given device model. `log` (optional) receives a
 /// line per stage.
+///
+/// When assembly.n_threads resolves to more than one worker, the pipeline
+/// creates a single warp-execution pool up front and shares it across the
+/// front-end stages (k-mer counting/filtering, contig generation, per-round
+/// alignment) and every round's local-assembly launches, so no stage
+/// respawns threads. Every output is bit-identical at every thread count;
+/// threads are purely a throughput knob.
 PipelineResult run_pipeline(const bio::ReadSet& reads,
                             const simt::DeviceSpec& device,
                             const PipelineOptions& opts = {},

@@ -50,6 +50,19 @@ inline constexpr const char* kLaunchWarps = "launch.warps";
 inline constexpr const char* kExecClaims = "exec.claims";
 inline constexpr const char* kExecSteals = "exec.steals";
 
+/// Pipeline front-end (k-mer analysis, contig generation, alignment):
+/// stage outputs as counters, host wall clock per stage as gauges on
+/// "pipeline.stage_seconds.<stage>" (stages: kmer_count, kmer_filter,
+/// contig_generation, align).
+inline constexpr const char* kPipelineKmersDistinct =
+    "pipeline.kmers_distinct";
+inline constexpr const char* kPipelineKmersFiltered =
+    "pipeline.kmers_filtered";
+inline constexpr const char* kPipelineContigs = "pipeline.contigs";
+inline constexpr const char* kPipelineReadsMapped = "pipeline.reads_mapped";
+inline constexpr const char* kPipelineStageSecondsPrefix =
+    "pipeline.stage_seconds.";
+
 /// Resilient-execution fault accounting (recorded only when an armed
 /// FaultPlan is threaded through AssemblyOptions and tracing is on).
 inline constexpr const char* kResilienceFaultsInjected =
