@@ -6,6 +6,7 @@
 
 #include "model/csv.hpp"
 #include "model/study.hpp"
+#include "model/tuner.hpp"
 
 /// Shared harness for the per-table/per-figure bench binaries: every bench
 /// consumes the same study grid (3 devices x 4 datasets). Because each
@@ -21,6 +22,22 @@ model::StudyResults cached_study();
 
 /// Path of the cache file for a config.
 std::string study_cache_path(const model::StudyConfig& cfg);
+
+/// Path of the autotune cache file for a probe config.
+std::string autotune_cache_path(double tune_scale, std::uint64_t seed);
+
+/// The study-cache mechanism applied to autotune reports: loads the cached
+/// per-device reports or runs `tuner.tune_zoo` over the full DeviceSpec
+/// zoo on `probe` (logging progress to stderr) and saves. The cache is
+/// keyed by cache version, probe scale and seed, the zoo fingerprint, and
+/// the search-space fingerprint, so any change to devices or knobs forces
+/// a re-tune. LASSM_AUTOTUNE_NOCACHE (non-empty) bypasses both load and
+/// save — check.sh uses it to prove two fresh searches agree byte-for-
+/// byte. Cached reports carry def/winner/counts but not the full
+/// per-candidate `all` list (benches don't consume it).
+std::vector<model::DeviceTuneReport> cached_autotune(
+    double tune_scale, std::uint64_t seed, const model::AutoTuner& tuner,
+    const core::AssemblyInput& probe);
 
 /// Prints the standard bench banner (config provenance).
 void print_banner(std::ostream& os, const char* experiment,

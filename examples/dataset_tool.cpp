@@ -5,7 +5,7 @@
 //
 //   ./dataset_tool gen <k> <scale> <out.dat>     generate a dataset
 //   ./dataset_tool stat <in.dat>                 print Table II row
-//   ./dataset_tool run <in.dat> [nvidia|amd|intel]  assemble + report
+//   ./dataset_tool run <in.dat> [device]   assemble + report (any zoo slug)
 
 #include <cstring>
 #include <fstream>
@@ -21,7 +21,7 @@ int usage() {
   std::cerr << "usage:\n"
                "  dataset_tool gen <k> <scale> <out.dat>\n"
                "  dataset_tool stat <in.dat>\n"
-               "  dataset_tool run <in.dat> [nvidia|amd|intel]\n";
+               "  dataset_tool run <in.dat> [device]   (any zoo slug)\n";
   return 2;
 }
 
@@ -73,10 +73,14 @@ int main(int argc, char** argv) {
 
   if (std::strcmp(argv[1], "run") == 0) {
     simt::DeviceSpec dev = simt::DeviceSpec::a100();
-    if (argc > 3 && std::strcmp(argv[3], "amd") == 0) {
-      dev = simt::DeviceSpec::mi250x_gcd();
-    } else if (argc > 3 && std::strcmp(argv[3], "intel") == 0) {
-      dev = simt::DeviceSpec::max1550_tile();
+    if (argc > 3) {
+      const simt::DeviceSpec* found = simt::DeviceSpec::find(argv[3]);
+      if (found == nullptr) {
+        std::cerr << "dataset_tool: unknown device '" << argv[3]
+                  << "' (try: " << simt::DeviceSpec::zoo_slugs() << ")\n";
+        return 1;
+      }
+      dev = *found;
     }
     core::LocalAssembler assembler(dev);
     const core::AssemblyResult r = assembler.run(in);

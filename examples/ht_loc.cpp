@@ -41,8 +41,8 @@ int main(int argc, char** argv) {
   if (argc != 4) {
     std::cerr << "usage: ht_loc <input file> <k-mer length> <output file>\n"
                  "       [--trace t.json] [--metrics m.json]\n"
-                 "       LASSM_DEVICE=nvidia|amd|intel|reference (default "
-                 "nvidia)\n";
+                 "       LASSM_DEVICE=<zoo slug|alias>|reference (default "
+                 "nvidia; see DeviceSpec::zoo_slugs())\n";
     return 2;
   }
 
@@ -79,15 +79,14 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  simt::DeviceSpec dev = simt::DeviceSpec::a100();
-  if (device == "amd") {
-    dev = simt::DeviceSpec::mi250x_gcd();
-  } else if (device == "intel") {
-    dev = simt::DeviceSpec::max1550_tile();
-  } else if (device != "nvidia") {
-    std::cerr << "ht_loc: unknown LASSM_DEVICE '" << device << "'\n";
+  const simt::DeviceSpec* found = simt::DeviceSpec::find(device);
+  if (found == nullptr) {
+    std::cerr << "ht_loc: unknown LASSM_DEVICE '" << device
+              << "' (try: " << simt::DeviceSpec::zoo_slugs()
+              << ", or reference)\n";
     return 1;
   }
+  const simt::DeviceSpec dev = *found;
 
   core::AssemblyOptions aopts;
   std::unique_ptr<trace::Tracer> tracer;

@@ -4,7 +4,9 @@
 // global de Bruijn contigs -> iterative {alignment -> local assembly} over
 // the production ladder k = 21, 33, 55, 77 on a chosen device model.
 //
-//   ./metagenome_assembly [nvidia|amd|intel] [num_species] [coverage] [threads]
+//   ./metagenome_assembly [device] [num_species] [coverage] [threads]
+// where [device] is any DeviceSpec::zoo() slug or alias (a100, mi250x,
+// max1550, mi300x, gh200, cpu-simd, orin-nx, nvidia, amd, intel, ...).
 //                         [--trace t.json] [--metrics m.json]
 //
 // `--trace` (or LASSM_TRACE) records the whole pipeline — stage spans, one
@@ -41,10 +43,13 @@ int main(int argc, char** argv) {
   const trace::TraceCli tcli = trace::parse_trace_cli(argc, argv);
   simt::DeviceSpec device = simt::DeviceSpec::a100();
   if (argc > 1) {
-    if (std::strcmp(argv[1], "amd") == 0) device = simt::DeviceSpec::mi250x_gcd();
-    if (std::strcmp(argv[1], "intel") == 0) {
-      device = simt::DeviceSpec::max1550_tile();
+    const simt::DeviceSpec* found = simt::DeviceSpec::find(argv[1]);
+    if (found == nullptr) {
+      std::cerr << "metagenome_assembly: unknown device '" << argv[1]
+                << "' (try: " << simt::DeviceSpec::zoo_slugs() << ")\n";
+      return 1;
     }
+    device = *found;
   }
   const int n_species = argc > 2 ? std::atoi(argv[2]) : 4;
   const double coverage = argc > 3 ? std::atof(argv[3]) : 9.0;

@@ -12,9 +12,12 @@
 # parser fuzz corpus, the fault matrix and the checkpoint suite — the
 # error paths exercised by injected faults and corrupted inputs must be
 # leak-, overflow- and UB-clean, not just reach the right verdict.
-# Finishes with a Release perf smoke: the memsim hot-path bench must still
-# beat its recorded seed baseline. Any race, sanitizer report, test
-# failure, malformed JSON or perf regression fails the script. Usage:
+# Finishes with a Release perf smoke (the memsim and front-end benches
+# must still beat their recorded seed baselines) and the autotune gate:
+# two fresh tuner runs over the device zoo must agree byte-for-byte, show
+# tuned <= default everywhere, hold the recorded speedup floors, and both
+# artifacts must parse. Any race, sanitizer report, test failure,
+# malformed JSON or perf regression fails the script. Usage:
 #
 #   scripts/check.sh [build-dir]     # default: build-tsan
 set -euo pipefail
@@ -147,3 +150,48 @@ if speedup < 1.5:
     sys.exit("check.sh: FAIL - k-mer counting regressed below 1.5x of the recorded baseline")
 EOF
 echo "check.sh: perf smoke clean."
+
+# Autotuner gate: two fresh (cache-bypassed) tuner runs over the device
+# zoo must produce byte-identical artifacts — the tuner's objective is
+# modelled sim-time, so any nondeterminism is a bug — and the JSON must
+# show tuned <= default on every zoo device, the recorded expected-speedup
+# floors holding, and a tuned improvement on at least two devices. Both
+# artifacts must parse (json.tool for the JSON, csv.reader for the
+# scorecard).
+cmake --build "$PERF_BUILD" -j --target bench_autotune > /dev/null
+AT_RUN1="$PERF_BUILD/results"
+AT_RUN2="$PERF_BUILD/results-autotune-rerun"
+mkdir -p "$AT_RUN1" "$AT_RUN2"
+LASSM_AUTOTUNE_NOCACHE=1 LASSM_RESULTS_DIR="$AT_RUN1" \
+  "$PERF_BUILD/bench/bench_autotune"
+LASSM_AUTOTUNE_NOCACHE=1 LASSM_RESULTS_DIR="$AT_RUN2" \
+  "$PERF_BUILD/bench/bench_autotune" > /dev/null
+cmp "$AT_RUN1/BENCH_autotune.json" "$AT_RUN2/BENCH_autotune.json"
+cmp "$AT_RUN1/portability_scorecard.csv" "$AT_RUN2/portability_scorecard.csv"
+echo "check.sh: autotune artifacts byte-identical across two fresh runs."
+python3 -m json.tool "$AT_RUN1/BENCH_autotune.json" > /dev/null
+python3 - "$AT_RUN1/BENCH_autotune.json" "$AT_RUN1/portability_scorecard.csv" <<'EOF'
+import csv, json, sys
+with open(sys.argv[1]) as f:
+    j = json.load(f)
+improved = 0
+for d in j["devices"]:
+    slug, s = d["slug"], d["speedup"]
+    if s < 1.0:
+        sys.exit(f"check.sh: FAIL - tuned config slower than default on {slug} ({s:.3f}x)")
+    if s > 1.0 + 1e-9:
+        improved += 1
+for slug, floor in j["expected_speedup_floor"].items():
+    got = next(d["speedup"] for d in j["devices"] if d["slug"] == slug)
+    print(f"check.sh: {slug} tuned speedup {got:.2f}x (recorded floor {floor}x)")
+    if got < floor:
+        sys.exit(f"check.sh: FAIL - {slug} speedup {got:.3f}x fell below the recorded floor {floor}x")
+if improved < 2:
+    sys.exit(f"check.sh: FAIL - tuner improved only {improved} zoo device(s); expected >= 2")
+with open(sys.argv[2]) as f:
+    rows = list(csv.reader(f))
+if len(rows) < 2 + len(j["devices"]) or rows[-1][0] != "portability":
+    sys.exit("check.sh: FAIL - portability_scorecard.csv malformed")
+print(f"check.sh: tuner improved {improved}/{len(j['devices'])} zoo devices; scorecard has {len(rows)} rows.")
+EOF
+echo "check.sh: autotune gate clean."

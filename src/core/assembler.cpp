@@ -20,7 +20,7 @@ LocalAssembler::LocalAssembler(simt::DeviceSpec dev, simt::ProgrammingModel pm,
   // Fail fast with a typed, field-naming error instead of letting a
   // malformed configuration surface as UB deep inside the kernel.
   dev_.validate().throw_if_error();
-  opts_.validate().throw_if_error();
+  opts_.validate_for_device(dev_.max_subgroup()).throw_if_error();
 }
 
 LocalAssembler::LocalAssembler(simt::DeviceSpec dev, AssemblyOptions opts)

@@ -140,10 +140,14 @@ void WarpExecutionEngine::worker_loop(unsigned wid) {
     Job* job = job_;
     lock.unlock();
     if (job != nullptr && wid < job->participants) {
+      // `job` lives on the caller's stack and dies once `execute` observes
+      // finished == participants, so the fetch_add must be this worker's
+      // last access: read `participants` before it, never after.
+      const unsigned participants = job->participants;
       work_on(*job, wid);
       const unsigned before =
           job->finished.fetch_add(1, std::memory_order_acq_rel);
-      if (before + 1 == job->participants) {
+      if (before + 1 == participants) {
         // Re-acquire before notifying so the caller cannot miss the wake
         // between its predicate check and its wait.
         std::lock_guard<std::mutex> done_lock(mutex_);

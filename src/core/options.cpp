@@ -1,5 +1,7 @@
 #include "core/options.hpp"
 
+#include <string>
+
 namespace lassm::core {
 
 namespace {
@@ -27,6 +29,18 @@ Status AssemblyOptions::validate() const {
       (!is_pow2(subgroup_override) || subgroup_override > 128))
     return bad("subgroup_override must be a power of two <= 128");
   if (min_viable_votes < 0) return bad("min_viable_votes must be >= 0");
+  return Status::ok();
+}
+
+Status AssemblyOptions::validate_for_device(
+    std::uint32_t device_max_subgroup_width) const {
+  if (Status s = validate(); !s) return s;
+  if (subgroup_override != 0 &&
+      subgroup_override > device_max_subgroup_width) {
+    return bad("subgroup_override (" + std::to_string(subgroup_override) +
+               ") exceeds the device's maximum sub-group width (" +
+               std::to_string(device_max_subgroup_width) + ")");
+  }
   return Status::ok();
 }
 

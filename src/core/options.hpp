@@ -100,6 +100,13 @@ struct AssemblyOptions {
   /// override, ...) with a kInvalidArgument Status naming the field.
   /// LocalAssembler's constructor enforces this.
   Status validate() const;
+
+  /// validate() plus the device-aware check: a subgroup_override wider
+  /// than the device's maximum sub-group width (DeviceSpec::max_subgroup)
+  /// has no hardware mapping and used to be silently mis-modelled; it is
+  /// now rejected with a field-naming kInvalidArgument Status.
+  /// LocalAssembler's constructor enforces this against its device.
+  Status validate_for_device(std::uint32_t device_max_subgroup_width) const;
 };
 
 }  // namespace lassm::core

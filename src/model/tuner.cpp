@@ -1,0 +1,433 @@
+#include "model/tuner.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <string_view>
+#include <utility>
+
+#include "bio/kmer.hpp"
+#include "bio/murmur.hpp"
+#include "core/binning.hpp"
+#include "core/kernel.hpp"
+#include "core/ladder.hpp"
+#include "core/loc_ht.hpp"
+#include "model/pennycook.hpp"
+#include "model/roofline.hpp"
+#include "simt/perf_model.hpp"
+
+namespace lassm::model {
+
+core::AssemblyOptions TuneCandidate::apply(
+    const core::AssemblyOptions& base) const {
+  core::AssemblyOptions o = base;
+  o.subgroup_override = subgroup_override;
+  o.bin_contigs = bin_contigs;
+  o.table_load_factor = table_load_factor;
+  o.batch_mem_budget_bytes = batch_mem_budget_bytes;
+  o.max_mer_rungs = max_mer_rungs;
+  return o;
+}
+
+std::string TuneCandidate::describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "pm=%s sg=%u bin=%d lf=%.2f budget=%llu rungs=%u",
+                simt::model_name(pm), subgroup_override, bin_contigs ? 1 : 0,
+                table_load_factor,
+                static_cast<unsigned long long>(batch_mem_budget_bytes),
+                max_mer_rungs);
+  return buf;
+}
+
+std::vector<TuneCandidate> SearchSpace::enumerate(
+    const simt::DeviceSpec& dev, const core::AssemblyOptions& base) const {
+  TuneCandidate def;
+  def.pm = dev.native_model;
+  def.subgroup_override = base.subgroup_override;
+  def.bin_contigs = base.bin_contigs;
+  def.table_load_factor = base.table_load_factor;
+  def.batch_mem_budget_bytes = base.batch_mem_budget_bytes;
+  def.max_mer_rungs = base.max_mer_rungs;
+
+  // Per-device width filter: powers of two the hardware can schedule; a
+  // nonzero width equal to the warp width is behaviourally identical to 0,
+  // so it is dropped to avoid evaluating the same configuration twice.
+  std::vector<std::uint32_t> widths;
+  for (std::uint32_t w : subgroup_widths) {
+    if (w == 0) {
+      widths.push_back(0);
+      continue;
+    }
+    const bool pow2 = (w & (w - 1)) == 0;
+    if (!pow2 || w > dev.max_subgroup() || w == dev.warp_width) continue;
+    widths.push_back(w);
+  }
+  if (widths.empty()) widths.push_back(0);
+
+  std::vector<TuneCandidate> out;
+  out.push_back(def);
+  for (simt::ProgrammingModel pm : protocols) {
+    for (std::uint32_t sg : widths) {
+      for (bool bin : bin_contigs) {
+        for (double lf : table_load_factors) {
+          for (std::uint64_t budget : batch_budgets) {
+            for (std::uint32_t rungs : max_mer_rungs) {
+              TuneCandidate c;
+              c.pm = pm;
+              c.subgroup_override = sg;
+              c.bin_contigs = bin;
+              c.table_load_factor = lf;
+              c.batch_mem_budget_bytes = budget;
+              c.max_mer_rungs = rungs;
+              if (c == def) continue;  // already first
+              out.push_back(c);
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+AutoTuner::AutoTuner() : AutoTuner(Options{}) {}
+AutoTuner::AutoTuner(Options opts) : opts_(std::move(opts)) {}
+
+namespace {
+
+/// Per-round collective issue cost of the Appendix-A protocols (matches
+/// WarpKernelContext::insert_lockstep's per-round add_ops exactly).
+constexpr std::uint64_t protocol_round_ops(simt::ProgrammingModel pm) {
+  switch (pm) {
+    case simt::ProgrammingModel::kCuda:
+      return core::ops::kMatchAny + core::ops::kSyncWarp;
+    case simt::ProgrammingModel::kHip:
+      return core::ops::kAllReduce;
+    case simt::ProgrammingModel::kSycl:
+      return core::ops::kSgBarrier;
+  }
+  return 0;
+}
+
+/// Distinct cache lines a byte-interval union of total length `bytes` must
+/// touch, at worst-case (most favourable) placement: ceil(bytes / line).
+constexpr std::uint64_t min_lines(std::uint64_t bytes, std::uint32_t line) {
+  return (bytes + line - 1) / line;
+}
+
+}  // namespace
+
+double AutoTuner::lower_bound_time_s(const simt::DeviceSpec& dev,
+                                     simt::ProgrammingModel pm,
+                                     const core::AssemblyOptions& opts,
+                                     const core::AssemblyInput& input) {
+  using core::ops::kInsertSetup;
+  using core::ops::kLoopCheck;
+  using core::ops::kProbeRound;
+  using core::ops::kShflBroadcast;
+  using core::ops::kTableInitPerSlot;
+  using core::ops::kVoteUpdate;
+  using core::ops::kWalkStep;
+
+  const std::uint32_t width = opts.subgroup_override != 0
+                                  ? opts.subgroup_override
+                                  : dev.warp_width;
+  const std::uint32_t line = dev.line_bytes;
+  const std::vector<std::uint32_t> rungs =
+      core::mer_ladder(input.kmer_len, opts);
+  const std::uint32_t floor_mer = core::ladder_min_mer(input.kmer_len, opts);
+
+  bool any_left = false;
+  for (const auto& v : input.left_reads) any_left = any_left || !v.empty();
+
+  std::uint64_t instr_total = 0;    // lower bound on merged instructions
+  std::uint64_t hbm_total = 0;      // lower bound on merged HBM bytes
+  std::uint64_t cycles_total = 0;   // lower bound on summed warp cycles
+  std::uint64_t max_task_cycles = 0;  // lower bound on the slowest warp
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> intervals;
+  for (int side = 0; side < 2; ++side) {
+    const bool left = side == 1;
+    if (left && !any_left) continue;
+    const auto& mapping = left ? input.left_reads : input.right_reads;
+    for (std::size_t cid = 0; cid < input.contigs.size(); ++cid) {
+      const auto& ids = mapping[cid];
+      const std::uint64_t contig_len = input.contigs[cid].length();
+
+      // Mirror of WarpKernelContext::run's task guard: a task with no
+      // possible insertion or a contig below the ladder floor does nothing.
+      std::uint64_t max_ins = 0;
+      for (std::uint32_t rid : ids) {
+        max_ins += bio::kmer_count(input.reads[rid].len, floor_mer);
+      }
+      if (max_ins == 0 || contig_len < floor_mer) continue;
+
+      // Only the first rung that passes the kernel's skip test is
+      // guaranteed to execute (an accepted walk ends the ladder), so the
+      // bound charges exactly one construct + one walk at that mer.
+      std::uint32_t first_mer = 0;
+      for (std::uint32_t mer : rungs) {
+        if (mer <= contig_len && mer < bio::kMaxK) {
+          first_mer = mer;
+          break;
+        }
+      }
+      if (first_mer == 0) continue;
+
+      const std::uint32_t slots = core::LocHashTable::estimate_slots(
+          max_ins, opts.table_load_factor);
+      const std::uint64_t table_bytes =
+          static_cast<std::uint64_t>(slots) * core::kEntryBytes;
+
+      // Issue work: table init, one guaranteed probe round per lockstep
+      // call, and the walk's seed + first iteration.
+      std::uint64_t task_instr =
+          (static_cast<std::uint64_t>(slots) * kTableInitPerSlot + width -
+           1) /
+          width;
+      std::uint64_t calls = 0;
+      std::uint64_t kmers = 0;
+      std::uint64_t union_bytes = 0;
+      intervals.clear();
+      for (std::uint32_t rid : ids) {
+        const std::uint32_t len = input.reads[rid].len;
+        if (len < first_mer) continue;
+        const std::uint32_t nk = len - first_mer + 1;
+        calls += (nk + width - 1) / width;
+        kmers += nk;
+        const std::uint64_t off = input.reads[rid].seq_off;
+        intervals.emplace_back(off, off + len);
+      }
+      if (calls > 0) {
+        std::uint64_t per_call = kInsertSetup +
+                                 bio::hash_call_intops(first_mer) +
+                                 kVoteUpdate + kProbeRound +
+                                 core::ops::key_compare(first_mer) +
+                                 protocol_round_ops(pm);
+        if (pm == simt::ProgrammingModel::kHip) {
+          per_call += core::ops::kAllReduce;  // trailing __all per call
+        }
+        task_instr += calls * per_call;
+      }
+      task_instr += kWalkStep  // seed round
+                    + bio::hash_call_intops(first_mer) + kWalkStep +
+                    kLoopCheck    // first walk iteration
+                    + kProbeRound  // >= 1 probe of the walk lookup
+                    + kShflBroadcast;  // terminal state broadcast
+
+      // Cycle floor of the same guaranteed work: add_ops bills one cycle
+      // per instruction; the table init stores stream at 4 lines/cycle;
+      // each lockstep call exposes at least three memory rounds (k-mer
+      // fetch, first probe, vote write), each serviced no faster than L1;
+      // every k-mer costs at least two atomics (the probe-round CAS and
+      // the vote accumulate); SYCL adds the sub-group barrier latency per
+      // probe round.
+      std::uint64_t task_cycles =
+          task_instr + table_bytes / line / 4 +
+          calls * 3ULL * dev.perf.l1_latency_cycles +
+          2ULL * kmers * dev.perf.atomic_overhead_cycles;
+      if (pm == simt::ProgrammingModel::kSycl) {
+        task_cycles += calls * core::kSgBarrierLatencyCycles;
+      }
+
+      instr_total += task_instr;
+      cycles_total += task_cycles;
+      max_task_cycles = std::max(max_task_cycles, task_cycles);
+
+      // Compulsory traffic of the task's private cold hierarchy: every
+      // streamed table line is dirtied and reaches HBM at least once
+      // (write-allocate + flush at task end), and every distinct read-
+      // arena line touched fills from HBM at least once. Reads shorter
+      // than the first mer are skipped by construct(), so only the
+      // participating reads' [seq_off, seq_off + len) intervals count —
+      // once for the sequence arena and once for the quality arena.
+      std::sort(intervals.begin(), intervals.end());
+      std::uint64_t cur_b = 0, cur_e = 0;
+      for (const auto& [b, e] : intervals) {
+        if (b > cur_e) {
+          union_bytes += cur_e - cur_b;
+          cur_b = b;
+          cur_e = e;
+        } else {
+          cur_e = std::max(cur_e, e);
+        }
+      }
+      union_bytes += cur_e - cur_b;
+      const std::uint64_t read_lines = min_lines(union_bytes, line);
+      hbm_total += (table_bytes / line) * line  // table writebacks
+                   + 2 * read_lines * line;     // seq + qual fills
+    }
+  }
+
+  // Exact launch count: one kernel per (direction, batch).
+  const std::size_t batches = core::make_batches(input, opts).size();
+  const double launches =
+      static_cast<double>(batches) * (any_left ? 2.0 : 1.0);
+
+  // Hierarchical-roofline ceilings: the modelled total is at least the
+  // issue-ceiling time, the outermost (HBM) bandwidth-ceiling time, and
+  // the wave-schedule time. The wave floor is the larger of the slowest
+  // single warp (every wave lasts at least as long as its slowest warp)
+  // and total cycles spread over full concurrency (each wave's max is at
+  // least its mean).
+  double bound = 0.0;
+  if (dev.peak_gintops > 0.0) {
+    bound = static_cast<double>(instr_total) / (dev.peak_gintops * 1e9);
+  }
+  for (const LevelCeiling& lc : hierarchy_ceilings(dev)) {
+    if (std::string_view(lc.level) == "HBM" && lc.bw_gbps > 0.0) {
+      bound = std::max(bound,
+                       static_cast<double>(hbm_total) / (lc.bw_gbps * 1e9));
+    }
+  }
+  if (dev.perf.clock_ghz > 0.0) {
+    const std::uint64_t concurrency =
+        std::max<std::uint64_t>(1, dev.max_concurrent_warps());
+    const double wave_cycles =
+        std::max(static_cast<double>(max_task_cycles),
+                 static_cast<double>(cycles_total) /
+                     static_cast<double>(concurrency));
+    bound = std::max(bound, wave_cycles / (dev.perf.clock_ghz * 1e9));
+  }
+  return bound + launches * simt::kKernelLaunchOverheadS;
+}
+
+DeviceTuneReport AutoTuner::tune(const simt::DeviceSpec& dev,
+                                 const core::AssemblyInput& input,
+                                 std::ostream* progress) const {
+  DeviceTuneReport report;
+  report.dev = dev;
+
+  const std::vector<TuneCandidate> cands =
+      opts_.space.enumerate(dev, opts_.base);
+
+  const auto evaluate = [&](const TuneCandidate& c) {
+    TuneResult r;
+    r.cand = c;
+    r.lower_bound_s =
+        lower_bound_time_s(dev, c.pm, c.apply(opts_.base), input);
+    const StudyCell cell = run_cell(dev, c.pm, input, c.apply(opts_.base));
+    r.time_s = cell.time_s;
+    r.gintops = cell.gintops;
+    r.intensity = cell.intensity;
+    r.arch_eff = cell.arch_eff;
+    r.alg_eff = cell.alg_eff;
+    r.extension_bases = cell.extension_bases;
+    return r;
+  };
+
+  // The base configuration seeds the incumbent and is never pruned, so the
+  // returned winner can only improve on it (speedup >= 1.0 by
+  // construction).
+  report.def = evaluate(cands.front());
+  report.winner = report.def;
+  report.all.push_back(report.def);
+  report.evaluated = 1;
+
+  for (std::size_t i = 1; i < cands.size(); ++i) {
+    const TuneCandidate& c = cands[i];
+    const double lb =
+        lower_bound_time_s(dev, c.pm, c.apply(opts_.base), input);
+    if (opts_.prune && lb >= report.winner.time_s) {
+      TuneResult r;
+      r.cand = c;
+      r.pruned = true;
+      r.lower_bound_s = lb;
+      report.all.push_back(r);
+      ++report.pruned;
+      continue;
+    }
+    TuneResult r = evaluate(c);
+    ++report.evaluated;
+    const bool quality_ok = !opts_.require_no_quality_loss ||
+                            r.extension_bases >= report.def.extension_bases;
+    if (quality_ok && r.time_s < report.winner.time_s) {
+      report.winner = r;
+    }
+    report.all.push_back(std::move(r));
+  }
+
+  if (progress != nullptr) {
+    *progress << dev.name << ": " << cands.size() << " candidates, "
+              << report.evaluated << " evaluated, " << report.pruned
+              << " pruned | default " << report.def.time_s * 1e3
+              << " ms -> tuned " << report.winner.time_s * 1e3 << " ms ("
+              << report.speedup() << "x, " << report.winner.cand.describe()
+              << ")\n";
+  }
+  return report;
+}
+
+std::vector<DeviceTuneReport> AutoTuner::tune_zoo(
+    std::span<const simt::DeviceSpec> devices,
+    const core::AssemblyInput& input, std::ostream* progress) const {
+  std::vector<DeviceTuneReport> reports;
+  reports.reserve(devices.size());
+  for (const simt::DeviceSpec& dev : devices) {
+    reports.push_back(tune(dev, input, progress));
+  }
+  return reports;
+}
+
+Scorecard portability_scorecard(
+    const std::vector<DeviceTuneReport>& reports) {
+  Scorecard sc;
+  std::vector<double> arch_def, arch_tuned, alg_def, alg_tuned;
+  for (const DeviceTuneReport& r : reports) {
+    ScorecardRow row;
+    row.device = r.dev.name;
+    row.slug = r.dev.slug;
+    row.vendor = r.dev.vendor;
+    row.tuned = r.winner.cand;
+    row.pm_default = r.def.cand.pm;
+    row.default_ms = r.def.time_s * 1e3;
+    row.tuned_ms = r.winner.time_s * 1e3;
+    row.speedup = r.speedup();
+    row.arch_eff_default = r.def.arch_eff;
+    row.arch_eff_tuned = r.winner.arch_eff;
+    row.alg_eff_default = r.def.alg_eff;
+    row.alg_eff_tuned = r.winner.alg_eff;
+    row.evaluated = r.evaluated;
+    row.pruned = r.pruned;
+    sc.rows.push_back(std::move(row));
+    arch_def.push_back(r.def.arch_eff);
+    arch_tuned.push_back(r.winner.arch_eff);
+    alg_def.push_back(r.def.alg_eff);
+    alg_tuned.push_back(r.winner.alg_eff);
+  }
+  sc.arch_pp_default = performance_portability(arch_def);
+  sc.arch_pp_tuned = performance_portability(arch_tuned);
+  sc.alg_pp_default = performance_portability(alg_def);
+  sc.alg_pp_tuned = performance_portability(alg_tuned);
+  return sc;
+}
+
+bool write_scorecard_csv(const std::string& path, const Scorecard& sc) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out.precision(17);
+  out << "row,device,slug,vendor,pm_default,pm_tuned,sg,bin,lf,budget,"
+         "rungs,default_ms,tuned_ms,speedup,arch_eff_default,"
+         "arch_eff_tuned,alg_eff_default,alg_eff_tuned,evaluated,pruned\n";
+  for (const ScorecardRow& r : sc.rows) {
+    const TuneCandidate& c = r.tuned;
+    out << "device," << r.device << ',' << r.slug << ','
+        << simt::vendor_name(r.vendor) << ','
+        << simt::model_name(r.pm_default) << ',' << simt::model_name(c.pm)
+        << ',' << c.subgroup_override << ',' << (c.bin_contigs ? 1 : 0)
+        << ',' << c.table_load_factor << ',' << c.batch_mem_budget_bytes
+        << ',' << c.max_mer_rungs << ',' << r.default_ms << ','
+        << r.tuned_ms << ',' << r.speedup << ',' << r.arch_eff_default
+        << ',' << r.arch_eff_tuned << ',' << r.alg_eff_default << ','
+        << r.alg_eff_tuned << ',' << r.evaluated << ',' << r.pruned
+        << '\n';
+  }
+  out << "portability,ALL,,,,,,,,,,,," << sc.arch_pp_default << ','
+      << sc.arch_pp_tuned << ',' << sc.alg_pp_default << ','
+      << sc.alg_pp_tuned << ",,\n";
+  return static_cast<bool>(out.flush());
+}
+
+}  // namespace lassm::model

@@ -1,0 +1,191 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/input.hpp"
+#include "core/options.hpp"
+#include "model/study.hpp"
+#include "simt/device.hpp"
+
+/// Per-device autotuner over the kernel's launch/config space. The paper's
+/// figures fix one hand-picked configuration per device; the simulator
+/// makes the whole space cheap to search, because every candidate's
+/// "runtime" is the deterministic modelled time of simt::estimate_time.
+/// The search is exhaustive-with-pruning: a candidate whose hierarchical-
+/// roofline lower bound (provably <= its modelled time) already exceeds
+/// the incumbent's time is skipped without simulation.
+namespace lassm::model {
+
+/// One point of the per-device search space: the Appendix-A protocol
+/// variant plus every launch/config knob the ablation benches exercise.
+struct TuneCandidate {
+  simt::ProgrammingModel pm = simt::ProgrammingModel::kCuda;
+  std::uint32_t subgroup_override = 0;  ///< 0 = device warp width
+  bool bin_contigs = true;
+  double table_load_factor = 0.5;
+  std::uint64_t batch_mem_budget_bytes = 1ULL << 30;
+  std::uint32_t max_mer_rungs = 4;
+
+  /// The base options with this candidate's knobs applied.
+  core::AssemblyOptions apply(const core::AssemblyOptions& base) const;
+
+  /// "pm=HIP sg=0 bin=1 lf=0.50 budget=1073741824 rungs=4" — stable,
+  /// whitespace-separated, used in reports / CSV / cache keys.
+  std::string describe() const;
+
+  bool operator==(const TuneCandidate& o) const noexcept {
+    return pm == o.pm && subgroup_override == o.subgroup_override &&
+           bin_contigs == o.bin_contigs &&
+           table_load_factor == o.table_load_factor &&
+           batch_mem_budget_bytes == o.batch_mem_budget_bytes &&
+           max_mer_rungs == o.max_mer_rungs;
+  }
+};
+
+/// The knob values the search crosses. Values out of a device's domain
+/// (sub-group widths beyond DeviceSpec::max_subgroup, or equal to the warp
+/// width and therefore aliases of 0) are filtered per device by
+/// enumerate(), so one space serves the whole zoo.
+struct SearchSpace {
+  std::vector<simt::ProgrammingModel> protocols{
+      simt::ProgrammingModel::kCuda, simt::ProgrammingModel::kHip,
+      simt::ProgrammingModel::kSycl};
+  std::vector<std::uint32_t> subgroup_widths{0, 8, 16, 32, 64};
+  std::vector<bool> bin_contigs{true, false};
+  std::vector<double> table_load_factors{0.5, 0.7, 0.9};
+  /// The 1 MiB budget forces many small batches — it exists to exercise
+  /// the launch-overhead term of the pruning bound, which eliminates it
+  /// analytically on any input whose footprint exceeds a few batches.
+  std::vector<std::uint64_t> batch_budgets{1ULL << 30, 1ULL << 20};
+  std::vector<std::uint32_t> max_mer_rungs{4, 2, 6};
+
+  /// Deterministic candidate list for a device: the base configuration on
+  /// the device's native protocol always comes first (the tuner's
+  /// incumbent seed), followed by the filtered cross product in fixed
+  /// knob-major order.
+  std::vector<TuneCandidate> enumerate(
+      const simt::DeviceSpec& dev, const core::AssemblyOptions& base) const;
+};
+
+/// One candidate's evaluation record.
+struct TuneResult {
+  TuneCandidate cand;
+  bool pruned = false;       ///< skipped by the roofline bound, never run
+  double lower_bound_s = 0;  ///< analytic lower bound on modelled time
+  /// Modelled metrics (valid only when !pruned).
+  double time_s = 0;
+  double gintops = 0;
+  double intensity = 0;
+  double arch_eff = 0;
+  double alg_eff = 0;
+  std::uint64_t extension_bases = 0;
+};
+
+/// The tuner's verdict for one device.
+struct DeviceTuneReport {
+  simt::DeviceSpec dev;
+  TuneResult def;     ///< the base configuration (evaluated, never pruned)
+  TuneResult winner;  ///< fastest quality-preserving candidate
+  std::vector<TuneResult> all;  ///< every candidate, enumeration order
+  std::uint64_t evaluated = 0;
+  std::uint64_t pruned = 0;
+
+  /// Tuned-vs-default modelled speedup; >= 1.0 by construction (the
+  /// default seeds the incumbent and is never pruned).
+  double speedup() const noexcept {
+    return winner.time_s > 0.0 ? def.time_s / winner.time_s : 1.0;
+  }
+};
+
+class AutoTuner {
+ public:
+  struct Options {
+    SearchSpace space;
+    core::AssemblyOptions base;
+    /// Roofline pruning on/off (off = exhaustive; results are identical —
+    /// the pruning-soundness contract — only the evaluated count changes).
+    bool prune = true;
+    /// Require candidates to reproduce at least the default's total
+    /// extension bases, so "faster" can never mean "does less assembly"
+    /// (e.g. a one-rung ladder skipping retries).
+    bool require_no_quality_loss = true;
+  };
+
+  AutoTuner();  // default Options (full space, default base, pruning on)
+  explicit AutoTuner(Options opts);
+
+  /// Searches the space for one device on `input`. Deterministic: same
+  /// device, space, base options and input give a bit-identical report,
+  /// independent of host thread count. `progress` (optional) receives one
+  /// line per device summarising the search.
+  DeviceTuneReport tune(const simt::DeviceSpec& dev,
+                        const core::AssemblyInput& input,
+                        std::ostream* progress = nullptr) const;
+
+  /// tune() over a device list (typically simt::DeviceSpec::zoo()).
+  std::vector<DeviceTuneReport> tune_zoo(
+      std::span<const simt::DeviceSpec> devices,
+      const core::AssemblyInput& input,
+      std::ostream* progress = nullptr) const;
+
+  /// Analytic lower bound on the modelled kernel time of `opts` under
+  /// protocol `pm` on `dev` for `input`, against the hierarchical
+  /// roofline's ceilings — no simulation. Sound by construction: it counts
+  /// only work every run must do (first guaranteed ladder rung per contig
+  /// end, compulsory-miss traffic of the per-task cold hierarchies, the
+  /// exact kernel-launch count), so lower_bound_time_s <= the simulated
+  /// estimate_time total for every in-domain configuration. Used to prune;
+  /// tested against force-evaluated candidates.
+  static double lower_bound_time_s(const simt::DeviceSpec& dev,
+                                   simt::ProgrammingModel pm,
+                                   const core::AssemblyOptions& opts,
+                                   const core::AssemblyInput& input);
+
+  const Options& options() const noexcept { return opts_; }
+
+ private:
+  Options opts_;
+};
+
+/// One row of the Pennycook performance-portability scorecard.
+struct ScorecardRow {
+  std::string device;
+  std::string slug;
+  simt::Vendor vendor = simt::Vendor::kNvidia;
+  TuneCandidate tuned;
+  simt::ProgrammingModel pm_default = simt::ProgrammingModel::kCuda;
+  double default_ms = 0;
+  double tuned_ms = 0;
+  double speedup = 1.0;
+  double arch_eff_default = 0;
+  double arch_eff_tuned = 0;
+  double alg_eff_default = 0;
+  double alg_eff_tuned = 0;
+  std::uint64_t evaluated = 0;
+  std::uint64_t pruned = 0;
+};
+
+/// The cross-device scorecard: one row per tuned device plus Pennycook
+/// performance portability (harmonic-mean efficiency across the device
+/// set) before and after tuning.
+struct Scorecard {
+  std::vector<ScorecardRow> rows;
+  double arch_pp_default = 0;
+  double arch_pp_tuned = 0;
+  double alg_pp_default = 0;
+  double alg_pp_tuned = 0;
+};
+
+Scorecard portability_scorecard(
+    const std::vector<DeviceTuneReport>& reports);
+
+/// Writes the scorecard as CSV: one "device" row per report followed by
+/// one "portability" summary row (see EXPERIMENTS.md for the column key).
+/// Returns false when the file cannot be written.
+bool write_scorecard_csv(const std::string& path, const Scorecard& sc);
+
+}  // namespace lassm::model

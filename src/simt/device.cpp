@@ -1,5 +1,7 @@
 #include "simt/device.hpp"
 
+#include <cctype>
+
 namespace lassm::simt {
 
 const char* vendor_name(Vendor v) noexcept {
@@ -35,6 +37,10 @@ Status bad(const std::string& what) {
 Status DeviceSpec::validate() const {
   if (warp_width == 0 || !is_pow2(warp_width))
     return bad("warp_width must be a nonzero power of two");
+  if (max_subgroup_width != 0 &&
+      (!is_pow2(max_subgroup_width) || max_subgroup_width < warp_width))
+    return bad(
+        "max_subgroup_width must be zero or a power of two >= warp_width");
   if (num_cus == 0) return bad("num_cus must be > 0");
   if (line_bytes == 0 || !is_pow2(line_bytes))
     return bad("line_bytes must be a nonzero power of two");
@@ -72,6 +78,7 @@ memsim::CacheConfig DeviceSpec::l2_slice_config(std::uint64_t concurrent) const 
 DeviceSpec DeviceSpec::a100() {
   DeviceSpec d;
   d.name = "NVIDIA A100";
+  d.slug = "a100";
   d.vendor = Vendor::kNvidia;
   d.native_model = ProgrammingModel::kCuda;
   d.warp_width = 32;
@@ -98,6 +105,7 @@ DeviceSpec DeviceSpec::a100() {
 DeviceSpec DeviceSpec::mi250x_gcd() {
   DeviceSpec d;
   d.name = "AMD MI250X (1 GCD)";
+  d.slug = "mi250x";
   d.vendor = Vendor::kAmd;
   d.native_model = ProgrammingModel::kHip;
   d.warp_width = 64;
@@ -124,9 +132,11 @@ DeviceSpec DeviceSpec::mi250x_gcd() {
 DeviceSpec DeviceSpec::max1550_tile() {
   DeviceSpec d;
   d.name = "Intel Max 1550 (1 tile)";
+  d.slug = "max1550";
   d.vendor = Vendor::kIntel;
   d.native_model = ProgrammingModel::kSycl;
   d.warp_width = 16;                        // sub-group size the paper chose
+  d.max_subgroup_width = 32;                // Xe schedules SIMD8/16/32
   d.num_cus = 64;                           // Xe-cores per tile (128/board)
   d.l1_per_cu_bytes = 512ULL * 1024;        // Table III: 64 MB aggregate/board
   d.l2_bytes = 204ULL * 1024 * 1024;        // 204 MB per tile (Fig. 6 caption)
@@ -147,10 +157,165 @@ DeviceSpec DeviceSpec::max1550_tile() {
   return d;
 }
 
+DeviceSpec DeviceSpec::mi300x() {
+  DeviceSpec d;
+  d.name = "AMD MI300X";
+  d.slug = "mi300x";
+  d.vendor = Vendor::kAmd;
+  d.native_model = ProgrammingModel::kHip;
+  d.warp_width = 64;
+  d.num_cus = 304;                          // 8 XCDs x 38 CUs
+  d.l1_per_cu_bytes = 32ULL * 1024;         // CDNA3 doubles the CU L1
+  d.l2_bytes = 256ULL * 1024 * 1024;        // Infinity Cache as the LLC level
+  d.line_bytes = 128;
+  d.hbm_bytes = 192ULL * 1024 * 1024 * 1024;
+  d.peak_gintops = 1277.0;                  // 304 CUs x 2 instr x 2.1 GHz
+  d.hbm_bw_gbps = 5300.0;
+  d.l1_bw_gbps = 30000.0;
+  d.l2_bw_gbps = 17000.0;
+  d.perf.clock_ghz = 2.1;
+  d.perf.l1_latency_cycles = 60;
+  d.perf.l2_latency_cycles = 280;
+  d.perf.hbm_latency_cycles = 1300;
+  d.perf.intops_per_cycle_per_cu = 64;
+  d.perf.resident_warps_per_cu = 8;
+  d.perf.atomic_overhead_cycles = 30;
+  d.perf.cache_dilution = 6.0;              // big LLC dilutes less than MI250X
+  return d;
+}
+
+DeviceSpec DeviceSpec::gh200() {
+  DeviceSpec d;
+  d.name = "NVIDIA GH200 (H100 die)";
+  d.slug = "gh200";
+  d.vendor = Vendor::kNvidia;
+  d.native_model = ProgrammingModel::kCuda;
+  d.warp_width = 32;
+  d.num_cus = 132;
+  d.l1_per_cu_bytes = 256ULL * 1024;
+  d.l2_bytes = 50ULL * 1024 * 1024;
+  d.line_bytes = 32;                        // same 32 B DRAM sectors as A100
+  d.hbm_bytes = 96ULL * 1024 * 1024 * 1024;
+  d.peak_gintops = 568.0;                   // A100 scaling: 132 SMs @ 1.83 GHz
+  d.hbm_bw_gbps = 4022.0;
+  d.l1_bw_gbps = 33000.0;
+  d.l2_bw_gbps = 7000.0;
+  d.perf.clock_ghz = 1.83;
+  d.perf.l1_latency_cycles = 35;
+  d.perf.l2_latency_cycles = 220;
+  d.perf.hbm_latency_cycles = 480;
+  d.perf.intops_per_cycle_per_cu = 64;
+  d.perf.resident_warps_per_cu = 8;
+  d.perf.atomic_overhead_cycles = 18;
+  d.perf.cache_dilution = 1.0;
+  return d;
+}
+
+DeviceSpec DeviceSpec::cpu_simd() {
+  DeviceSpec d;
+  d.name = "x86 AVX-512 host (56 cores)";
+  d.slug = "cpu-simd";
+  d.vendor = Vendor::kIntel;                // SYCL is the CPU port's model
+  d.native_model = ProgrammingModel::kSycl;
+  d.warp_width = 16;                        // 512-bit vector of 32-bit lanes
+  d.num_cus = 56;                           // cores
+  d.l1_per_cu_bytes = 48ULL * 1024;         // L1d per core
+  d.l2_bytes = 105ULL * 1024 * 1024;        // shared LLC
+  d.line_bytes = 64;
+  d.hbm_bytes = 512ULL * 1024 * 1024 * 1024;
+  d.peak_gintops = 224.0;                   // 56 cores x 2 vec ports x 2.0 GHz
+  d.hbm_bw_gbps = 307.0;                    // 8-channel DDR5-4800
+  d.l1_bw_gbps = 6000.0;
+  d.l2_bw_gbps = 1500.0;
+  d.perf.clock_ghz = 2.0;                   // all-core AVX-512 clock
+  d.perf.l1_latency_cycles = 5;
+  d.perf.l2_latency_cycles = 70;            // LLC round trip
+  d.perf.hbm_latency_cycles = 180;          // loaded DDR latency
+  d.perf.intops_per_cycle_per_cu = 32;      // 2 x 16-lane vector issues
+  d.perf.resident_warps_per_cu = 2;         // SMT threads per core
+  d.perf.atomic_overhead_cycles = 40;       // cacheline ping-pong CAS
+  d.perf.cache_dilution = 1.0;
+  return d;
+}
+
+DeviceSpec DeviceSpec::orin_nx() {
+  DeviceSpec d;
+  d.name = "NVIDIA Jetson Orin NX";
+  d.slug = "orin-nx";
+  d.vendor = Vendor::kNvidia;
+  d.native_model = ProgrammingModel::kCuda;
+  d.warp_width = 32;
+  d.num_cus = 8;                            // Ampere SMs
+  d.l1_per_cu_bytes = 128ULL * 1024;
+  d.l2_bytes = 4ULL * 1024 * 1024;
+  d.line_bytes = 32;
+  d.hbm_bytes = 16ULL * 1024 * 1024 * 1024;
+  d.peak_gintops = 17.3;                    // 8 SMs @ 0.918 GHz, A100 scaling
+  d.hbm_bw_gbps = 102.0;                    // 128-bit LPDDR5
+  d.l1_bw_gbps = 1200.0;
+  d.l2_bw_gbps = 450.0;
+  d.perf.clock_ghz = 0.918;
+  d.perf.l1_latency_cycles = 35;
+  d.perf.l2_latency_cycles = 240;
+  d.perf.hbm_latency_cycles = 700;          // LPDDR is slower than HBM
+  d.perf.intops_per_cycle_per_cu = 64;
+  d.perf.resident_warps_per_cu = 8;
+  d.perf.atomic_overhead_cycles = 20;
+  d.perf.cache_dilution = 1.0;
+  return d;
+}
+
 const std::array<DeviceSpec, 3>& DeviceSpec::study_devices() {
   static const std::array<DeviceSpec, 3> devices = {
       DeviceSpec::a100(), DeviceSpec::mi250x_gcd(), DeviceSpec::max1550_tile()};
   return devices;
+}
+
+const std::vector<DeviceSpec>& DeviceSpec::zoo() {
+  static const std::vector<DeviceSpec> devices = {
+      DeviceSpec::a100(),        DeviceSpec::mi250x_gcd(),
+      DeviceSpec::max1550_tile(), DeviceSpec::mi300x(),
+      DeviceSpec::gh200(),       DeviceSpec::cpu_simd(),
+      DeviceSpec::orin_nx()};
+  return devices;
+}
+
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+const DeviceSpec* DeviceSpec::find(std::string_view key) {
+  const std::string k = lower(key);
+  // Vendor aliases keep the historical example CLI contract: the study
+  // device of that vendor.
+  const char* alias = nullptr;
+  if (k == "nvidia" || k == "cuda") alias = "a100";
+  if (k == "amd" || k == "hip") alias = "mi250x";
+  if (k == "intel" || k == "sycl") alias = "max1550";
+  for (const DeviceSpec& d : zoo()) {
+    if (k == d.slug || (alias != nullptr && alias == d.slug) ||
+        k == lower(d.name)) {
+      return &d;
+    }
+  }
+  return nullptr;
+}
+
+std::string DeviceSpec::zoo_slugs() {
+  std::string out;
+  for (const DeviceSpec& d : zoo()) {
+    if (!out.empty()) out += ", ";
+    out += d.slug;
+  }
+  return out;
 }
 
 }  // namespace lassm::simt

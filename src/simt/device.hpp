@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <algorithm>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "memsim/cache.hpp"
 #include "resilience/status.hpp"
@@ -49,10 +51,18 @@ struct PerfParams {
 /// for Max 1550). Capacities follow Table III; peaks follow Figure 6.
 struct DeviceSpec {
   std::string name;
+  /// Stable lookup key for the zoo registry (lower-case, e.g. "a100",
+  /// "mi250x", "cpu-simd"); empty for hand-built specs.
+  std::string slug;
   Vendor vendor = Vendor::kNvidia;
   ProgrammingModel native_model = ProgrammingModel::kCuda;
 
   std::uint32_t warp_width = 32;    ///< warp / wavefront / sub-group size
+  /// Widest sub-group the hardware can schedule when nonzero (Intel Xe
+  /// supports SIMD8/16/32 while the default sub-group is 16); 0 means the
+  /// warp width is also the maximum. AssemblyOptions::subgroup_override is
+  /// validated against max_subgroup().
+  std::uint32_t max_subgroup_width = 0;
   std::uint32_t num_cus = 0;        ///< SMs / CUs / Xe-cores
   std::uint64_t l1_per_cu_bytes = 0;
   std::uint64_t l2_bytes = 0;
@@ -71,6 +81,11 @@ struct DeviceSpec {
   /// Ridge point of the INTOP roofline (paper: 0.23 / 0.23 / 0.09).
   double machine_balance() const noexcept {
     return hbm_bw_gbps == 0.0 ? 0.0 : peak_gintops / hbm_bw_gbps;
+  }
+
+  /// Widest sub-group width a kernel may request on this device.
+  std::uint32_t max_subgroup() const noexcept {
+    return max_subgroup_width != 0 ? max_subgroup_width : warp_width;
   }
 
   /// Maximum concurrently resident warps for this kernel.
@@ -117,8 +132,40 @@ struct DeviceSpec {
   /// INTOP peak 105 GINTOPS (Fig. 6c). Sub-group size 16 (paper's choice).
   static DeviceSpec max1550_tile();
 
+  /// AMD MI300X-class part (CDNA3): 304 CUs, 32 KB L1/CU, 256 MB Infinity
+  /// Cache modelled as the L2 level, 192 GB HBM3 @ 5300 GB/s.
+  static DeviceSpec mi300x();
+
+  /// NVIDIA GH200-class part (the Hopper die of the superchip): 132 SMs,
+  /// 256 KB L1/SM, 50 MB L2, 96 GB HBM3 @ 4022 GB/s.
+  static DeviceSpec gh200();
+
+  /// CPU-SIMD "device": a 56-core AVX-512 host presented through the same
+  /// SIMT model (sub-group = the 16-lane 512-bit vector, CU = core, L2 =
+  /// shared LLC, HBM = DDR5). The SYCL protocol is its native model, as in
+  /// Reguly's SYCL-on-CPU portability studies.
+  static DeviceSpec cpu_simd();
+
+  /// Low-end edge part (Jetson Orin NX class): 8 SMs on LPDDR5 — a
+  /// bandwidth-starved corner of the portability set.
+  static DeviceSpec orin_nx();
+
   /// The three study devices in paper order (NVIDIA, AMD, Intel).
   static const std::array<DeviceSpec, 3>& study_devices();
+
+  /// Every registered device: the three study parts (in paper order)
+  /// followed by the extended portability set. All entries validate() and
+  /// have unique slugs; study_devices() is a prefix of the zoo, so study
+  /// caches and golden numbers are unaffected by zoo growth.
+  static const std::vector<DeviceSpec>& zoo();
+
+  /// Case-insensitive zoo lookup by slug, full name, or vendor alias
+  /// ("nvidia" / "amd" / "intel" resolve to that vendor's study device).
+  /// Returns nullptr when nothing matches.
+  static const DeviceSpec* find(std::string_view key);
+
+  /// Comma-separated slugs of every zoo entry, for CLI error messages.
+  static std::string zoo_slugs();
 };
 
 }  // namespace lassm::simt

@@ -179,6 +179,41 @@ TEST(KernelEdge, OptionValidationCoversEveryField) {
   EXPECT_TRUE(static_cast<bool>(AssemblyOptions{}.validate()));
 }
 
+TEST(KernelEdge, SubgroupOverrideRejectedBeyondDeviceWidth) {
+  // A sub-group override wider than the device can schedule has no
+  // hardware mapping; it used to be accepted and silently mis-modelled.
+  // The device-aware validation rejects it with a field-naming error.
+  AssemblyOptions opts;
+  opts.subgroup_override = 64;
+  const simt::DeviceSpec a100 = simt::DeviceSpec::a100();  // warp 32
+  const Status s = opts.validate_for_device(a100.max_subgroup());
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(s.to_string().find("subgroup_override"), std::string::npos)
+      << s.to_string();
+  try {
+    LocalAssembler assembler(a100, opts);
+    FAIL() << "constructor accepted subgroup_override 64 on a 32-wide device";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument);
+    EXPECT_NE(e.error().message().find("subgroup_override"),
+              std::string::npos);
+  }
+
+  // The same override is in-domain where the hardware is wide enough: the
+  // MI250X wavefront is 64, and the Max 1550 schedules SIMD32 even though
+  // its default sub-group is 16.
+  EXPECT_TRUE(static_cast<bool>(opts.validate_for_device(
+      simt::DeviceSpec::mi250x_gcd().max_subgroup())));
+  opts.subgroup_override = 32;
+  EXPECT_TRUE(static_cast<bool>(opts.validate_for_device(
+      simt::DeviceSpec::max1550_tile().max_subgroup())));
+  // The device-independent half still screens shape: non-power-of-two and
+  // >128 fail before any device is consulted.
+  opts.subgroup_override = 3;
+  EXPECT_EQ(opts.validate_for_device(64).code(),
+            ErrorCode::kInvalidArgument);
+}
+
 TEST(KernelEdge, ZeroWalkBudgetRejected) {
   // A zero walk budget used to be a silent degenerate configuration (every
   // walk empty); option validation now rejects it at construction with a

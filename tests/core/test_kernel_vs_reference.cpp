@@ -84,8 +84,11 @@ TEST_P(SubgroupWidth, WidthDoesNotChangeResults) {
   expect_equal(ref, result.extensions);
 }
 
+// 8/16/32 are the widths Xe hardware can schedule; 64 — accepted and
+// silently mis-modelled before validate_for_device — is now rejected (see
+// SubgroupOverrideRejectedBeyondDeviceWidth in test_kernel_edge_cases).
 INSTANTIATE_TEST_SUITE_P(Widths, SubgroupWidth,
-                         ::testing::Values(8U, 16U, 32U, 64U));
+                         ::testing::Values(8U, 16U, 32U));
 
 TEST(KernelCounters, ProtocolsAgreeOnWorkButNotCost) {
   // The three insertion protocols visit identical slots (same insertions,

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 namespace lassm::simt {
 namespace {
 
@@ -124,6 +127,99 @@ TEST(Device, Names) {
   EXPECT_STREQ(model_name(ProgrammingModel::kCuda), "CUDA");
   EXPECT_STREQ(model_name(ProgrammingModel::kHip), "HIP");
   EXPECT_STREQ(model_name(ProgrammingModel::kSycl), "SYCL");
+}
+
+TEST(Device, ZooIsStudySupersetWithValidUniqueEntries) {
+  const auto& zoo = DeviceSpec::zoo();
+  ASSERT_GE(zoo.size(), 7U);  // 3 study parts + 4 added parts
+  // The study devices are a prefix of the zoo in the same order, so code
+  // indexing study_devices() and code iterating the zoo agree on them.
+  const auto& study = DeviceSpec::study_devices();
+  for (std::size_t i = 0; i < study.size(); ++i) {
+    EXPECT_EQ(zoo[i].name, study[i].name);
+    EXPECT_EQ(zoo[i].slug, study[i].slug);
+  }
+  // Every entry validates and slugs are unique non-empty lookup keys.
+  std::set<std::string> slugs;
+  for (const DeviceSpec& d : zoo) {
+    const Status s = d.validate();
+    EXPECT_TRUE(static_cast<bool>(s)) << d.name << ": " << s.to_string();
+    EXPECT_FALSE(d.slug.empty()) << d.name;
+    EXPECT_TRUE(slugs.insert(d.slug).second)
+        << "duplicate slug " << d.slug;
+  }
+}
+
+TEST(Device, ZooNewPartsShape) {
+  // The four added parts cover the portability corners: a big HBM3 AMD
+  // part, a Hopper part, a CPU-as-device, and a low-end edge part.
+  const DeviceSpec mi300x = DeviceSpec::mi300x();
+  EXPECT_EQ(mi300x.vendor, Vendor::kAmd);
+  EXPECT_EQ(mi300x.warp_width, 64U);
+  EXPECT_GT(mi300x.hbm_bw_gbps, DeviceSpec::mi250x_gcd().hbm_bw_gbps);
+
+  const DeviceSpec gh200 = DeviceSpec::gh200();
+  EXPECT_EQ(gh200.vendor, Vendor::kNvidia);
+  EXPECT_GT(gh200.peak_gintops, DeviceSpec::a100().peak_gintops);
+
+  const DeviceSpec cpu = DeviceSpec::cpu_simd();
+  EXPECT_EQ(cpu.warp_width, 16U);  // AVX-512 epi32 lanes
+  EXPECT_LT(cpu.hbm_bw_gbps, 500.0);
+
+  const DeviceSpec orin = DeviceSpec::orin_nx();
+  EXPECT_LT(orin.peak_gintops, 50.0);
+  EXPECT_LT(orin.num_cus, 16U);
+}
+
+TEST(Device, FindLooksUpBySlugNameAndAlias) {
+  // Slug (case-insensitive).
+  ASSERT_NE(DeviceSpec::find("a100"), nullptr);
+  EXPECT_EQ(DeviceSpec::find("A100")->name, DeviceSpec::a100().name);
+  ASSERT_NE(DeviceSpec::find("mi300x"), nullptr);
+  ASSERT_NE(DeviceSpec::find("gh200"), nullptr);
+  ASSERT_NE(DeviceSpec::find("cpu-simd"), nullptr);
+  ASSERT_NE(DeviceSpec::find("orin-nx"), nullptr);
+  // Full name.
+  ASSERT_NE(DeviceSpec::find("NVIDIA A100"), nullptr);
+  // Vendor / programming-model aliases map to the study parts (the
+  // spelling the example CLIs accepted before the zoo existed).
+  EXPECT_EQ(DeviceSpec::find("nvidia")->slug, "a100");
+  EXPECT_EQ(DeviceSpec::find("cuda")->slug, "a100");
+  EXPECT_EQ(DeviceSpec::find("amd")->slug, "mi250x");
+  EXPECT_EQ(DeviceSpec::find("hip")->slug, "mi250x");
+  EXPECT_EQ(DeviceSpec::find("intel")->slug, "max1550");
+  EXPECT_EQ(DeviceSpec::find("sycl")->slug, "max1550");
+  // Unknown keys return nullptr (callers print zoo_slugs()).
+  EXPECT_EQ(DeviceSpec::find("h200-nvl"), nullptr);
+  EXPECT_EQ(DeviceSpec::find(""), nullptr);
+}
+
+TEST(Device, ZooSlugsListsEveryEntry) {
+  const std::string slugs = DeviceSpec::zoo_slugs();
+  for (const DeviceSpec& d : DeviceSpec::zoo()) {
+    EXPECT_NE(slugs.find(d.slug), std::string::npos) << d.slug;
+  }
+}
+
+TEST(Device, MaxSubgroupDefaultsToWarpWidth) {
+  EXPECT_EQ(DeviceSpec::a100().max_subgroup(), 32U);
+  EXPECT_EQ(DeviceSpec::mi250x_gcd().max_subgroup(), 64U);
+  // Xe schedules SIMD8/16/32, so the Max 1550 caps above its default
+  // sub-group width.
+  EXPECT_EQ(DeviceSpec::max1550_tile().warp_width, 16U);
+  EXPECT_EQ(DeviceSpec::max1550_tile().max_subgroup(), 32U);
+  // A cap narrower than the warp is rejected (it could not schedule the
+  // device's own warps).
+  DeviceSpec d = DeviceSpec::a100();
+  d.max_subgroup_width = 16;
+  const Status s = d.validate();
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(s.to_string().find("max_subgroup_width"), std::string::npos);
+  d.max_subgroup_width = 48;  // not a power of two
+  EXPECT_FALSE(static_cast<bool>(d.validate()));
+  d.max_subgroup_width = 64;
+  EXPECT_TRUE(static_cast<bool>(d.validate()));
+  EXPECT_EQ(d.max_subgroup(), 64U);
 }
 
 TEST(Device, SliceConfigsUseDeviceLine) {
