@@ -185,9 +185,17 @@ int main() {
       model::results_dir() + "/BENCH_autotune.json";
   std::ofstream js(json_path);
   js.precision(17);
+  // Modelled speedups are deterministic for a fixed probe, so the
+  // regression gate demands near-exact agreement per device.
+  std::vector<bench::BenchMetric> gate;
+  for (const auto& r : reports) {
+    gate.push_back({std::string("speedup_") + r.dev.slug, r.speedup(),
+                    "higher", 1e-9});
+  }
   js << "{\n"
-     << "  \"bench\": \"autotune\",\n"
-     << "  \"probe\": {\"k\": " << kProbeK << ", \"scale\": " << tune_scale
+     << "  \"bench\": \"autotune\",\n";
+  bench::write_metrics_envelope(js, gate);
+  js << "  \"probe\": {\"k\": " << kProbeK << ", \"scale\": " << tune_scale
      << ", \"seed\": " << cfg.seed
      << ", \"contigs\": " << probe.contigs.size()
      << ", \"reads\": " << probe.reads.size() << "},\n"

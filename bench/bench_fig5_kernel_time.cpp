@@ -68,10 +68,26 @@ int main() {
         total_wall_s += study.cell(dev.vendor, k).wall_s;
       }
     }
+    // Modelled kernel time is deterministic for a fixed (scale, seed), so
+    // the regression gate can demand near-exact agreement per device.
+    std::vector<bench::BenchMetric> gate;
+    for (const auto& dev : study.devices) {
+      double ms = 0.0;
+      for (std::uint32_t k : study.config.ks) {
+        ms += study.cell(dev.vendor, k).time_s * 1e3;
+      }
+      std::string name = std::string("modeled_ms_") +
+                         simt::vendor_name(dev.vendor);
+      for (char& ch : name) {
+        if (ch == ' ') ch = '_';
+      }
+      gate.push_back({name, ms, "lower", 1e-9});
+    }
     std::ofstream js(json_path);
     js << "{\n"
-       << "  \"bench\": \"fig5_kernel_time\",\n"
-       << "  \"scale\": " << study.config.scale << ",\n"
+       << "  \"bench\": \"fig5_kernel_time\",\n";
+    bench::write_metrics_envelope(js, gate);
+    js << "  \"scale\": " << study.config.scale << ",\n"
        << "  \"seed\": " << study.config.seed << ",\n"
        << "  \"total_wall_s\": " << total_wall_s << ",\n"
        << "  \"baseline\": {\n"

@@ -157,8 +157,14 @@ int main() {
       lassm::model::results_dir() + "/BENCH_memsim.json";
   std::ofstream js(path);
   js << "{\n"
-     << "  \"bench\": \"memsim_throughput\",\n"
-     << "  \"probe_lines_per_sec\": " << probe.probe_lines_per_sec << ",\n"
+     << "  \"bench\": \"memsim_throughput\",\n";
+  // Wall-clock throughput on a shared machine is noisy; the gate only
+  // trips on a sustained 40% drop.
+  lassm::bench::write_metrics_envelope(
+      js, {{"probe_lines_per_sec", probe.probe_lines_per_sec, "higher", 0.4},
+           {"init_lines_per_sec", probe.init_lines_per_sec, "higher", 0.4},
+           {"warp_tasks_per_sec", tasks_per_sec, "higher", 0.4}});
+  js << "  \"probe_lines_per_sec\": " << probe.probe_lines_per_sec << ",\n"
      << "  \"init_lines_per_sec\": " << probe.init_lines_per_sec << ",\n"
      << "  \"warp_tasks_per_sec\": " << tasks_per_sec << ",\n"
      << "  \"baseline\": {\n"

@@ -172,8 +172,15 @@ int main() {
   const std::string path = model::results_dir() + "/BENCH_frontend.json";
   std::ofstream js(path);
   js << "{\n"
-     << "  \"bench\": \"pipeline_frontend\",\n"
-     << "  \"workload\": {\"reads\": " << reads.size()
+     << "  \"bench\": \"pipeline_frontend\",\n";
+  // Stage wall clocks are noisy best-of-3 numbers; gate on a 40% drop.
+  lassm::bench::write_metrics_envelope(
+      js, {{"count_mkmers_per_s", mkmers, "higher", 0.4},
+           {"speedup_count", kBaselineCountS / serial.count_s, "higher", 0.4},
+           {"speedup_dbg", kBaselineDbgS / serial.dbg_s, "higher", 0.4},
+           {"speedup_pipeline",
+            kBaselinePipelineS / serial.pipeline_s, "higher", 0.4}});
+  js << "  \"workload\": {\"reads\": " << reads.size()
      << ", \"bases\": " << reads.total_bases()
      << ", \"k21_windows\": " << windows << "},\n"
      << "  \"count_s\": " << serial.count_s << ",\n"

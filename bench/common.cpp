@@ -6,7 +6,10 @@
 #include <sstream>
 
 #include "model/csv.hpp"
+#include "model/profile_report.hpp"
 #include "trace/export.hpp"
+#include "trace/json_util.hpp"
+#include "trace/log.hpp"
 
 namespace lassm::bench {
 
@@ -271,6 +274,9 @@ std::string study_cache_path(const model::StudyConfig& cfg) {
 }
 
 model::StudyResults cached_study() {
+  // Benches honour LASSM_LOG / LASSM_FLIGHT_DIR like the example CLIs do
+  // (default stays kWarn, so a quiet bench run stays quiet).
+  log::Logger::instance().configure_from_env();
   model::StudyConfig cfg = model::study_config_from_env();
   if (!cfg.trace_path.empty()) {
     // The trace (and the live metrics snapshot behind it) can only come
@@ -312,17 +318,41 @@ void write_artifacts(std::ostream& os, const model::CsvWriter& csv,
                      const model::StudyResults* study) {
   os << "\nCSV: " << csv.path() << "\n";
   if (study == nullptr || !study->traced) return;
-  std::string metrics_path = csv.path();
+  std::string stem = csv.path();
   const std::string suffix = ".csv";
-  if (metrics_path.size() >= suffix.size() &&
-      metrics_path.compare(metrics_path.size() - suffix.size(),
-                           suffix.size(), suffix) == 0) {
-    metrics_path.resize(metrics_path.size() - suffix.size());
+  if (stem.size() >= suffix.size() &&
+      stem.compare(stem.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    stem.resize(stem.size() - suffix.size());
   }
-  metrics_path += ".metrics.json";
+  const std::string metrics_path = stem + ".metrics.json";
   if (trace::write_metrics_json_file(metrics_path, study->metrics)) {
     os << "metrics: " << metrics_path << "\n";
   }
+  if (!study->attribution.empty() && !study->devices.empty()) {
+    const model::AttributedProfile profile = model::build_attributed_profile(
+        study->attribution, study->devices.front());
+    const std::string profile_stem = stem + ".profile";
+    if (model::write_profile_report(profile_stem, profile).ok()) {
+      os << "profile: " << profile_stem << ".json (+.csv)\n";
+      model::print_attributed_profile(os, profile);
+    }
+  }
+}
+
+void write_metrics_envelope(std::ostream& os,
+                            const std::vector<BenchMetric>& metrics) {
+  os << "  \"schema_version\": 1,\n  \"metrics\": {";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const BenchMetric& m = metrics[i];
+    os << (i == 0 ? "\n    " : ",\n    ");
+    trace::json_escape(os, m.name);
+    os << ": {\"value\": ";
+    trace::json_number(os, m.value);
+    os << ", \"direction\": \"" << m.direction << "\", \"tolerance\": ";
+    trace::json_number(os, m.tolerance);
+    os << "}";
+  }
+  os << "\n  },\n";
 }
 
 }  // namespace lassm::bench

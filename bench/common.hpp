@@ -50,8 +50,26 @@ model::CsvWriter bench_csv(const std::string& stem,
 
 /// The shared bench epilogue: prints the CSV path, and — when the study
 /// was traced (LASSM_TRACE) — writes the aggregate metrics snapshot next
-/// to the CSV as `<stem>.metrics.json` and prints that path too.
+/// to the CSV as `<stem>.metrics.json` and the counter-attribution
+/// profile_report as `<stem>.profile.json` / `<stem>.profile.csv`
+/// (placed on the first study device's roofline), printing each path.
 void write_artifacts(std::ostream& os, const model::CsvWriter& csv,
                      const model::StudyResults* study = nullptr);
+
+/// One headline metric a bench publishes for the regression gate: its
+/// value, which direction is good, and the relative tolerance the
+/// comparator (scripts/bench_history.py) allows before failing.
+struct BenchMetric {
+  std::string name;
+  double value = 0.0;
+  const char* direction = "higher";  ///< "higher" or "lower" is better
+  double tolerance = 0.05;           ///< relative slack in the bad direction
+};
+
+/// Emits the shared regression-gate envelope into an in-progress JSON
+/// object: `"schema_version": 1, "metrics": {...}` — callers splice it
+/// after their opening '{' (with a trailing comma handled here).
+void write_metrics_envelope(std::ostream& os,
+                            const std::vector<BenchMetric>& metrics);
 
 }  // namespace lassm::bench

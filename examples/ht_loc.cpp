@@ -41,6 +41,8 @@ int main(int argc, char** argv) {
   if (argc != 4) {
     std::cerr << "usage: ht_loc <input file> <k-mer length> <output file>\n"
                  "       [--trace t.json] [--metrics m.json]\n"
+                 "       [--log-level debug|info|warn|error|off]"
+                 " [--flight-dir DIR]\n"
                  "       LASSM_DEVICE=<zoo slug|alias>|reference (default "
                  "nvidia; see DeviceSpec::zoo_slugs())\n";
     return 2;

@@ -8,10 +8,13 @@
 // where [device] is any DeviceSpec::zoo() slug or alias (a100, mi250x,
 // max1550, mi300x, gh200, cpu-simd, orin-nx, nvidia, amd, intel, ...).
 //                         [--trace t.json] [--metrics m.json]
+//                         [--log-level LEVEL] [--flight-dir DIR]
 //
 // `--trace` (or LASSM_TRACE) records the whole pipeline — stage spans, one
 // sim timeline per k-round's launches, per-worker host tracks — as Chrome
-// trace JSON for ui.perfetto.dev.
+// trace JSON for ui.perfetto.dev. `--log-level` (or LASSM_LOG) raises the
+// structured-logging threshold from the default `warn`; `--flight-dir`
+// (or LASSM_FLIGHT_DIR) redirects flight-recorder dumps.
 
 #include <cmath>
 #include <cstring>

@@ -2,13 +2,19 @@
 // GPU kernel on the NVIDIA A100 model, verify against the CPU reference,
 // and print the performance counters the paper's analysis is built on.
 //
-//   ./quickstart [k] [num_contigs] [threads] [--trace t.json] [--metrics m.json]
+//   ./quickstart [k] [num_contigs] [threads] [--trace t.json]
+//                [--metrics m.json] [--profile stem] [--log-level LEVEL]
+//                [--flight-dir DIR]
 //
 // `threads` drives the host-side execution engine (0 = all hardware
 // threads, 1 = serial); the results are bit-identical either way.
 // `--trace` (or LASSM_TRACE) writes a Chrome trace of the run — open it at
-// ui.perfetto.dev; `--metrics` dumps the metrics registry as JSON. Tracing
-// never changes the modelled numbers.
+// ui.perfetto.dev; `--metrics` dumps the metrics registry as JSON;
+// `--profile` writes the counter-attributed profile_report as
+// `<stem>.json` + `<stem>.csv` and prints the flame summary. `--log-level`
+// (or LASSM_LOG) raises structured logging from the default `warn`;
+// `--flight-dir` (or LASSM_FLIGHT_DIR) redirects flight-recorder dumps.
+// Tracing, profiling and logging never change the modelled numbers.
 //
 // Fault injection: set LASSM_FAULTPLAN to exercise the resilient execution
 // paths, e.g.
@@ -25,6 +31,7 @@
 
 #include "core/assembler.hpp"
 #include "core/reference.hpp"
+#include "model/profile_report.hpp"
 #include "model/theoretical.hpp"
 #include "resilience/fault_plan.hpp"
 #include "trace/export.hpp"
@@ -138,6 +145,20 @@ int main(int argc, char** argv) {
                   << "\n";
         return 1;
       }
+    }
+    if (!tcli.profile_path.empty()) {
+      const model::AttributedProfile profile =
+          model::build_attributed_profile(tracer->attribution().nodes(),
+                                          simt::DeviceSpec::a100());
+      const Status st =
+          model::write_profile_report(tcli.profile_path, profile);
+      if (!st.ok()) {
+        std::cerr << "quickstart: " << st.to_string() << "\n";
+        return 1;
+      }
+      std::cout << "profile written to " << tcli.profile_path
+                << ".json (+.csv)\n";
+      model::print_attributed_profile(std::cout, profile);
     }
   }
 

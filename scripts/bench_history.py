@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Bench-history regression tracker.
+
+Every bench binary writes results/BENCH_<name>.json with a shared envelope:
+
+    "schema_version": 1,
+    "metrics": { "<metric>": {"value": V,
+                              "direction": "higher"|"lower",
+                              "tolerance": T}, ... }
+
+This tool records those headline metrics as per-commit baselines under
+results/history/ and gates later runs against them:
+
+    bench_history.py record             copy current metrics -> history/
+    bench_history.py check              fail (exit 1) on any metric that
+                                        regressed beyond its tolerance
+    bench_history.py check --synthetic-regression
+                                        self-test of the gate: perturb every
+                                        metric 20% in its bad direction and
+                                        exit 0 IFF the gate trips
+
+A metric regresses when it moves in its bad direction by more than
+`tolerance` relative to the baseline: for direction "higher",
+value < baseline * (1 - tolerance); for "lower",
+value > baseline * (1 + tolerance). Absolute-zero baselines compare
+exactly. Improvements never fail; run `record` again to ratchet the
+baseline forward. New benches/metrics without a baseline are reported and
+skipped (record them to start gating). Only the standard library is used.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def results_dir():
+    return os.environ.get("LASSM_RESULTS_DIR",
+                          os.path.join(REPO, "results"))
+
+
+def history_dir():
+    return os.path.join(results_dir(), "history")
+
+
+def bench_files(directory):
+    if not os.path.isdir(directory):
+        return []
+    return sorted(f for f in os.listdir(directory)
+                  if f.startswith("BENCH_") and f.endswith(".json"))
+
+
+def load_metrics(path):
+    """Returns (bench_name, {metric: {value, direction, tolerance}})."""
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema_version") != 1:
+        raise ValueError(f"{path}: missing or unsupported schema_version "
+                         f"(got {doc.get('schema_version')!r})")
+    metrics = doc.get("metrics", {})
+    for name, m in metrics.items():
+        for key in ("value", "direction", "tolerance"):
+            if key not in m:
+                raise ValueError(f"{path}: metric {name!r} lacks {key!r}")
+        if m["direction"] not in ("higher", "lower"):
+            raise ValueError(f"{path}: metric {name!r} has direction "
+                             f"{m['direction']!r}")
+    return doc.get("bench", os.path.basename(path)), metrics
+
+
+def git_commit():
+    try:
+        return subprocess.run(["git", "rev-parse", "HEAD"], cwd=REPO,
+                              capture_output=True, text=True,
+                              check=True).stdout.strip()
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return "unknown"
+
+
+def cmd_record(_args):
+    files = bench_files(results_dir())
+    if not files:
+        print(f"bench_history: no BENCH_*.json under {results_dir()}",
+              file=sys.stderr)
+        return 1
+    os.makedirs(history_dir(), exist_ok=True)
+    commit = git_commit()
+    for fname in files:
+        bench, metrics = load_metrics(os.path.join(results_dir(), fname))
+        baseline = {
+            "schema_version": 1,
+            "bench": bench,
+            "commit": commit,
+            "metrics": metrics,
+        }
+        out = os.path.join(history_dir(), fname)
+        with open(out, "w") as f:
+            json.dump(baseline, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"recorded {fname}: {len(metrics)} metric(s) at {commit[:12]}")
+    return 0
+
+
+def regressed(direction, tolerance, baseline, value):
+    if baseline == 0:
+        bad = value < 0 if direction == "higher" else value > 0
+        return bad, "exact (zero baseline)"
+    if direction == "higher":
+        floor = baseline * (1.0 - tolerance)
+        return value < floor, f"floor {floor:g}"
+    ceiling = baseline * (1.0 + tolerance)
+    return value > ceiling, f"ceiling {ceiling:g}"
+
+
+def check_one(fname, perturb):
+    """Returns (n_checked, n_failed) for one bench file."""
+    current_path = os.path.join(results_dir(), fname)
+    baseline_path = os.path.join(history_dir(), fname)
+    bench, current = load_metrics(current_path)
+    if not os.path.isfile(baseline_path):
+        print(f"  {bench}: no baseline recorded, skipping "
+              f"(run `bench_history.py record`)")
+        return 0, 0
+    _, baseline = load_metrics(baseline_path)
+
+    checked = failed = 0
+    for name, base in sorted(baseline.items()):
+        if name not in current:
+            print(f"  FAIL {bench}.{name}: metric vanished from the "
+                  f"current run")
+            failed += 1
+            continue
+        value = current[name]["value"]
+        if perturb:
+            sign = -1.0 if base["direction"] == "higher" else 1.0
+            value = base["value"] * (1.0 + sign * 0.2) \
+                if base["value"] != 0 else sign * 1.0
+        checked += 1
+        bad, limit = regressed(base["direction"], base["tolerance"],
+                               base["value"], value)
+        if bad:
+            print(f"  FAIL {bench}.{name}: {value:g} vs baseline "
+                  f"{base['value']:g} ({base['direction']} is better, "
+                  f"{limit})")
+            failed += 1
+    return checked, failed
+
+
+def cmd_check(args):
+    files = bench_files(results_dir())
+    if not files:
+        print(f"bench_history: no BENCH_*.json under {results_dir()}",
+              file=sys.stderr)
+        return 1
+    total = failures = 0
+    mode = "synthetic 20% regression" if args.synthetic_regression \
+        else "current results"
+    print(f"bench_history: checking {mode} against {history_dir()}")
+    for fname in files:
+        checked, failed = check_one(fname, args.synthetic_regression)
+        total += checked
+        failures += failed
+    if args.synthetic_regression:
+        # The self-test passes when the gate catches every perturbed
+        # metric with a finite tolerance (tolerance >= 0.2 metrics are
+        # allowed to absorb the 20% shove — that is their contract).
+        if total == 0:
+            print("bench_history: nothing to perturb (no baselines?)")
+            return 1
+        lenient = total - failures
+        print(f"bench_history: gate tripped on {failures}/{total} "
+              f"perturbed metric(s); {lenient} within declared tolerance")
+        if failures == 0:
+            print("bench_history: SELF-TEST FAILED - a 20% regression "
+                  "passed the gate everywhere")
+            return 1
+        print("bench_history: self-test OK (the gate trips on regressions)")
+        return 0
+    if failures:
+        print(f"bench_history: {failures}/{total} metric(s) regressed")
+        return 1
+    print(f"bench_history: OK ({total} metric(s) within tolerance)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    sub.add_parser("record", help="snapshot current metrics as baselines")
+    check = sub.add_parser("check", help="gate current metrics vs baselines")
+    check.add_argument("--synthetic-regression", action="store_true",
+                      help="self-test: perturb metrics 20%% in the bad "
+                           "direction and require the gate to trip")
+    args = parser.parse_args()
+    if args.cmd == "record":
+        return cmd_record(args)
+    return cmd_check(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,10 +4,11 @@
 #
 # Leg 1 (TSan): configures a build tree with warnings + ThreadSanitizer,
 # runs the engine's determinism/parallelism tests, the memsim
-# differential/golden bit-identity suites, the fault-matrix suite and the
-# tracer's span/metrics tests, then drives a traced multi-threaded
-# end-to-end run and validates the emitted trace/metrics JSON with
-# python3 -m json.tool.
+# differential/golden bit-identity suites, the fault-matrix and
+# traced-fault suites and the tracer's span/metrics/attribution tests,
+# then drives a traced multi-threaded end-to-end run (plus a faulted one
+# that must dump the flight recorder) and validates the emitted
+# trace/metrics/profile/flight JSON with python3 -m json.tool.
 # Leg 2 (ASan+UBSan): rebuilds with AddressSanitizer + UBSan and runs the
 # parser fuzz corpus, the fault matrix and the checkpoint suite — the
 # error paths exercised by injected faults and corrupted inputs must be
@@ -16,8 +17,12 @@
 # must still beat their recorded seed baselines) and the autotune gate:
 # two fresh tuner runs over the device zoo must agree byte-for-byte, show
 # tuned <= default everywhere, hold the recorded speedup floors, and both
-# artifacts must parse. Any race, sanitizer report, test failure,
-# malformed JSON or perf regression fails the script. Usage:
+# artifacts must parse. The Release leg ends with the bench-history gate:
+# all five metric-enveloped benches re-run fresh and must stay within
+# their per-metric tolerances of the committed results/history/ baselines,
+# and the gate's synthetic-regression self-test must trip. Any race,
+# sanitizer report, test failure, malformed JSON or perf regression fails
+# the script. Usage:
 #
 #   scripts/check.sh [build-dir]     # default: build-tsan
 set -euo pipefail
@@ -57,7 +62,9 @@ TSAN_OPTIONS="halt_on_error=1" \
 # execution: retries, quarantines, watchdog aborts and device loss all
 # happen while the pool is live, so isolation bugs (a retried task racing
 # its own first attempt, a quarantine touching a neighbour's slot) trip
-# TSan here.
+# TSan here. The traced-fault suite re-crosses the seams with tracing and
+# the flight recorder armed: span absorption on the error path and the
+# logger's ring/dump machinery must be race-clean too.
 TSAN_OPTIONS="halt_on_error=1" "$BUILD/tests/tests_resilience"
 
 # The cache/tiered differential oracles under TSan: the memo, packed
@@ -67,21 +74,38 @@ TSAN_OPTIONS="halt_on_error=1" \
   --gtest_filter='*CacheDifferential*:TieredDifferentialTest.*'
 
 # The trace suite hammers the same pool with per-worker span buffers and
-# wait-free metric recording enabled — the tracer's deterministic-merge and
-# registry paths must be race-clean too.
+# wait-free metric recording enabled — the tracer's deterministic-merge,
+# registry and counter-attribution paths must be race-clean too (the
+# attribution reconciliation tests run traced 1/2/4-thread assemblies
+# right here under TSan).
 TSAN_OPTIONS="halt_on_error=1" "$BUILD/tests/tests_trace"
 
-# Traced multi-threaded end-to-end run: the emitted Chrome trace and
-# metrics snapshot must be valid JSON (json.tool exits non-zero on either
-# a write failure above or malformed output).
+# Traced multi-threaded end-to-end run: the emitted Chrome trace, metrics
+# snapshot and attributed profile report must be valid JSON (json.tool
+# exits non-zero on either a write failure above or malformed output).
 TRACE_OUT="$BUILD/check_trace.json"
 METRICS_OUT="$BUILD/check_metrics.json"
+PROFILE_OUT="$BUILD/check_profile"
 TSAN_OPTIONS="halt_on_error=1" \
   "$BUILD/examples/quickstart" 21 40 4 \
-  --trace "$TRACE_OUT" --metrics "$METRICS_OUT"
+  --trace "$TRACE_OUT" --metrics "$METRICS_OUT" --profile "$PROFILE_OUT"
 python3 -m json.tool "$TRACE_OUT" > /dev/null
 python3 -m json.tool "$METRICS_OUT" > /dev/null
-echo "check.sh: trace/metrics JSON valid."
+python3 -m json.tool "$PROFILE_OUT.json" > /dev/null
+echo "check.sh: trace/metrics/profile JSON valid."
+
+# Faulted end-to-end run: a quarantine-heavy plan must produce flight
+# recorder dumps, and every dump must be valid JSON naming its seam.
+FLIGHT_DIR="$BUILD/check_flight"
+rm -rf "$FLIGHT_DIR" && mkdir -p "$FLIGHT_DIR"
+TSAN_OPTIONS="halt_on_error=1" \
+  LASSM_FAULTPLAN="seed=4242 bad_input=0.2" LASSM_FLIGHT_DIR="$FLIGHT_DIR" \
+  "$BUILD/examples/quickstart" 21 40 4
+ls "$FLIGHT_DIR"/flight_*task_quarantined*.json > /dev/null
+for dump in "$FLIGHT_DIR"/flight_*.json; do
+  python3 -m json.tool "$dump" > /dev/null
+done
+echo "check.sh: flight recorder dumps present and valid."
 
 echo "check.sh: TSan run clean."
 
@@ -195,3 +219,23 @@ if len(rows) < 2 + len(j["devices"]) or rows[-1][0] != "portability":
 print(f"check.sh: tuner improved {improved}/{len(j['devices'])} zoo devices; scorecard has {len(rows)} rows.")
 EOF
 echo "check.sh: autotune gate clean."
+
+# Bench-history gate: re-run the remaining metric-enveloped benches fresh
+# (memsim, frontend and autotune already wrote into $PERF_BUILD/results
+# above) and compare every headline metric against the committed
+# per-commit baselines in results/history/ with its declared direction and
+# tolerance. Then the gate's own self-test: a synthetic 20% shove in the
+# bad direction must trip it — a gate that cannot fail protects nothing.
+cmake --build "$PERF_BUILD" -j \
+  --target bench_fig5_kernel_time bench_scaling_threads > /dev/null
+LASSM_RESULTS_DIR="$PERF_BUILD/results" \
+  "$PERF_BUILD/bench/bench_fig5_kernel_time" > /dev/null
+LASSM_RESULTS_DIR="$PERF_BUILD/results" \
+  "$PERF_BUILD/bench/bench_scaling_threads" > /dev/null
+rm -rf "$PERF_BUILD/results/history"
+cp -r results/history "$PERF_BUILD/results/history"
+LASSM_RESULTS_DIR="$PERF_BUILD/results" \
+  python3 scripts/bench_history.py check
+LASSM_RESULTS_DIR="$PERF_BUILD/results" \
+  python3 scripts/bench_history.py check --synthetic-regression
+echo "check.sh: bench-history gate clean."

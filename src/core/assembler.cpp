@@ -10,6 +10,7 @@
 #include "core/ladder.hpp"
 #include "memsim/tiered.hpp"
 #include "resilience/fault_plan.hpp"
+#include "trace/log.hpp"
 #include "trace/trace.hpp"
 
 namespace lassm::core {
@@ -84,7 +85,8 @@ const char* bound_name(simt::TimeBreakdown::Bound b) noexcept {
 /// sim spans are bit-identical across host thread counts.
 void emit_launch_trace(trace::Tracer& tracer, const simt::DeviceSpec& dev,
                        const LaunchBreakdown& launch,
-                       const std::vector<WarpResult>& outcomes) {
+                       const std::vector<WarpResult>& outcomes,
+                       const trace::CounterVector& cv) {
   const std::size_t n_tasks = outcomes.size();
   trace::MetricsRegistry& reg = tracer.metrics();
   trace::Histogram& probe_hist = reg.histogram(
@@ -117,15 +119,9 @@ void emit_launch_trace(trace::Tracer& tracer, const simt::DeviceSpec& dev,
   ev.cat = "sim";
   ev.ts_us = tl.start_us();
   ev.dur_us = tl.end_us() - tl.start_us();
-  ev.args = {
-      trace::Arg::n("warps", static_cast<double>(launch.stats.num_warps)),
-      trace::Arg::n("instructions",
-                    static_cast<double>(launch.stats.totals.instructions)),
-      trace::Arg::n("hbm_bytes",
-                    static_cast<double>(launch.stats.traffic.hbm_bytes())),
-      trace::Arg::s("bound", bound_name(launch.time.bound)),
-      trace::Arg::n("modeled_us", launch.time.total_s * 1e6),
-  };
+  ev.args = trace::counter_args(cv);
+  ev.args.push_back(trace::Arg::s("bound", bound_name(launch.time.bound)));
+  ev.args.push_back(trace::Arg::n("modeled_us", launch.time.total_s * 1e6));
   tracer.record(std::move(ev));
 
   for (std::size_t pos = 0; pos < n_tasks; ++pos) {
@@ -190,6 +186,35 @@ void emit_launch_trace(trace::Tracer& tracer, const simt::DeviceSpec& dev,
 
 }  // namespace
 
+trace::CounterVector counter_vector(const simt::LaunchStats& stats,
+                                    double sim_time_s) {
+  trace::CounterVector cv;
+  const simt::WarpCounters& t = stats.totals;
+  cv.cycles = t.cycles;
+  cv.instructions = t.instructions;
+  cv.intops = t.intops;
+  cv.issue_slots = t.issue_slots;
+  cv.probes = t.probes;
+  cv.insertions = t.insertions;
+  cv.walk_steps = t.walk_steps;
+  cv.atomics = t.atomics;
+  cv.mer_retries = t.mer_retries;
+  cv.mem_rounds = t.mem_rounds;
+  const memsim::TrafficStats& m = stats.traffic;
+  cv.mem_accesses = m.accesses;
+  cv.lines_touched = m.lines_touched;
+  cv.l1_hits = m.l1_hits;
+  cv.l2_hits = m.l2_hits;
+  cv.l1_evictions = m.l1_evictions;
+  cv.l2_evictions = m.l2_evictions;
+  cv.hbm_lines = m.hbm_lines;
+  cv.hbm_read_bytes = m.hbm_read_bytes;
+  cv.hbm_write_bytes = m.hbm_write_bytes;
+  cv.warps = stats.num_warps;
+  cv.sim_time_s = sim_time_s;
+  return cv;
+}
+
 void record_run_metrics(const AssemblyResult& result,
                         trace::MetricsRegistry& registry) {
   const simt::WarpCounters& t = result.stats.totals;
@@ -202,12 +227,15 @@ void record_run_metrics(const AssemblyResult& result,
   registry.counter(trace::names::kWalkSteps).add(t.walk_steps);
   registry.counter(trace::names::kAtomics).add(t.atomics);
   registry.counter(trace::names::kMerRetries).add(t.mer_retries);
+  registry.counter(trace::names::kMemRounds).add(t.mem_rounds);
 
   const memsim::TrafficStats& m = result.stats.traffic;
   registry.counter(trace::names::kMemAccesses).add(m.accesses);
   registry.counter(trace::names::kMemLinesTouched).add(m.lines_touched);
   registry.counter(trace::names::kMemL1Hits).add(m.l1_hits);
   registry.counter(trace::names::kMemL2Hits).add(m.l2_hits);
+  registry.counter(trace::names::kMemL1Evictions).add(m.l1_evictions);
+  registry.counter(trace::names::kMemL2Evictions).add(m.l2_evictions);
   registry.counter(trace::names::kMemHbmLines).add(m.hbm_lines);
   registry.counter(trace::names::kMemHbmReadBytes).add(m.hbm_read_bytes);
   registry.counter(trace::names::kMemHbmWriteBytes).add(m.hbm_write_bytes);
@@ -296,6 +324,14 @@ AssemblyResult LocalAssembler::run(const AssemblyInput& in,
   const std::uint32_t driver_track =
       tracer != nullptr ? tracer->track("host", "driver") : 0;
 
+  // Counter attribution mirrors the span hierarchy: one "assembly" node
+  // per run, one node per side, one per launch — all opened/closed on the
+  // driver thread, fed from the post-barrier merged counters, so it can
+  // never perturb modelled numbers.
+  trace::AttributionProfile* const profile =
+      tracer != nullptr ? &tracer->attribution() : nullptr;
+  trace::AttributionProfile::Scope run_scope(profile, "assembly");
+
   // Launch ordinals for the device-loss seam: each completed (side, batch)
   // launch counts one; a scheduled loss fires between launches, exactly
   // like a device dropping out between kernel invocations.
@@ -307,11 +343,16 @@ AssemblyResult LocalAssembler::run(const AssemblyInput& in,
     const bio::ReadSet& reads = side == Side::kRight ? in.reads : rc_reads;
     if (side == Side::kLeft && !any_left) continue;
     const double side_t0 = tracer != nullptr ? tracer->host_now_us() : 0.0;
+    trace::AttributionProfile::Scope side_scope(
+        profile, std::string("side ") + side_name(side));
 
     for (std::uint32_t b = 0; b < batches.size(); ++b) {
       const Batch& batch = batches[b];
       const std::size_t n_tasks = batch.contig_ids.size();
       const BatchLayout lay = layout_batch(in, batch, opts_, side, reads);
+      trace::AttributionProfile::Scope launch_scope(
+          profile, std::string("launch ") + side_name(side) + " batch " +
+                       std::to_string(b));
 
       const std::uint64_t concurrency = std::max<std::uint64_t>(
           std::min<std::uint64_t>(n_tasks, dev_.max_concurrent_warps()), 1);
@@ -434,6 +475,10 @@ AssemblyResult LocalAssembler::run(const AssemblyInput& in,
       }
 
       launch.time = simt::estimate_time(dev_, launch.stats);
+      if (profile != nullptr) {
+        profile->add(counter_vector(launch.stats, launch.time.total_s));
+      }
+      const trace::CounterVector launch_cv = launch_scope.close();
       if (tracer != nullptr) {
         trace::Event he;
         he.track = driver_track;
@@ -442,9 +487,9 @@ AssemblyResult LocalAssembler::run(const AssemblyInput& in,
         he.cat = "host";
         he.ts_us = launch_t0;
         he.dur_us = tracer->host_now_us() - launch_t0;
-        he.args = {trace::Arg::n("warps", static_cast<double>(n_tasks))};
+        he.args = trace::counter_args(launch_cv);
         tracer->record(std::move(he));
-        emit_launch_trace(*tracer, dev_, launch, outcomes);
+        emit_launch_trace(*tracer, dev_, launch, outcomes, launch_cv);
       }
       result.stats.merge(launch.stats);
       result.launches.push_back(std::move(launch));
@@ -458,6 +503,11 @@ AssemblyResult LocalAssembler::run(const AssemblyInput& in,
         lost = true;
         result.device_lost = true;
         ++result.failures.devices_lost;
+        log::Logger::instance().incident(
+            "device_lost",
+            {trace::Arg::s("seam", "device_loss"),
+             trace::Arg::n("rank", opts_.fault_rank),
+             trace::Arg::n("after_batch", batch_ordinal)});
         if (tracer != nullptr) {
           trace::Event de;
           de.kind = trace::Event::Kind::kInstant;
@@ -475,6 +525,7 @@ AssemblyResult LocalAssembler::run(const AssemblyInput& in,
       }
     }
 
+    const trace::CounterVector side_cv = side_scope.close();
     if (tracer != nullptr) {
       trace::Event se;
       se.track = driver_track;
@@ -482,6 +533,7 @@ AssemblyResult LocalAssembler::run(const AssemblyInput& in,
       se.cat = "host";
       se.ts_us = side_t0;
       se.dur_us = tracer->host_now_us() - side_t0;
+      se.args = trace::counter_args(side_cv);
       tracer->record(std::move(se));
     }
   }
@@ -509,6 +561,21 @@ AssemblyResult LocalAssembler::run(const AssemblyInput& in,
 
   result.time = simt::estimate_time(dev_, result.stats);
   result.total_time_s = result.time.total_s;
+  if (armed && !result.failures.clean()) {
+    const resilience::FailureReport& fr = result.failures;
+    log::info("core", "run_faults",
+              {trace::Arg::n("faults", static_cast<double>(fr.faults.size())),
+               trace::Arg::n("retried",
+                             static_cast<double>(fr.tasks_retried)),
+               trace::Arg::n("quarantined",
+                             static_cast<double>(fr.tasks_quarantined)),
+               trace::Arg::n("mem_faults",
+                             static_cast<double>(fr.mem_faults)),
+               trace::Arg::n("walks_aborted",
+                             static_cast<double>(fr.walks_aborted)),
+               trace::Arg::n("devices_lost",
+                             static_cast<double>(fr.devices_lost))});
+  }
   if (tracer != nullptr) record_run_metrics(result, tracer->metrics());
   if (tracer != nullptr && armed) {
     trace::MetricsRegistry& reg = tracer->metrics();

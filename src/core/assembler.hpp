@@ -9,6 +9,7 @@
 #include "core/options.hpp"
 #include "resilience/report.hpp"
 #include "simt/perf_model.hpp"
+#include "trace/attribution.hpp"
 #include "trace/metrics.hpp"
 
 namespace lassm::core {
@@ -134,5 +135,12 @@ class LocalAssembler {
 /// reports from the same registry nomenclature.
 void record_run_metrics(const AssemblyResult& result,
                         trace::MetricsRegistry& registry);
+
+/// Converts merged launch stats (plus their modelled seconds) into the
+/// trace-layer counter vector used for per-span attribution. This is the
+/// single bridge between simt/memsim counters and trace::CounterVector —
+/// trace/ stays a leaf library with no simulator dependency.
+trace::CounterVector counter_vector(const simt::LaunchStats& stats,
+                                    double sim_time_s);
 
 }  // namespace lassm::core

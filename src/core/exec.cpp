@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/log.hpp"
+
 namespace lassm::core {
 
 unsigned resolve_threads(unsigned n_threads) noexcept {
@@ -107,20 +109,34 @@ void WarpExecutionEngine::work_on(Job& job, unsigned wid) {
         } else {
           const bool stolen = owner != wid;
           const double t0 = tracer_->host_now_us();
-          run_range(begin, end);
-          const double t1 = tracer_->host_now_us();
-          trace::Tracer::Buffer& buf = worker_buffers_[wid];
-          if (stolen) {
-            buf.instant(worker_tracks_[wid], "steal", "host", t0,
-                        {trace::Arg::n("from", owner)});
-            steals_metric_->add();
+          // The chunk span closes whether the range returns or throws: a
+          // task exception escaping the body must not leak an unbalanced
+          // span or lose the steal record, because this worker's buffer is
+          // absorbed (in worker-id order) even when the job fails.
+          const auto record_chunk = [&](bool failed) {
+            const double t1 = tracer_->host_now_us();
+            trace::Tracer::Buffer& buf = worker_buffers_[wid];
+            if (stolen) {
+              buf.instant(worker_tracks_[wid], "steal", "host", t0,
+                          {trace::Arg::n("from", owner)});
+              steals_metric_->add();
+            }
+            std::vector<trace::Arg> args = {
+                trace::Arg::n("first", static_cast<double>(begin)),
+                trace::Arg::n("count", static_cast<double>(end - begin)),
+                trace::Arg::n("segment", owner)};
+            if (failed) args.push_back(trace::Arg::s("error", "thrown"));
+            buf.complete(worker_tracks_[wid], "chunk", "host", t0, t1 - t0,
+                         std::move(args));
+            claims_metric_->add();
+          };
+          try {
+            run_range(begin, end);
+          } catch (...) {
+            record_chunk(/*failed=*/true);
+            throw;
           }
-          buf.complete(worker_tracks_[wid], "chunk", "host", t0, t1 - t0,
-                       {trace::Arg::n("first", static_cast<double>(begin)),
-                        trace::Arg::n("count",
-                                      static_cast<double>(end - begin)),
-                        trace::Arg::n("segment", owner)});
-          claims_metric_->add();
+          record_chunk(/*failed=*/false);
         }
       }
     }
@@ -244,6 +260,16 @@ void WarpExecutionEngine::run_batch_isolated(
     try {
       if (plan != nullptr &&
           plan->fires(Seam::kTaskException, key_of(i), attempt)) {
+        // Ring-only at the default level; the flight recorder still
+        // captures it, so an incident dump names the seam that fired.
+        log::debug("exec", "seam_fired",
+                   {trace::Arg::s("seam",
+                                  resilience::seam_name(
+                                      Seam::kTaskException)),
+                    trace::Arg::n("fault_key",
+                                  static_cast<double>(key_of(i))),
+                    trace::Arg::n("index", static_cast<double>(i)),
+                    trace::Arg::n("attempt", attempt)});
         throw StatusError(
             Error(ErrorCode::kTaskFailed, "injected worker-task exception",
                   SourceContext{"task", 0, key_of(i)}));
@@ -268,6 +294,10 @@ void WarpExecutionEngine::run_batch_isolated(
     unsigned attempts = 1;
     for (unsigned retry = 1; retry <= max_retries && errors[i]; ++retry) {
       ++report.tasks_retried;
+      log::debug("exec", "task_retry",
+                 {trace::Arg::n("fault_key", static_cast<double>(key_of(i))),
+                  trace::Arg::n("index", static_cast<double>(i)),
+                  trace::Arg::n("retry", retry)});
       attempt_once(i, context_for(0, concurrency), retry);
       ++attempts;
     }
@@ -292,10 +322,25 @@ void WarpExecutionEngine::run_batch_isolated(
         fault.code = ErrorCode::kTaskFailed;
         fault.message = "unknown exception";
       }
+      // The incident record carries the work-item identity; the dump it
+      // triggers appends the flight ring (seam fires, retries) behind it.
+      log::Logger::instance().incident(
+          "task_quarantined",
+          {trace::Arg::n("fault_key", static_cast<double>(fault.fault_key)),
+           trace::Arg::n("batch", static_cast<double>(fault.batch)),
+           trace::Arg::n("index", static_cast<double>(fault.index)),
+           trace::Arg::n("attempts", fault.attempts),
+           trace::Arg::s("code", error_code_name(fault.code)),
+           trace::Arg::s("message", fault.message)});
     } else {
       // Retried to success: transient fault absorbed.
       fault.code = ErrorCode::kTaskFailed;
       fault.message = "transient failure, recovered by retry";
+      log::info("exec", "task_recovered",
+                {trace::Arg::n("fault_key",
+                               static_cast<double>(fault.fault_key)),
+                 trace::Arg::n("index", static_cast<double>(fault.index)),
+                 trace::Arg::n("attempts", fault.attempts)});
     }
     report.faults.push_back(std::move(fault));
   }

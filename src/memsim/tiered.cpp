@@ -34,12 +34,18 @@ ServiceLevel TieredMemory::span_access_impl(std::uint64_t first,
     if (r1.writeback) {
       // Dirty L1 victim drains into L2; if L2 misses, the writeback goes
       // through to HBM immediately.
+      ++stats_.l1_evictions;
       const Cache::AccessResult wb = l2_.access(r1.victim_line, /*is_write=*/true);
       if (!wb.hit) {
         stats_.hbm_write_bytes += line_bytes_;
-        if (wb.writeback) stats_.hbm_write_bytes += line_bytes_;
+        ++stats_.l2_evictions;
+        if (wb.writeback) {
+          stats_.hbm_write_bytes += line_bytes_;
+          ++stats_.l2_evictions;
+        }
       } else if (wb.writeback) {
         stats_.hbm_write_bytes += line_bytes_;
+        ++stats_.l2_evictions;
       }
     }
     const Cache::AccessResult r2 = l2_.access(line, is_write);
@@ -48,7 +54,10 @@ ServiceLevel TieredMemory::span_access_impl(std::uint64_t first,
       deepest = std::max(deepest, ServiceLevel::kL2);
       continue;
     }
-    if (r2.writeback) stats_.hbm_write_bytes += line_bytes_;
+    if (r2.writeback) {
+      stats_.hbm_write_bytes += line_bytes_;
+      ++stats_.l2_evictions;
+    }
     if (!no_fetch) {
       ++stats_.hbm_lines;
       stats_.hbm_read_bytes += line_bytes_;
@@ -103,8 +112,10 @@ void TieredMemory::flush() noexcept {
   // of them as L2 hits is a small, documented approximation that avoids
   // exposing line enumeration from Cache.
   const std::uint64_t l1_dirty = l1_.dirty_lines();
-  (void)l1_dirty;  // absorbed by L2; no HBM traffic in the common case
-  stats_.hbm_write_bytes += l2_.dirty_lines() * line_bytes_;
+  stats_.l1_evictions += l1_dirty;  // absorbed by L2; no HBM traffic here
+  const std::uint64_t l2_dirty = l2_.dirty_lines();
+  stats_.hbm_write_bytes += l2_dirty * line_bytes_;
+  stats_.l2_evictions += l2_dirty;
   l1_.invalidate_all();
   l2_.invalidate_all();
 }

@@ -18,6 +18,10 @@ struct TrafficStats {
   std::uint32_t line_bytes = 0;      ///< transaction granularity
   std::uint64_t l1_hits = 0;
   std::uint64_t l2_hits = 0;
+  std::uint64_t l1_evictions = 0;    ///< dirty L1 victim lines drained to L2
+  std::uint64_t l2_evictions = 0;    ///< dirty lines written back to HBM
+                                     ///< (invariant: * line_bytes ==
+                                     ///< hbm_write_bytes)
   std::uint64_t hbm_lines = 0;       ///< line fills from HBM
   std::uint64_t hbm_read_bytes = 0;
   std::uint64_t hbm_write_bytes = 0; ///< writebacks reaching HBM
@@ -50,6 +54,8 @@ struct TrafficStats {
     lines_touched += o.lines_touched;
     l1_hits += o.l1_hits;
     l2_hits += o.l2_hits;
+    l1_evictions += o.l1_evictions;
+    l2_evictions += o.l2_evictions;
     hbm_lines += o.hbm_lines;
     hbm_read_bytes += o.hbm_read_bytes;
     hbm_write_bytes += o.hbm_write_bytes;

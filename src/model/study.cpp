@@ -124,6 +124,7 @@ StudyResults run_study(const StudyConfig& config, std::ostream* progress) {
 
   if (tracer != nullptr) {
     results.metrics = tracer->metrics().snapshot();
+    results.attribution = tracer->attribution().nodes();
     results.traced = true;
     if (trace::write_chrome_trace_file(config.trace_path, *tracer) &&
         progress != nullptr) {

@@ -7,6 +7,7 @@
 #include "core/assembler.hpp"
 #include "model/roofline.hpp"
 #include "simt/device.hpp"
+#include "trace/attribution.hpp"
 #include "trace/metrics.hpp"
 #include "workload/dataset.hpp"
 
@@ -79,6 +80,9 @@ struct StudyResults {
   /// Aggregate metrics snapshot of the whole grid (canonical trace::names);
   /// populated only when config.trace_path was set (traced == true).
   trace::MetricsSnapshot metrics;
+  /// Counter-attribution tree of the whole grid (arena of nodes, indices
+  /// internal to the vector); populated only when traced.
+  std::vector<trace::AttributionNode> attribution;
   bool traced = false;
 
   const StudyCell& cell(simt::Vendor vendor, std::uint32_t k) const;

@@ -31,9 +31,12 @@ double bits_double(std::uint64_t bits) noexcept {
 }
 
 /// Records a completed host-side stage span on the pipeline's driver track;
-/// a no-op (two pointer checks) when tracing is off.
+/// a no-op (two pointer checks) when tracing is off. `args` carries the
+/// stage's attributed counter vector (front-end stages attach an honest
+/// all-zero vector — they run no modelled kernel).
 void record_stage(trace::Tracer* tracer, std::uint32_t track,
-                  std::string name, double t0) {
+                  std::string name, double t0,
+                  std::vector<trace::Arg> args = {}) {
   if (tracer == nullptr) return;
   trace::Event e;
   e.track = track;
@@ -41,6 +44,7 @@ void record_stage(trace::Tracer* tracer, std::uint32_t track,
   e.cat = "host";
   e.ts_us = t0;
   e.dur_us = tracer->host_now_us() - t0;
+  e.args = std::move(args);
   tracer->record(std::move(e));
 }
 
@@ -218,6 +222,13 @@ PipelineResult run_pipeline(const bio::ReadSet& reads,
   const double pipeline_t0 =
       tracer != nullptr ? tracer->host_now_us() : 0.0;
 
+  // Stage-level counter attribution: the pipeline node parents every stage
+  // node, and each k-round parents the assembler's per-launch tree, so the
+  // profile reconciles bottom-up to the run totals (see DESIGN.md).
+  trace::AttributionProfile* const profile =
+      tracer != nullptr ? &tracer->attribution() : nullptr;
+  trace::AttributionProfile::Scope pipeline_scope(profile, "pipeline");
+
   // One shared thread pool for the whole pipeline: the front-end stages
   // run on it as host batches and every simulated-assembly round runs its
   // warp launches on it, so threads spawn once per pipeline instead of
@@ -292,6 +303,7 @@ PipelineResult run_pipeline(const bio::ReadSet& reads,
   if (!resumed) {
     // Stage 1: k-mer analysis with error filtering.
     double stage_t0 = pipeline_t0;
+    trace::AttributionProfile::Scope kmer_scope(profile, "kmer_analysis");
     StageClock::time_point wall_t0 = StageClock::now();
     KmerCounts counts =
         count_kmers(reads, opts.contig_k, /*canonical=*/false, pool.get());
@@ -301,7 +313,8 @@ PipelineResult run_pipeline(const bio::ReadSet& reads,
     result.kmers_filtered =
         filter_low_count(counts, opts.min_kmer_count, pool.get());
     result.frontend.filter_s = stage_seconds(wall_t0);
-    record_stage(tracer, driver_track, "kmer_analysis", stage_t0);
+    record_stage(tracer, driver_track, "kmer_analysis", stage_t0,
+                 trace::counter_args(kmer_scope.close()));
     record_stage_gauge(tracer, "kmer_count", result.frontend.count_s);
     record_stage_gauge(tracer, "kmer_filter", result.frontend.filter_s);
     if (tracer != nullptr) {
@@ -323,12 +336,14 @@ PipelineResult run_pipeline(const bio::ReadSet& reads,
 
     // Stage 2: global de Bruijn graph -> contigs.
     stage_t0 = tracer != nullptr ? tracer->host_now_us() : 0.0;
+    trace::AttributionProfile::Scope dbg_scope(profile, "contig_generation");
     wall_t0 = StageClock::now();
     result.contigs =
         generate_contigs(counts, opts.contig_k, opts.min_contig_len,
                          &result.dbg, pool.get());
     result.frontend.dbg_s = stage_seconds(wall_t0);
-    record_stage(tracer, driver_track, "contig_generation", stage_t0);
+    record_stage(tracer, driver_track, "contig_generation", stage_t0,
+                 trace::counter_args(dbg_scope.close()));
     record_stage_gauge(tracer, "contig_generation", result.frontend.dbg_s);
     if (tracer != nullptr) {
       tracer->metrics()
@@ -349,6 +364,8 @@ PipelineResult run_pipeline(const bio::ReadSet& reads,
     const std::uint32_t k = opts.k_iterations[round];
     const double round_t0 =
         tracer != nullptr ? tracer->host_now_us() : 0.0;
+    trace::AttributionProfile::Scope round_scope(
+        profile, "k-round " + std::to_string(k));
     AlignStats astats;
     const StageClock::time_point align_t0 = StageClock::now();
     core::AssemblyInput input = align_reads_to_ends(
@@ -390,7 +407,7 @@ PipelineResult run_pipeline(const bio::ReadSet& reads,
     report.total_bases = bio::total_contig_bases(result.contigs);
     report.n50 = bio::n50(result.contigs);
     record_stage(tracer, driver_track, "k-round " + std::to_string(k),
-                 round_t0);
+                 round_t0, trace::counter_args(round_scope.close()));
     result.iterations.push_back(report);
     checkpoint_now(round + 1);
     if (log != nullptr) {
@@ -400,7 +417,8 @@ PipelineResult run_pipeline(const bio::ReadSet& reads,
            << ", kernel time=" << report.kernel_time_s * 1e3 << " ms\n";
     }
   }
-  record_stage(tracer, driver_track, "pipeline", pipeline_t0);
+  record_stage(tracer, driver_track, "pipeline", pipeline_t0,
+               trace::counter_args(pipeline_scope.close()));
   return result;
 }
 

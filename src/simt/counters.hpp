@@ -39,6 +39,7 @@ struct WarpCounters {
   std::uint64_t walk_steps = 0;    ///< mer-walk iterations
   std::uint64_t atomics = 0;       ///< atomicCAS issues
   std::uint64_t mer_retries = 0;   ///< re-walks with a different mer size
+  std::uint64_t mem_rounds = 0;    ///< exposed lockstep memory rounds
 
   /// Records `ops_per_lane` integer ops executed by `active` lanes of a
   /// `width`-wide warp. Issue time: the warp spends ops_per_lane cycles
@@ -55,6 +56,7 @@ struct WarpCounters {
   /// overlap their accesses, so one lockstep round costs one latency).
   constexpr void add_mem_round(const PerfParams& p,
                                memsim::ServiceLevel lvl) noexcept {
+    ++mem_rounds;
     cycles += latency_cycles(p, lvl);
   }
 
@@ -73,6 +75,7 @@ struct WarpCounters {
     walk_steps += o.walk_steps;
     atomics += o.atomics;
     mer_retries += o.mer_retries;
+    mem_rounds += o.mem_rounds;
   }
 };
 

@@ -6,46 +6,13 @@
 #include <fstream>
 #include <map>
 #include <ostream>
-#include <sstream>
+
+#include "trace/json_util.hpp"
+#include "trace/log.hpp"
 
 namespace lassm::trace {
 
 namespace {
-
-void json_escape(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\r': os << "\\r"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
-}
-
-/// JSON has no NaN/Inf; timestamps and counters are finite by
-/// construction, but keep the output valid regardless.
-void json_number(std::ostream& os, double v) {
-  if (v != v || v > 1e308 || v < -1e308) {
-    os << 0;
-    return;
-  }
-  std::ostringstream ss;
-  ss.precision(15);
-  ss << v;
-  os << ss.str();
-}
 
 void write_args(std::ostream& os, const std::vector<Arg>& args) {
   os << "{";
@@ -255,10 +222,20 @@ TraceCli parse_trace_cli(int& argc, char** argv) {
   TraceCli cli;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
-    const bool is_trace = std::strcmp(argv[i], "--trace") == 0;
-    const bool is_metrics = std::strcmp(argv[i], "--metrics") == 0;
-    if ((is_trace || is_metrics) && i + 1 < argc) {
-      (is_trace ? cli.trace_path : cli.metrics_path) = argv[i + 1];
+    std::string* dest = nullptr;
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      dest = &cli.trace_path;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      dest = &cli.metrics_path;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      dest = &cli.profile_path;
+    } else if (std::strcmp(argv[i], "--log-level") == 0) {
+      dest = &cli.log_level;
+    } else if (std::strcmp(argv[i], "--flight-dir") == 0) {
+      dest = &cli.flight_dir;
+    }
+    if (dest != nullptr && i + 1 < argc) {
+      *dest = argv[i + 1];
       ++i;
       continue;
     }
@@ -270,6 +247,18 @@ TraceCli parse_trace_cli(int& argc, char** argv) {
         *env != '\0') {
       cli.trace_path = env;
     }
+  }
+
+  // Apply the logging half here so every example/bench gets consistent
+  // behaviour: env first (LASSM_LOG / LASSM_FLIGHT_DIR), explicit flags
+  // win over env.
+  log::Logger& logger = log::Logger::instance();
+  logger.configure_from_env();
+  if (!cli.log_level.empty()) {
+    logger.set_level(log::parse_level(cli.log_level, logger.level()));
+  }
+  if (!cli.flight_dir.empty()) {
+    logger.set_flight_dir(cli.flight_dir);
   }
   return cli;
 }

@@ -37,14 +37,24 @@ Status write_metrics_json_file(const std::string& path,
 void write_metrics_csv(std::ostream& os, const MetricsSnapshot& snapshot);
 
 /// Standard observability CLI of the example binaries: strips
-/// `--trace <path>` and `--metrics <path>` from argv (compacting it and
-/// adjusting argc so positional arguments keep working) and falls back to
-/// the LASSM_TRACE environment variable for the trace path.
+/// `--trace <path>`, `--metrics <path>`, `--profile <path>`,
+/// `--log-level <level>` and `--flight-dir <dir>` from argv (compacting it
+/// and adjusting argc so positional arguments keep working). Fallbacks:
+/// LASSM_TRACE for the trace path, LASSM_LOG for the log level,
+/// LASSM_FLIGHT_DIR for the flight-recorder dump directory.
+///
+/// parse_trace_cli also APPLIES the logging options: it configures the
+/// process logger's level (default warn) and flight directory, so callers
+/// only act on the path fields.
 struct TraceCli {
   std::string trace_path;    ///< Chrome trace JSON destination ("" = off)
   std::string metrics_path;  ///< metrics snapshot destination ("" = off)
+  std::string profile_path;  ///< attribution profile_report stem ("" = off)
+  std::string log_level;     ///< level name as given ("" = default warn)
+  std::string flight_dir;    ///< flight-recorder dump directory ("" = off)
   bool enabled() const noexcept {
-    return !trace_path.empty() || !metrics_path.empty();
+    return !trace_path.empty() || !metrics_path.empty() ||
+           !profile_path.empty();
   }
 };
 TraceCli parse_trace_cli(int& argc, char** argv);

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+/// Minimal JSON emission helpers shared by the trace exporters, the
+/// structured logger and the profile-report writer. Writing JSON by hand is
+/// a deliberate choice (no external deps); these two helpers are the entire
+/// escaping/validity surface, so every writer stays consistent.
+namespace lassm::trace {
+
+inline void json_escape(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// JSON has no NaN/Inf; timestamps and counters are finite by
+/// construction, but keep the output valid regardless.
+inline void json_number(std::ostream& os, double v) {
+  if (v != v || v > 1e308 || v < -1e308) {
+    os << 0;
+    return;
+  }
+  std::ostringstream ss;
+  ss.precision(15);
+  ss << v;
+  os << ss.str();
+}
+
+}  // namespace lassm::trace

@@ -1,0 +1,217 @@
+#include "trace/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+
+#include "trace/json_util.hpp"
+
+namespace lassm::log {
+
+const char* level_name(Level lvl) noexcept {
+  switch (lvl) {
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info";
+    case Level::kWarn: return "warn";
+    case Level::kError: return "error";
+    case Level::kOff: return "off";
+  }
+  return "?";
+}
+
+Level parse_level(std::string_view s, Level fallback) noexcept {
+  if (s == "debug") return Level::kDebug;
+  if (s == "info") return Level::kInfo;
+  if (s == "warn") return Level::kWarn;
+  if (s == "error") return Level::kError;
+  if (s == "off") return Level::kOff;
+  return fallback;
+}
+
+namespace {
+
+void write_fields(std::ostream& os, const std::vector<trace::Arg>& fields) {
+  os << "{";
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) os << ",";
+    trace::json_escape(os, fields[i].key);
+    os << ":";
+    if (fields[i].is_num) {
+      trace::json_number(os, fields[i].num);
+    } else {
+      trace::json_escape(os, fields[i].str);
+    }
+  }
+  os << "}";
+}
+
+void write_record(std::ostream& os, const Record& r) {
+  os << "{\"seq\":" << r.seq << ",\"ts_us\":";
+  trace::json_number(os, r.ts_us);
+  os << ",\"level\":\"" << level_name(r.level) << "\",\"module\":";
+  trace::json_escape(os, r.module);
+  os << ",\"event\":";
+  trace::json_escape(os, r.event);
+  os << ",\"fields\":";
+  write_fields(os, r.fields);
+  os << "}";
+}
+
+}  // namespace
+
+struct Logger::Impl {
+  std::atomic<std::uint8_t> level{static_cast<std::uint8_t>(Level::kWarn)};
+  mutable std::mutex mutex;
+  std::ostream* sink = &std::cerr;
+  std::string flight_dir;
+  std::vector<Record> ring;      ///< circular, `head` is the oldest slot
+  std::size_t head = 0;
+  std::uint64_t next_seq = 1;
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+
+  double now_us() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch)
+        .count();
+  }
+
+  /// Appends to the ring (caller holds `mutex`) and returns the record.
+  const Record& push(Level lvl, std::string_view module,
+                     std::string_view event, std::vector<trace::Arg> fields) {
+    Record r;
+    r.seq = next_seq++;
+    r.ts_us = now_us();
+    r.level = lvl;
+    r.module = std::string(module);
+    r.event = std::string(event);
+    r.fields = std::move(fields);
+    if (ring.size() < kFlightCapacity) {
+      ring.push_back(std::move(r));
+      return ring.back();
+    }
+    ring[head] = std::move(r);
+    const Record& ref = ring[head];
+    head = (head + 1) % kFlightCapacity;
+    return ref;
+  }
+
+  std::vector<Record> snapshot_locked() const {
+    std::vector<Record> out;
+    out.reserve(ring.size());
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      out.push_back(ring[(head + i) % ring.size()]);
+    }
+    return out;
+  }
+};
+
+Logger::Logger() : impl_(new Impl) {}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Level Logger::level() const noexcept {
+  return static_cast<Level>(impl_->level.load(std::memory_order_relaxed));
+}
+
+void Logger::set_level(Level lvl) noexcept {
+  impl_->level.store(static_cast<std::uint8_t>(lvl),
+                     std::memory_order_relaxed);
+}
+
+void Logger::set_sink(std::ostream* os) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->sink = os;
+}
+
+void Logger::set_flight_dir(std::string dir) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->flight_dir = std::move(dir);
+}
+
+std::string Logger::flight_dir() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->flight_dir;
+}
+
+void Logger::configure_from_env() {
+  if (const char* env = std::getenv("LASSM_LOG");
+      env != nullptr && *env != '\0') {
+    set_level(parse_level(env, level()));
+  }
+  if (const char* env = std::getenv("LASSM_FLIGHT_DIR");
+      env != nullptr && *env != '\0') {
+    set_flight_dir(env);
+  }
+}
+
+void Logger::log(Level lvl, std::string_view module, std::string_view event,
+                 std::vector<trace::Arg> fields) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const Record& r = impl_->push(lvl, module, event, std::move(fields));
+  if (lvl >= level() && impl_->sink != nullptr) {
+    write_record(*impl_->sink, r);
+    *impl_->sink << "\n";
+    impl_->sink->flush();
+  }
+}
+
+std::string Logger::incident(std::string_view kind,
+                             std::vector<trace::Arg> fields) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const Record& r =
+      impl_->push(Level::kWarn, "incident", kind, std::move(fields));
+  if (Level::kWarn >= level() && impl_->sink != nullptr) {
+    write_record(*impl_->sink, r);
+    *impl_->sink << "\n";
+    impl_->sink->flush();
+  }
+  if (impl_->flight_dir.empty()) return "";
+
+  std::error_code ec;
+  std::filesystem::create_directories(impl_->flight_dir, ec);
+  std::ostringstream name;
+  name << "flight_" << r.seq << "_" << std::string(kind) << ".json";
+  const std::string path =
+      (std::filesystem::path(impl_->flight_dir) / name.str()).string();
+  std::ofstream out(path);
+  if (!out) return "";
+  out << "{\n  \"incident\": ";
+  write_record(out, r);
+  out << ",\n  \"events\": [";
+  const std::vector<Record> events = impl_->snapshot_locked();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    out << (i == 0 ? "\n    " : ",\n    ");
+    write_record(out, events[i]);
+  }
+  out << "\n  ]\n}\n";
+  out.flush();
+  if (!out) return "";
+  return path;
+}
+
+std::vector<Record> Logger::flight() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->snapshot_locked();
+}
+
+void Logger::reset_for_test() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->ring.clear();
+  impl_->head = 0;
+  impl_->next_seq = 1;
+  impl_->sink = &std::cerr;
+  impl_->flight_dir.clear();
+  impl_->level.store(static_cast<std::uint8_t>(Level::kWarn),
+                     std::memory_order_relaxed);
+}
+
+}  // namespace lassm::log

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+/// Structured-logging half of the observability subsystem.
+///
+/// Events are (level, module, event, typed fields) tuples rendered as one
+/// JSON object per line (JSONL) on the configured sink — stderr by default,
+/// quiet by default (warn). Independently of the sink level, every event is
+/// also captured in a bounded in-memory ring (the FLIGHT RECORDER), so when
+/// a fault seam fires, a task is quarantined or a device is lost, the last
+/// N events — including debug-level seam decisions that never reached the
+/// sink — can be dumped next to the FailureReport as an incident record.
+///
+/// Determinism contract: logging never touches modelled state. Records
+/// carry wall-clock timestamps and may be emitted from worker threads (the
+/// sink and ring are mutex-guarded), but the golden fingerprints never
+/// include log output, so logging on/off/level cannot change any modelled
+/// number.
+namespace lassm::log {
+
+enum class Level : std::uint8_t {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+const char* level_name(Level lvl) noexcept;
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-sensitive);
+/// anything else returns `fallback`.
+Level parse_level(std::string_view s, Level fallback) noexcept;
+
+/// One captured event. `fields` reuses trace::Arg (typed key/value).
+struct Record {
+  std::uint64_t seq = 0;   ///< global sequence number, 1-based
+  double ts_us = 0.0;      ///< wall clock since logger construction
+  Level level = Level::kInfo;
+  std::string module;
+  std::string event;
+  std::vector<trace::Arg> fields;
+};
+
+/// Process-wide logger singleton. Sink writes and ring updates take one
+/// mutex; the level check is a relaxed atomic load so disabled levels cost
+/// one branch.
+class Logger {
+ public:
+  static constexpr std::size_t kFlightCapacity = 256;
+
+  static Logger& instance();
+
+  Level level() const noexcept;
+  void set_level(Level lvl) noexcept;
+  bool enabled(Level lvl) const noexcept { return lvl >= level(); }
+
+  /// Redirects the JSONL sink (default stderr); nullptr silences it. The
+  /// stream must outlive the logger's use of it.
+  void set_sink(std::ostream* os);
+
+  /// Directory for incident dumps ("" disables dumping; the default).
+  void set_flight_dir(std::string dir);
+  std::string flight_dir() const;
+
+  /// Applies LASSM_LOG (level name) and LASSM_FLIGHT_DIR when set.
+  void configure_from_env();
+
+  /// Records one event: into the flight ring always, onto the sink when
+  /// `lvl` passes the configured level.
+  void log(Level lvl, std::string_view module, std::string_view event,
+           std::vector<trace::Arg> fields = {});
+
+  /// Declares an incident: logs it at warn level, and — when a flight dir
+  /// is configured — dumps `{"incident": {...}, "events": [last N]}` to
+  /// `<dir>/flight_<seq>_<kind>.json`. Returns the dump path ("" when
+  /// dumping is off or the write failed).
+  std::string incident(std::string_view kind,
+                       std::vector<trace::Arg> fields = {});
+
+  /// Snapshot of the flight ring, oldest first (for tests and exporters).
+  std::vector<Record> flight() const;
+
+  /// Test hook: clears the ring and sequence counter and restores the
+  /// default sink/level/flight-dir.
+  void reset_for_test();
+
+ private:
+  Logger();
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Convenience wrappers over Logger::instance().
+inline void debug(std::string_view module, std::string_view event,
+                  std::vector<trace::Arg> fields = {}) {
+  Logger::instance().log(Level::kDebug, module, event, std::move(fields));
+}
+inline void info(std::string_view module, std::string_view event,
+                 std::vector<trace::Arg> fields = {}) {
+  Logger::instance().log(Level::kInfo, module, event, std::move(fields));
+}
+inline void warn(std::string_view module, std::string_view event,
+                 std::vector<trace::Arg> fields = {}) {
+  Logger::instance().log(Level::kWarn, module, event, std::move(fields));
+}
+inline void error(std::string_view module, std::string_view event,
+                  std::vector<trace::Arg> fields = {}) {
+  Logger::instance().log(Level::kError, module, event, std::move(fields));
+}
+
+}  // namespace lassm::log

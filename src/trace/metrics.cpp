@@ -44,6 +44,12 @@ void Histogram::observe(std::uint64_t v) noexcept {
   sum_.fetch_add(v, std::memory_order_relaxed);
 }
 
+void Histogram::reset() noexcept {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
 HistogramSnapshot Histogram::snapshot() const {
   HistogramSnapshot s;
   s.bounds = bounds_;
@@ -71,14 +77,20 @@ MetricsSnapshot MetricsSnapshot::delta(const MetricsSnapshot& earlier) const {
   MetricsSnapshot d;
   for (const auto& [name, v] : counters) {
     const auto it = earlier.counters.find(name);
-    d.counters[name] = v - (it == earlier.counters.end() ? 0 : it->second);
+    const std::uint64_t e =
+        it == earlier.counters.end() ? 0 : it->second;
+    // A later value below the earlier one means the registry was reset in
+    // between; count from the reset instead of underflowing.
+    d.counters[name] = v >= e ? v - e : v;
   }
   d.gauges = gauges;
   for (const auto& [name, h] : histograms) {
     HistogramSnapshot hd = h;
     const auto it = earlier.histograms.find(name);
-    if (it != earlier.histograms.end() &&
-        it->second.bounds == h.bounds) {
+    // Same reset rule as counters: a shrunken total count marks an
+    // intervening reset, and the earlier snapshot is treated as zero.
+    if (it != earlier.histograms.end() && it->second.bounds == h.bounds &&
+        it->second.count <= h.count) {
       for (std::size_t i = 0; i < hd.counts.size(); ++i) {
         hd.counts[i] -= it->second.counts[i];
       }
@@ -120,6 +132,13 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
              .first;
   }
   return *it->second;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {

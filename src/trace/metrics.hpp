@@ -33,11 +33,14 @@ inline constexpr const char* kInsertions = "kernel.insertions";
 inline constexpr const char* kWalkSteps = "kernel.walk_steps";
 inline constexpr const char* kAtomics = "kernel.atomics";
 inline constexpr const char* kMerRetries = "kernel.mer_retries";
+inline constexpr const char* kMemRounds = "kernel.mem_rounds";
 
 inline constexpr const char* kMemAccesses = "mem.accesses";
 inline constexpr const char* kMemLinesTouched = "mem.lines_touched";
 inline constexpr const char* kMemL1Hits = "mem.l1_hits";
 inline constexpr const char* kMemL2Hits = "mem.l2_hits";
+inline constexpr const char* kMemL1Evictions = "mem.l1_evictions";
+inline constexpr const char* kMemL2Evictions = "mem.l2_evictions";
 inline constexpr const char* kMemHbmLines = "mem.hbm_lines";
 inline constexpr const char* kMemHbmReadBytes = "mem.hbm_read_bytes";
 inline constexpr const char* kMemHbmWriteBytes = "mem.hbm_write_bytes";
@@ -94,6 +97,9 @@ class Counter {
   std::uint64_t value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }
+  /// Zeroes the counter in place (handle stays valid). Only meaningful
+  /// outside parallel regions; see MetricsRegistry::reset.
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
 
  private:
   std::atomic<std::uint64_t> value_{0};
@@ -106,6 +112,7 @@ class Gauge {
   double value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
   std::atomic<double> value_{0.0};
@@ -141,6 +148,10 @@ class Histogram {
 
   void observe(std::uint64_t v) noexcept;
 
+  /// Zeroes every bucket plus count/sum in place; bounds are unchanged and
+  /// the handle stays valid. Only meaningful outside parallel regions.
+  void reset() noexcept;
+
   const std::vector<std::uint64_t>& bounds() const noexcept {
     return bounds_;
   }
@@ -168,7 +179,9 @@ struct MetricsSnapshot {
 
   /// This snapshot minus an earlier one: counters and histogram counts
   /// subtract (metrics absent earlier count from zero); gauges keep the
-  /// later value.
+  /// later value. A registry reset between the two snapshots makes the
+  /// later value smaller than the earlier one — such deltas clamp to the
+  /// later value (counting from the reset) instead of underflowing.
   MetricsSnapshot delta(const MetricsSnapshot& earlier) const;
 };
 
@@ -188,6 +201,12 @@ class MetricsRegistry {
                        std::vector<std::uint64_t> bounds);
 
   MetricsSnapshot snapshot() const;
+
+  /// Zeroes every registered metric in place. Names and handles survive
+  /// (hot paths keep their cached pointers); histogram bounds are kept.
+  /// Not synchronised against concurrent recorders — call between
+  /// parallel regions, like snapshot() consumers already do.
+  void reset();
 
  private:
   mutable std::mutex mutex_;

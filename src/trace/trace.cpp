@@ -5,6 +5,17 @@
 
 namespace lassm::trace {
 
+std::vector<Arg> counter_args(const CounterVector& cv) {
+  std::vector<Arg> args;
+  args.reserve(CounterVector::kNumFields + 1);
+  for (const CounterVector::Field& f : CounterVector::fields()) {
+    args.push_back(Arg::n(std::string("cv.") + f.name,
+                          static_cast<double>(cv.*f.member)));
+  }
+  args.push_back(Arg::n("cv.sim_time_s", cv.sim_time_s));
+  return args;
+}
+
 Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
 
 std::uint32_t Tracer::track(const std::string& process,

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "trace/attribution.hpp"
 #include "trace/metrics.hpp"
 
 /// Span half of the observability subsystem: a hierarchical tracer with two
@@ -50,6 +51,13 @@ struct Arg {
   }
 };
 
+/// Renders a CounterVector as numeric span args — "cv.<field>" for every
+/// integer field plus "cv.sim_time_s" — so kernel/stage spans carry their
+/// attributed counters into the exported trace. Fields above 2^53 would
+/// round in the double-typed args; the exact values live in the
+/// attribution tree, the args are for timeline inspection.
+std::vector<Arg> counter_args(const CounterVector& cv);
+
 /// One Chrome trace event: a complete span ("X") or an instant ("i").
 struct Event {
   enum class Kind : std::uint8_t { kComplete, kInstant };
@@ -76,6 +84,15 @@ class Tracer {
 
   MetricsRegistry& metrics() noexcept { return metrics_; }
   const MetricsRegistry& metrics() const noexcept { return metrics_; }
+
+  /// Counter-attribution tree for this tracer's runs. DRIVER-THREAD ONLY
+  /// (unlike record()/metrics()): spans open/close and launch counters
+  /// merge on the driver, so the profile is deliberately unsynchronised —
+  /// see attribution.hpp.
+  AttributionProfile& attribution() noexcept { return attribution_; }
+  const AttributionProfile& attribution() const noexcept {
+    return attribution_;
+  }
 
   /// Get-or-create the track for (process, thread). Thread-safe; ids are
   /// dense and stable for the tracer's lifetime.
@@ -124,6 +141,7 @@ class Tracer {
   std::vector<Event> events_;
   double sim_cursor_us_ = 0.0;
   MetricsRegistry metrics_;
+  AttributionProfile attribution_;
 };
 
 /// Builds one launch's simulated-device timeline: greedy earliest-finish
