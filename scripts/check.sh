@@ -54,9 +54,14 @@ TSAN_OPTIONS="halt_on_error=1" \
 # generation, alignment and the whole pipeline across thread counts with
 # per-shard merge phases live on the pool; a race in the sharded tables,
 # the chunked partial maps or run_host_batch trips TSan here, and the
-# seed-pinned golden fingerprints catch any almost-identical output.
+# seed-pinned golden fingerprints catch any almost-identical output. The
+# concurrent-table suite is the lock-free table's dedicated TSan workload:
+# interleaved insert/increment storms, concurrent shard rebuilds and the
+# streaming double-buffer all run under the race detector, differenced
+# against the serial merge oracle at 1/2/4/8 threads.
 TSAN_OPTIONS="halt_on_error=1" \
-  "$BUILD/tests/tests_pipeline" --gtest_filter='FrontendParallel.*'
+  "$BUILD/tests/tests_pipeline" \
+  --gtest_filter='FrontendParallel.*:ConcurrentKmerTable.*'
 
 # The fault matrix crosses every injection seam with serial and 4-thread
 # execution: retries, quarantines, watchdog aborts and device loss all
@@ -131,7 +136,7 @@ ASAN_OPTIONS="detect_leaks=1" \
 ASAN_OPTIONS="detect_leaks=1" "$ASAN_BUILD/tests/tests_resilience"
 ASAN_OPTIONS="detect_leaks=1" \
   "$ASAN_BUILD/tests/tests_pipeline" \
-  --gtest_filter='Checkpoint.*:MultiGpuResilient.*'
+  --gtest_filter='Checkpoint.*:MultiGpuResilient.*:ConcurrentKmerTable.*'
 ASAN_OPTIONS="detect_leaks=1" "$ASAN_BUILD/tests/tests_workload"
 
 echo "check.sh: ASan+UBSan run clean."
@@ -172,6 +177,17 @@ speedup = j["speedup"]["count"]
 print(f"check.sh: k-mer count speedup vs seed baseline: {speedup:.2f}x")
 if speedup < 1.5:
     sys.exit("check.sh: FAIL - k-mer counting regressed below 1.5x of the recorded baseline")
+# Lock-free table acceptance gates: at one thread the concurrent path must
+# not lose to the per-chunk + merge oracle (10% noise allowance — the
+# deleted merge pass is its structural headroom), and with the pool the
+# merge pass's elimination must show up as an outright win.
+merge_1t, conc_1t = j["count_merge_1t_s"], j["count_concurrent_1t_s"]
+merge_4t, conc_4t = j["count_merge_4t_s"], j["count_concurrent_4t_s"]
+print(f"check.sh: count merge/concurrent 1t {merge_1t:.3f}/{conc_1t:.3f} s, 4t {merge_4t:.3f}/{conc_4t:.3f} s")
+if conc_1t > merge_1t * 1.10:
+    sys.exit("check.sh: FAIL - concurrent counting slower than the merge oracle at 1 thread")
+if conc_4t > merge_4t:
+    sys.exit("check.sh: FAIL - concurrent counting did not beat the merge path on the pool")
 EOF
 echo "check.sh: perf smoke clean."
 

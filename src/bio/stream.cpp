@@ -1,0 +1,160 @@
+#include "bio/stream.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <utility>
+
+#include "bio/dna.hpp"
+
+namespace lassm::bio {
+
+SequenceStreamReader::SequenceStreamReader(std::istream& is,
+                                           std::string_view stream_name,
+                                           Options opts)
+    : is_(is), name_(stream_name), opts_(opts), fmt_(opts.format) {}
+
+void SequenceStreamReader::fail(std::uint64_t line, std::uint64_t record,
+                                std::string what) const {
+  throw StatusError(Error(
+      ErrorCode::kParseError,
+      std::move(what) + " (at byte offset " + std::to_string(byte_off_) + ")",
+      SourceContext{name_, line, record}));
+}
+
+bool SequenceStreamReader::get_line(std::string& line) {
+  if (!std::getline(is_, line)) return false;
+  ++lineno_;
+  byte_off_ += line.size() + 1;
+  return true;
+}
+
+void SequenceStreamReader::detect_format() {
+  // Skip leading blank lines (both eager parsers tolerate them), then
+  // sniff the first record byte without consuming it.
+  int c = is_.peek();
+  while (c == '\n' || c == '\r') {
+    is_.get();
+    ++byte_off_;
+    if (c == '\n') ++lineno_;
+    c = is_.peek();
+  }
+  if (c == std::istream::traits_type::eof()) {
+    exhausted_ = true;
+    fmt_ = Format::kFasta;  // moot: no records follow
+    return;
+  }
+  if (c == '>') {
+    fmt_ = Format::kFasta;
+  } else if (c == '@') {
+    fmt_ = Format::kFastq;
+  } else {
+    fail(lineno_ + 1, 1,
+         std::string("cannot detect sequence format from leading byte '") +
+             static_cast<char>(c) + "' (expected '>' or '@')");
+  }
+}
+
+void SequenceStreamReader::emit(ReadSet& block, std::string_view seq,
+                                std::string_view qual) {
+  if (!is_valid_sequence(seq)) {
+    ++stats_.dropped_reads;
+    return;
+  }
+  block.append(seq, qual);
+  ++stats_.reads;
+  stats_.bases += seq.size();
+}
+
+void SequenceStreamReader::emit(ReadSet& block, std::string_view seq) {
+  if (!is_valid_sequence(seq)) {
+    ++stats_.dropped_reads;
+    return;
+  }
+  block.append(seq, opts_.fasta_phred);
+  ++stats_.reads;
+  stats_.bases += seq.size();
+}
+
+bool SequenceStreamReader::next_fasta_block(ReadSet& block) {
+  std::string seq;
+  // A header stashed at the previous block boundary means we are mid-record:
+  // its sequence lines come first in this block.
+  bool in_record = have_carry_;
+  have_carry_ = false;
+  while (get_line(line_)) {
+    if (line_.empty()) continue;
+    if (line_[0] == '>') {
+      if (line_.size() == 1) {
+        fail(lineno_, record_ + 1, "FASTA: empty record name");
+      }
+      if (in_record) {
+        emit(block, seq);
+        seq.clear();
+        if (block.total_bases() >= opts_.max_block_bases &&
+            block.size() > 0) {
+          // Budget reached at a record boundary: the header just read is
+          // already consumed, so its record resumes in the next block.
+          have_carry_ = true;
+          ++record_;
+          return true;
+        }
+      }
+      ++record_;
+      in_record = true;
+    } else {
+      if (!in_record) {
+        fail(lineno_, 0, "FASTA: sequence data before first header");
+      }
+      seq += line_;
+    }
+  }
+  exhausted_ = true;
+  if (in_record) emit(block, seq);
+  return block.size() > 0;
+}
+
+bool SequenceStreamReader::next_fastq_block(ReadSet& block) {
+  std::string header, seq, plus, qual;
+  while (get_line(header)) {
+    if (header.empty()) continue;
+    ++record_;
+    const std::uint64_t header_line = lineno_;
+    if (header[0] != '@') {
+      fail(header_line, record_,
+           "FASTQ: expected '@' header, got: " + header);
+    }
+    if (!get_line(seq) || !get_line(plus) || !get_line(qual)) {
+      fail(header_line, record_, "FASTQ: truncated record: " + header);
+    }
+    if (plus.empty() || plus[0] != '+') {
+      fail(header_line + 2, record_,
+           "FASTQ: expected '+' separator in: " + header);
+    }
+    if (seq.size() != qual.size()) {
+      fail(header_line + 3, record_,
+           "FASTQ: seq/qual length mismatch in: " + header);
+    }
+    emit(block, seq, qual);
+    if (block.total_bases() >= opts_.max_block_bases && block.size() > 0) {
+      return true;
+    }
+  }
+  exhausted_ = true;
+  return block.size() > 0;
+}
+
+bool SequenceStreamReader::next_block(ReadSet& block) {
+  block.clear();
+  if (!exhausted_ && fmt_ == Format::kAuto) detect_format();
+  if (exhausted_) return false;
+  const bool any = fmt_ == Format::kFasta ? next_fasta_block(block)
+                                          : next_fastq_block(block);
+  if (any) {
+    ++stats_.blocks;
+    stats_.max_block_bases =
+        std::max(stats_.max_block_bases, block.total_bases());
+  }
+  return any;
+}
+
+}  // namespace lassm::bio

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "bio/read.hpp"
+#include "resilience/status.hpp"
+
+/// Streaming bounded-memory sequence ingest: a chunked FASTA/FASTQ reader
+/// that yields fixed-budget blocks of reads instead of materializing the
+/// whole input, so input size is bound by the block budget, not by RAM.
+/// The pipeline front-end overlaps parsing the next block with counting
+/// the current one (see pipeline::count_kmers_stream).
+///
+/// Malformed input throws StatusError(kParseError) with a SourceContext
+/// carrying the stream name, 1-based line and record ordinal, and the
+/// message names the byte offset — "reads.fq:41 (record 11) ... at byte
+/// offset 1337" — matching the eager parsers' taxonomy in fasta.hpp.
+namespace lassm::bio {
+
+enum class StreamFormat {
+  kAuto,   ///< sniff the first record byte: '>' FASTA, '@' FASTQ
+  kFasta,
+  kFastq,
+};
+
+/// Namespace-scope (not nested) so it can appear complete in the reader's
+/// defaulted constructor argument.
+struct StreamOptions {
+  /// Soft block budget: a block closes at the first record boundary at
+  /// or past this many bases, so the overshoot is bounded by one record.
+  std::uint64_t max_block_bases = 8ull << 20;
+  StreamFormat format = StreamFormat::kAuto;
+  /// Uniform Phred score synthesized for FASTA reads (no qualities on
+  /// disk); matches the synthetic workloads' quality.
+  int fasta_phred = 35;
+};
+
+class SequenceStreamReader {
+ public:
+  using Format = StreamFormat;
+  using Options = StreamOptions;
+
+  struct Stats {
+    std::uint64_t blocks = 0;         ///< non-empty blocks yielded
+    std::uint64_t reads = 0;          ///< reads appended across all blocks
+    std::uint64_t bases = 0;          ///< bases appended across all blocks
+    std::uint64_t dropped_reads = 0;  ///< non-ACGT records skipped
+    std::uint64_t max_block_bases = 0;  ///< largest block actually yielded
+  };
+
+  explicit SequenceStreamReader(std::istream& is,
+                                std::string_view stream_name = "stream",
+                                StreamOptions opts = {});
+
+  /// Clears `block` (arena capacity retained, so steady-state streaming
+  /// allocates nothing) and fills it with whole records up to the block
+  /// budget. Returns true when the block holds at least one read; false
+  /// at end of input. Reads with non-ACGT bases are dropped and counted
+  /// (mirroring read_fastq); records never split across blocks.
+  bool next_block(ReadSet& block);
+
+  const Stats& stats() const noexcept { return stats_; }
+  bool exhausted() const noexcept { return exhausted_; }
+  /// Bytes consumed from the stream so far (newlines included).
+  std::uint64_t byte_offset() const noexcept { return byte_off_; }
+
+ private:
+  [[noreturn]] void fail(std::uint64_t line, std::uint64_t record,
+                         std::string what) const;
+  bool get_line(std::string& line);
+  void detect_format();
+  bool next_fasta_block(ReadSet& block);
+  bool next_fastq_block(ReadSet& block);
+  /// Validates + appends one finished record; drops non-ACGT reads.
+  void emit(ReadSet& block, std::string_view seq, std::string_view qual);
+  void emit(ReadSet& block, std::string_view seq);
+
+  std::istream& is_;
+  std::string name_;
+  Options opts_;
+  Format fmt_;
+  Stats stats_;
+  std::string line_;       ///< scratch line buffer
+  bool have_carry_ = false;  ///< FASTA header consumed at a block boundary
+  std::uint64_t lineno_ = 0;
+  std::uint64_t record_ = 0;
+  std::uint64_t byte_off_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace lassm::bio

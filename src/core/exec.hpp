@@ -99,6 +99,14 @@ class WarpExecutionEngine {
   /// state at all. `worker_id` (in [0, n_threads())) lets the body index
   /// per-worker scratch; `body` must be safe to invoke concurrently for
   /// distinct i.
+  ///
+  /// Memory-ordering contract: the return is a full barrier — every write
+  /// made by any body invocation happens-before the caller's subsequent
+  /// reads, and no body code runs after the return. Callers may therefore
+  /// read batch results plainly (no atomics) between batches; this is the
+  /// quiescence point the concurrent k-mer table's reserve/export steps
+  /// and the streaming double-buffer (pipeline::count_kmers_stream) build
+  /// on.
   void run_host_batch(std::size_t n,
                       const std::function<void(std::size_t, unsigned)>& body);
 

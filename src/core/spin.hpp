@@ -1,0 +1,44 @@
+#pragma once
+
+#include <thread>
+
+/// Bounded spin-wait primitives for the execution layer and the lock-free
+/// structures built on top of it (the concurrent k-mer table's publish,
+/// drain and rebuild-defer loops).
+///
+/// Every spin in this codebase is short by construction — a claimer is a
+/// handful of instructions from publishing, a drain waits at most one
+/// writer checkpoint interval — but the container this repo targets can
+/// have fewer cores than pool workers, so a raw pause loop could burn a
+/// whole scheduling quantum waiting for a descheduled peer. SpinBackoff
+/// pauses briefly, then yields the timeslice so the peer can run.
+namespace lassm::core {
+
+/// CPU spin-wait hint (x86 PAUSE); a compiler barrier elsewhere.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Pause for the first few dozen iterations, then yield the timeslice —
+/// cheap when the wait is nanoseconds, fair when the peer needs the core.
+class SpinBackoff {
+ public:
+  void pause() noexcept {
+    if (spins_ < kPauseSpins) {
+      ++spins_;
+      cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  static constexpr unsigned kPauseSpins = 64;
+  unsigned spins_ = 0;
+};
+
+}  // namespace lassm::core

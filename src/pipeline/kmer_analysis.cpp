@@ -69,18 +69,61 @@ void count_reads_into(KmerCounts& counts, const bio::ReadSet& reads,
   }
 }
 
-}  // namespace
+/// The concurrent twin of count_reads_into: same hash-once + deferred-
+/// insert prefetch ring, inserting into the shared table under a
+/// WriterScope. One checkpoint per read keeps shard rebuilds from waiting
+/// longer than ~a read's worth of inserts for quiescence.
+void count_reads_into_concurrent(ConcurrentKmerCountTable& table,
+                                 const bio::ReadSet& reads,
+                                 std::size_t begin, std::size_t end,
+                                 std::uint32_t k, bool canonical) {
+  struct Pending {
+    bio::PackedKmer km;
+    std::uint64_t hash;
+  };
+  std::array<Pending, kPrefetchWindow> ring;
+  ConcurrentKmerCountTable::WriterScope scope(table);
+  for (std::size_t r = begin; r < end; ++r) {
+    scope.checkpoint();
+    std::size_t head = 0;
+    for_each_read_kmer(reads, r, k, canonical,
+                       [&](const bio::PackedKmer& km, std::size_t) {
+                         const std::uint64_t h = km.hash64();
+                         table.prefetch_hash(h);
+                         Pending& slot = ring[head % kPrefetchWindow];
+                         if (head >= kPrefetchWindow) {
+                           table.insert(slot.km, slot.hash);
+                         }
+                         slot = {km, h};
+                         ++head;
+                       });
+    const std::size_t pending = std::min(head, kPrefetchWindow);
+    for (std::size_t i = head - pending; i < head; ++i) {
+      const Pending& p = ring[i % kPrefetchWindow];
+      table.insert(p.km, p.hash);
+    }
+  }
+}
 
-KmerCounts count_kmers(const bio::ReadSet& reads, std::uint32_t k,
-                       bool canonical, core::WarpExecutionEngine* pool) {
+/// Serial direct counting (the kAuto path without pool workers).
+KmerCounts count_kmers_serial(const bio::ReadSet& reads, std::uint32_t k,
+                              bool canonical) {
+  KmerCounts counts;
+  counts.reserve(distinct_estimate(reads.total_kmers(k)));
+  count_reads_into(counts, reads, 0, reads.size(), k, canonical);
+  return counts;
+}
+
+/// The per-chunk + ordered-merge path, kept verbatim as the serial oracle
+/// (CountMode::kMergeOracle). Runs the two-phase structure even without a
+/// parallel pool (one chunk, then the merge pass), so the merge tax stays
+/// measurable at one thread.
+KmerCounts count_kmers_merge(const bio::ReadSet& reads, std::uint32_t k,
+                             bool canonical,
+                             core::WarpExecutionEngine* pool) {
   const std::uint64_t windows = reads.total_kmers(k);
   KmerCounts counts;
   counts.reserve(distinct_estimate(windows));
-
-  if (!pool_parallel(pool) || reads.size() < 2) {
-    count_reads_into(counts, reads, 0, reads.size(), k, canonical);
-    return counts;
-  }
 
   // Phase 1: per-chunk partial counts. The chunk decomposition is a pure
   // function of (read count, worker count) — whichever worker claims a
@@ -111,6 +154,116 @@ KmerCounts count_kmers(const bio::ReadSet& reads, std::uint32_t k,
     }
   });
   counts.rebuild_size();
+  return counts;
+}
+
+/// The concurrent path: every chunk task inserts straight into one shared
+/// lock-free table; its shards then *move* into the result — the merge
+/// pass is gone, not parallelised.
+KmerCounts count_kmers_concurrent(const bio::ReadSet& reads, std::uint32_t k,
+                                  bool canonical,
+                                  core::WarpExecutionEngine* pool) {
+  ConcurrentKmerCountTable table;
+  table.reserve(distinct_estimate(reads.total_kmers(k)));
+  const ChunkPlan plan(reads.size(), pool);
+  stage_for(pool, plan.n_chunks, [&](std::size_t chunk, unsigned) {
+    count_reads_into_concurrent(table, reads, plan.begin(chunk),
+                                plan.end(chunk), k, canonical);
+  });
+  // The batch barrier above is the happens-before that makes the moved
+  // storage plainly readable downstream.
+  KmerCounts counts;
+  table.export_into(counts.table());
+  counts.rebuild_size();
+  return counts;
+}
+
+}  // namespace
+
+KmerCounts count_kmers(const bio::ReadSet& reads, std::uint32_t k,
+                       bool canonical, core::WarpExecutionEngine* pool,
+                       CountMode mode) {
+  switch (mode) {
+    case CountMode::kMergeOracle:
+      return count_kmers_merge(reads, k, canonical, pool);
+    case CountMode::kConcurrent:
+      return count_kmers_concurrent(reads, k, canonical, pool);
+    case CountMode::kAuto:
+      break;
+  }
+  if (!pool_parallel(pool) || reads.size() < 2) {
+    return count_kmers_serial(reads, k, canonical);
+  }
+  return count_kmers_concurrent(reads, k, canonical, pool);
+}
+
+KmerCounts count_kmers_stream(bio::SequenceStreamReader& reader,
+                              std::uint32_t k, bool canonical,
+                              core::WarpExecutionEngine* pool,
+                              StreamCountStats* stats) {
+  ConcurrentKmerCountTable table;
+  StreamCountStats st;
+  bio::ReadSet cur, next;
+  std::uint64_t windows_seen = 0;
+  bool have = reader.next_block(cur);
+  while (have) {
+    const std::uint64_t block_windows = cur.total_kmers(k);
+    // Reserve from observed block statistics: the first block uses the
+    // same windows/4 density prior as the in-memory path (applied to one
+    // block, not the whole file); later blocks extrapolate the *measured*
+    // distinct-per-window ratio with 25% headroom. A miss only costs
+    // amortised shard growth. Quiescent here — no writers yet/any more.
+    std::uint64_t expect;
+    if (windows_seen == 0) {
+      expect = distinct_estimate(block_windows);
+    } else {
+      const double ratio = static_cast<double>(table.entries()) /
+                           static_cast<double>(windows_seen);
+      expect = table.entries() +
+               static_cast<std::uint64_t>(
+                   static_cast<double>(block_windows) * ratio * 1.25) +
+               1024;
+    }
+    table.reserve(expect);
+    st.reserved_entries = std::max(st.reserved_entries, expect);
+    windows_seen += block_windows;
+
+    // Overlap: one extra host-batch task parses the next block while the
+    // others count the current one. The batch barrier orders the parse
+    // result (and `have_next`) before the reads below.
+    bool have_next = false;
+    if (pool_parallel(pool) && cur.size() > 1) {
+      const ChunkPlan plan(cur.size(), pool);
+      pool->run_host_batch(
+          plan.n_chunks + 1, [&](std::size_t i, unsigned) {
+            if (i == plan.n_chunks) {
+              have_next = reader.next_block(next);
+              return;
+            }
+            count_reads_into_concurrent(table, cur, plan.begin(i),
+                                        plan.end(i), k, canonical);
+          });
+    } else {
+      count_reads_into_concurrent(table, cur, 0, cur.size(), k, canonical);
+      have_next = reader.next_block(next);
+    }
+    st.peak_resident_bases =
+        std::max(st.peak_resident_bases,
+                 cur.total_bases() + next.total_bases());
+    std::swap(cur, next);
+    have = have_next;
+  }
+  const bio::SequenceStreamReader::Stats& rs = reader.stats();
+  st.blocks = rs.blocks;
+  st.reads = rs.reads;
+  st.bases = rs.bases;
+  st.dropped_reads = rs.dropped_reads;
+  st.windows = windows_seen;
+  st.table_rebuilds = table.rebuilds();
+  KmerCounts counts;
+  table.export_into(counts.table());
+  counts.rebuild_size();
+  if (stats != nullptr) *stats = st;
   return counts;
 }
 

@@ -6,6 +6,7 @@
 
 #include "bio/kmer.hpp"
 #include "bio/read.hpp"
+#include "bio/stream.hpp"
 #include "pipeline/kmer_table.hpp"
 
 namespace lassm::core {
@@ -88,18 +89,69 @@ class KmerCountMap {
 
 using KmerCounts = KmerCountMap;
 
+/// Strategy for count_kmers (all three produce identical contents — the
+/// bit-identity suite holds them to the same golden fingerprints).
+enum class CountMode {
+  /// Concurrent shared-table inserts when the pool is parallel; plain
+  /// serial counting otherwise. The default and the fast path.
+  kAuto,
+  /// Per-chunk partial maps merged one shard per task in ascending chunk
+  /// order — the serial-oracle path the concurrent table is differenced
+  /// against. Pays a full extra pass over every distinct k-mer; kept for
+  /// oracle runs and the concurrent-vs-merge bench.
+  kMergeOracle,
+  /// Force the lock-free concurrent table even without pool workers
+  /// (perf-parity gates and differential tests).
+  kConcurrent,
+};
+
 /// Counts every k-mer of every read. The pipeline is strand-specific (the
 /// synthetic workloads emit reads in contig orientation); set `canonical`
 /// to count strand-insensitively instead.
 ///
-/// With a parallel `pool`, reads are chunked across the workers into
-/// per-chunk partial maps (windows roll via PackedKmer::successor — no
-/// per-window repack) that are then merged one shard per task, scanning
-/// chunks in ascending order. The merged map's contents are bit-identical
-/// to the serial oracle (pool == nullptr) at every thread count.
+/// With a parallel `pool` (mode kAuto/kConcurrent), every worker inserts
+/// directly into one shared ConcurrentKmerCountTable — CAS-claimed slots,
+/// atomic count increments, sharded growth — whose storage then moves into
+/// the result with no merge pass (windows roll via PackedKmer::successor —
+/// no per-window repack). kMergeOracle keeps the old per-chunk + ordered
+/// per-shard merge path. Contents are bit-identical across modes, pools
+/// and thread counts; only slot layout (never observable downstream) may
+/// differ on the concurrent path.
 KmerCounts count_kmers(const bio::ReadSet& reads, std::uint32_t k,
                        bool canonical = false,
-                       core::WarpExecutionEngine* pool = nullptr);
+                       core::WarpExecutionEngine* pool = nullptr,
+                       CountMode mode = CountMode::kAuto);
+
+/// Observability of one streaming count run (see count_kmers_stream).
+struct StreamCountStats {
+  std::uint64_t blocks = 0;         ///< read blocks processed
+  std::uint64_t reads = 0;          ///< reads counted
+  std::uint64_t bases = 0;          ///< bases counted
+  std::uint64_t windows = 0;        ///< k-mer windows inserted
+  std::uint64_t dropped_reads = 0;  ///< non-ACGT reads the reader skipped
+  /// Peak bases resident at once (current block + parse-ahead block): the
+  /// bounded-memory claim, testable against the reader's block budget.
+  std::uint64_t peak_resident_bases = 0;
+  /// Final table reservation derived from observed block statistics.
+  std::uint64_t reserved_entries = 0;
+  std::uint64_t table_rebuilds = 0;  ///< concurrent-table shard rebuilds
+};
+
+/// Streaming bounded-memory k-mer counting: pulls fixed-budget read blocks
+/// from `reader` and counts them into one shared concurrent table, with
+/// the next block parsed *concurrently* with counting the current one
+/// (one extra run_host_batch task double-buffers the reader) when `pool`
+/// is parallel. Peak read memory is two blocks regardless of input size.
+///
+/// Table capacity is reserved per block from the *observed* distinct-per-
+/// window ratio of the blocks counted so far (first block: the same
+/// windows/4 prior the in-memory path uses) — no whole-file size estimate
+/// anywhere. Contents are bit-identical to count_kmers over the same
+/// reads at every thread count and block budget.
+KmerCounts count_kmers_stream(bio::SequenceStreamReader& reader,
+                              std::uint32_t k, bool canonical = false,
+                              core::WarpExecutionEngine* pool = nullptr,
+                              StreamCountStats* stats = nullptr);
 
 /// Removes k-mers with count < min_count (MetaHipMer's error filter;
 /// singletons are overwhelmingly sequencing errors). Returns the number of

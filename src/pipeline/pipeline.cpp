@@ -305,8 +305,9 @@ PipelineResult run_pipeline(const bio::ReadSet& reads,
     double stage_t0 = pipeline_t0;
     trace::AttributionProfile::Scope kmer_scope(profile, "kmer_analysis");
     StageClock::time_point wall_t0 = StageClock::now();
-    KmerCounts counts =
-        count_kmers(reads, opts.contig_k, /*canonical=*/false, pool.get());
+    KmerCounts counts = count_kmers(reads, opts.contig_k,
+                                    /*canonical=*/false, pool.get(),
+                                    opts.count_mode);
     result.frontend.count_s = stage_seconds(wall_t0);
     result.kmers_total = counts.size();
     wall_t0 = StageClock::now();

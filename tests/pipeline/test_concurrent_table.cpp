@@ -1,0 +1,390 @@
+// Differential suite for the lock-free concurrent k-mer table and the
+// streaming bounded-memory ingest path. The serial per-chunk + merge path
+// (CountMode::kMergeOracle) is the oracle: random interleaved
+// insert/increment workloads, growth storms and whole-stage counting must
+// produce contents bit-identical to it at 1/2/4/8 threads, and the
+// streaming reader must reproduce the eager parser's reads under any block
+// budget while keeping peak resident bases bounded by the budget — not by
+// the input size. This file is also the TSan workload for the table (see
+// scripts/check.sh).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bio/fasta.hpp"
+#include "bio/kmer.hpp"
+#include "bio/read.hpp"
+#include "bio/rng.hpp"
+#include "bio/stream.hpp"
+#include "core/exec.hpp"
+#include "pipeline/kmer_analysis.hpp"
+#include "pipeline/kmer_table.hpp"
+#include "resilience/status.hpp"
+#include "workload/dataset.hpp"
+
+namespace lassm::pipeline {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FNV-1a content fingerprint (same scheme as test_frontend_parallel.cpp):
+// sorted (k-mer, count) pairs, so it is slot-layout independent by
+// construction — exactly the property the concurrent table guarantees.
+
+class Fnv {
+ public:
+  void mix(const void* p, std::size_t n) noexcept {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= b[i];
+      h_ *= 1099511628211ULL;
+    }
+  }
+  void mix_u64(std::uint64_t v) noexcept { mix(&v, sizeof v); }
+  void mix_str(const std::string& s) noexcept { mix(s.data(), s.size()); }
+  std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = 14695981039346656037ULL;
+};
+
+std::uint64_t fingerprint_table(const FlatKmerTable<std::uint32_t>& table) {
+  std::vector<std::pair<std::string, std::uint32_t>> v;
+  for (std::uint32_t s = 0; s < FlatKmerTable<std::uint32_t>::kShards; ++s) {
+    table.for_each_in_shard(s, [&](const auto& e) {
+      if (e.value != 0) v.emplace_back(e.key.unpack(), e.value);
+    });
+  }
+  std::sort(v.begin(), v.end());
+  Fnv f;
+  for (const auto& [km, c] : v) {
+    f.mix_str(km);
+    f.mix_u64(c);
+  }
+  return f.value();
+}
+
+std::uint64_t fingerprint_counts(const KmerCounts& counts) {
+  return fingerprint_table(counts.table());
+}
+
+// Per-shard extract + sort, the exact access pattern of the de Bruijn
+// stage's node extraction: dense_offsets() sizing plus for_each_in_shard
+// iteration, sorted within the shard. Layout-independent like the
+// fingerprint, but additionally checks the shard assignment and the
+// offsets bookkeeping of adopted storage.
+std::vector<std::vector<std::pair<std::string, std::uint32_t>>>
+extract_sorted_shards(const FlatKmerTable<std::uint32_t>& table) {
+  const auto offsets = table.dense_offsets();
+  std::vector<std::vector<std::pair<std::string, std::uint32_t>>> out(
+      FlatKmerTable<std::uint32_t>::kShards);
+  for (std::uint32_t s = 0; s < FlatKmerTable<std::uint32_t>::kShards; ++s) {
+    EXPECT_GE(offsets[s + 1] - offsets[s], table.shard_entries(s));
+    out[s].reserve(table.shard_entries(s));
+    table.for_each_in_shard(s, [&](const auto& e) {
+      out[s].emplace_back(e.key.unpack(), e.value);
+    });
+    std::sort(out[s].begin(), out[s].end());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Workloads.
+
+std::string random_seq(std::uint64_t seed, std::size_t len) {
+  bio::Xoshiro256 rng(seed);
+  std::string s(len, 'A');
+  for (char& c : s) c = bio::code_to_base(static_cast<int>(rng.below(4)));
+  return s;
+}
+
+// A multiset of k-mers with heavy duplication: windows sampled from a
+// small genome, so the workload exercises both the insert (first
+// occurrence) and the increment (every repeat) arm of the CAS protocol.
+std::vector<bio::PackedKmer> sampled_kmers(std::uint64_t seed, std::size_t n,
+                                           std::size_t genome_len,
+                                           std::uint32_t k) {
+  const std::string genome = random_seq(seed, genome_len);
+  bio::Xoshiro256 rng(seed ^ 0x9E3779B97F4A7C15ULL);
+  std::vector<bio::PackedKmer> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t start = rng.below(genome_len - k);
+    v.push_back(bio::PackedKmer::pack(
+        std::string_view(genome).substr(start, k)));
+  }
+  return v;
+}
+
+bio::ReadSet shotgun(const std::string& genome, double coverage,
+                     std::uint32_t read_len, std::uint64_t seed) {
+  bio::Xoshiro256 rng(seed);
+  bio::ReadSet reads;
+  const auto n = static_cast<std::uint64_t>(
+      coverage * static_cast<double>(genome.size()) / read_len);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t start = rng.below(genome.size() - read_len);
+    reads.append(genome.substr(start, read_len), 35);
+  }
+  return reads;
+}
+
+std::unique_ptr<core::WarpExecutionEngine> make_pool(unsigned n_threads) {
+  return std::make_unique<core::WarpExecutionEngine>(
+      simt::DeviceSpec::a100(), simt::ProgrammingModel::kCuda,
+      core::AssemblyOptions{}, n_threads);
+}
+
+// nullptr = serial; 2/4/8 workers cover fewer-chunks-than-workers and
+// steal-heavy schedules. The issue's bit-identity matrix is 1/2/4/8.
+std::vector<std::unique_ptr<core::WarpExecutionEngine>> test_pools() {
+  std::vector<std::unique_ptr<core::WarpExecutionEngine>> pools;
+  pools.push_back(nullptr);
+  pools.push_back(make_pool(2));
+  pools.push_back(make_pool(4));
+  pools.push_back(make_pool(8));
+  return pools;
+}
+
+// Serial oracle for raw k-mer multisets.
+KmerCounts oracle_counts(const std::vector<bio::PackedKmer>& kmers) {
+  KmerCounts counts;
+  for (const bio::PackedKmer& km : kmers) counts.add(km);
+  return counts;
+}
+
+// Inserts `kmers` into a fresh concurrent table from `n_threads` workers
+// (interleaving-heavy: contiguous chunks, all touching the same hot
+// duplicates) and exports the storage into a FlatKmerTable.
+FlatKmerTable<std::uint32_t> concurrent_counts(
+    const std::vector<bio::PackedKmer>& kmers,
+    core::WarpExecutionEngine* pool, std::size_t min_slots = 64,
+    std::uint64_t* rebuilds = nullptr) {
+  ConcurrentKmerCountTable table(min_slots);
+  const std::size_t n_tasks =
+      pool != nullptr ? std::max<std::size_t>(1, pool->n_threads() * 4) : 1;
+  const auto run_task = [&](std::size_t t) {
+    const std::size_t begin = kmers.size() * t / n_tasks;
+    const std::size_t end = kmers.size() * (t + 1) / n_tasks;
+    ConcurrentKmerCountTable::WriterScope scope(table);
+    for (std::size_t i = begin; i < end; ++i) {
+      table.insert(kmers[i], kmers[i].hash64());
+      if ((i & 63) == 0) scope.checkpoint();
+    }
+  };
+  if (pool != nullptr) {
+    pool->run_host_batch(n_tasks,
+                         [&](std::size_t t, unsigned) { run_task(t); });
+  } else {
+    run_task(0);
+  }
+  if (rebuilds != nullptr) *rebuilds = table.rebuilds();
+  FlatKmerTable<std::uint32_t> out;
+  table.export_into(out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Raw-table differential tests.
+
+TEST(ConcurrentKmerTable, SerialInsertsMatchCountMapOracle) {
+  const auto kmers = sampled_kmers(101, 20000, 4000, 21);
+  const KmerCounts oracle = oracle_counts(kmers);
+  const auto table = concurrent_counts(kmers, nullptr);
+  EXPECT_EQ(table.entries(), oracle.size());
+  EXPECT_EQ(fingerprint_table(table), fingerprint_counts(oracle));
+}
+
+TEST(ConcurrentKmerTable, InterleavedInsertsMatchOracleAtEveryThreadCount) {
+  const auto kmers = sampled_kmers(202, 60000, 6000, 21);
+  const KmerCounts oracle = oracle_counts(kmers);
+  const std::uint64_t want = fingerprint_counts(oracle);
+  for (const auto& pool : test_pools()) {
+    const auto table = concurrent_counts(kmers, pool.get());
+    EXPECT_EQ(table.entries(), oracle.size())
+        << "threads=" << (pool ? pool->n_threads() : 1);
+    EXPECT_EQ(fingerprint_table(table), want)
+        << "threads=" << (pool ? pool->n_threads() : 1);
+  }
+}
+
+TEST(ConcurrentKmerTable, GrowthStormKeepsCountsExact) {
+  // min_slots=4 forces every shard through many concurrent rebuilds: the
+  // defer/drain handshake and rebuild re-placement are the code under test.
+  const auto kmers = sampled_kmers(303, 50000, 20000, 21);
+  const KmerCounts oracle = oracle_counts(kmers);
+  const std::uint64_t want = fingerprint_counts(oracle);
+  for (const auto& pool : test_pools()) {
+    std::uint64_t rebuilds = 0;
+    const auto table =
+        concurrent_counts(kmers, pool.get(), /*min_slots=*/4, &rebuilds);
+    EXPECT_GT(rebuilds, FlatKmerTable<std::uint32_t>::kShards)
+        << "threads=" << (pool ? pool->n_threads() : 1);
+    EXPECT_EQ(table.entries(), oracle.size());
+    EXPECT_EQ(fingerprint_table(table), want)
+        << "threads=" << (pool ? pool->n_threads() : 1);
+  }
+}
+
+TEST(ConcurrentKmerTable, ReserveMakesStormFreeAndStaysExact) {
+  const auto kmers = sampled_kmers(404, 30000, 8000, 21);
+  const KmerCounts oracle = oracle_counts(kmers);
+  ConcurrentKmerCountTable table;
+  // 2x headroom: reserve() sizes shards for the *average* occupancy, so
+  // hash skew across the 64 shards needs slack before growth disappears.
+  table.reserve(oracle.size() * 2);
+  const std::uint64_t reserved_rebuilds = table.rebuilds();
+  const auto pool = make_pool(4);
+  pool->run_host_batch(8, [&](std::size_t t, unsigned) {
+    const std::size_t begin = kmers.size() * t / 8;
+    const std::size_t end = kmers.size() * (t + 1) / 8;
+    ConcurrentKmerCountTable::WriterScope scope(table);
+    for (std::size_t i = begin; i < end; ++i) {
+      table.insert(kmers[i], kmers[i].hash64());
+      scope.checkpoint();
+    }
+  });
+  // An accurate reservation means no growth at all during the batch.
+  EXPECT_EQ(table.rebuilds(), reserved_rebuilds);
+  FlatKmerTable<std::uint32_t> out;
+  table.export_into(out);
+  EXPECT_EQ(fingerprint_table(out), fingerprint_counts(oracle));
+}
+
+TEST(ConcurrentKmerTable, ExportedShardsIterateLikeTheOracle) {
+  // dense_offsets + per-shard extract+sort — the de Bruijn stage's exact
+  // consumption pattern — must see the same per-shard contents.
+  const auto kmers = sampled_kmers(505, 40000, 5000, 21);
+  const KmerCounts oracle = oracle_counts(kmers);
+  const auto oracle_shards = extract_sorted_shards(oracle.table());
+  for (const auto& pool : test_pools()) {
+    const auto table = concurrent_counts(kmers, pool.get());
+    EXPECT_EQ(extract_sorted_shards(table), oracle_shards)
+        << "threads=" << (pool ? pool->n_threads() : 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// count_kmers mode differential: concurrent vs merge-oracle vs auto.
+
+TEST(ConcurrentKmerTable, CountModesAreBitIdenticalAtEveryThreadCount) {
+  const bio::ReadSet reads = shotgun(random_seq(21, 6000), 12.0, 110, 77);
+  for (const bool canonical : {false, true}) {
+    const KmerCounts serial = count_kmers(reads, 21, canonical);
+    const std::uint64_t want = fingerprint_counts(serial);
+    for (const auto& pool : test_pools()) {
+      for (const CountMode mode :
+           {CountMode::kAuto, CountMode::kMergeOracle,
+            CountMode::kConcurrent}) {
+        const KmerCounts counts =
+            count_kmers(reads, 21, canonical, pool.get(), mode);
+        EXPECT_EQ(counts.size(), serial.size());
+        EXPECT_EQ(fingerprint_counts(counts), want)
+            << "threads=" << (pool ? pool->n_threads() : 1)
+            << " mode=" << static_cast<int>(mode)
+            << " canonical=" << canonical;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming bounded-memory ingest.
+
+std::string make_fastq(std::uint64_t genome_len, double coverage,
+                       std::uint64_t seed,
+                       std::uint64_t* n_reads = nullptr) {
+  std::ostringstream os;
+  workload::ShotgunFastqParams p;
+  p.genome_len = genome_len;
+  p.coverage = coverage;
+  const std::uint64_t n = workload::write_shotgun_fastq(os, p, seed);
+  if (n_reads != nullptr) *n_reads = n;
+  return std::move(os).str();
+}
+
+TEST(ConcurrentKmerTable, StreamingCountMatchesInMemoryAtEveryThreadCount) {
+  const std::string fastq = make_fastq(20000, 8.0, 909);
+  std::istringstream eager_in(fastq);
+  const bio::ReadSet all = bio::read_fastq(eager_in);
+  const KmerCounts oracle = count_kmers(all, 21);
+  const std::uint64_t want = fingerprint_counts(oracle);
+  for (const std::uint64_t budget : {4096ULL, 64ULL << 10}) {
+    for (const auto& pool : test_pools()) {
+      std::istringstream in(fastq);
+      bio::SequenceStreamReader reader(in, "reads.fq", {budget});
+      StreamCountStats stats;
+      const KmerCounts counts =
+          count_kmers_stream(reader, 21, false, pool.get(), &stats);
+      EXPECT_EQ(counts.size(), oracle.size());
+      EXPECT_EQ(fingerprint_counts(counts), want)
+          << "threads=" << (pool ? pool->n_threads() : 1)
+          << " budget=" << budget;
+      EXPECT_EQ(stats.reads, all.size());
+      EXPECT_EQ(stats.bases, all.total_bases());
+      EXPECT_GT(stats.blocks, 1U);
+    }
+  }
+}
+
+TEST(ConcurrentKmerTable, StreamingPeakMemoryIsBoundedByTheBudget) {
+  // Input ~16x larger than the block budget: resident bases must track the
+  // double-buffer bound (two blocks, each budget + one read of overshoot),
+  // not the input size.
+  std::uint64_t n_reads = 0;
+  const std::string fastq = make_fastq(40000, 16.0, 111, &n_reads);
+  const std::uint64_t total_bases = n_reads * 120;
+  const std::uint64_t budget = total_bases / 16;
+  const auto pool = make_pool(4);
+  std::istringstream in(fastq);
+  bio::SequenceStreamReader reader(in, "reads.fq", {budget});
+  StreamCountStats stats;
+  const KmerCounts counts =
+      count_kmers_stream(reader, 21, false, pool.get(), &stats);
+  EXPECT_EQ(counts.size(), count_kmers(
+                               [&] {
+                                 std::istringstream eager(fastq);
+                                 return bio::read_fastq(eager);
+                               }(),
+                               21)
+                               .size());
+  EXPECT_EQ(stats.bases, total_bases);
+  EXPECT_GE(stats.blocks, 8U);
+  EXPECT_LE(stats.peak_resident_bases, 2 * (budget + 120));
+  EXPECT_LT(stats.peak_resident_bases, total_bases / 4);
+  EXPECT_GT(stats.reserved_entries, 0U);
+}
+
+TEST(ConcurrentKmerTable, StreamingReaderReportsTypedErrorsWithContext) {
+  // Truncated mid-record, beyond the first block: the error must surface
+  // on the next_block that reaches it, as the same typed kParseError (with
+  // stream name, line, record, byte offset) the eager parser throws.
+  std::string fastq = make_fastq(2000, 4.0, 55);
+  fastq.resize(fastq.size() / 2);
+  while (!fastq.empty() && fastq.back() != '\n') fastq.pop_back();
+  fastq += "@torn_record\nACGT\n";  // header + seq, then EOF: truncated
+  std::istringstream in(fastq);
+  bio::SequenceStreamReader reader(in, "torn.fq", {1024});
+  bio::ReadSet block;
+  try {
+    while (reader.next_block(block)) {
+    }
+    FAIL() << "expected StatusError on the truncated record";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kParseError);
+    EXPECT_EQ(e.error().context().file, "torn.fq");
+    EXPECT_GT(e.error().context().line, 0U);
+    EXPECT_GT(e.error().context().record, 0U);
+    EXPECT_NE(std::string(e.what()).find("byte offset"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace lassm::pipeline

@@ -1,7 +1,7 @@
 // The parallel front-end's determinism contract: k-mer counting, the
 // low-count filter, the count histogram, de Bruijn contig generation and
 // read-to-end alignment produce bit-identical outputs at every thread
-// count — serial oracle (no pool), 2 workers, 4 workers — traced or not,
+// count — serial oracle (no pool), 2, 4 and 8 workers — traced or not,
 // and with an armed-but-empty FaultPlan. All outputs are pinned to golden
 // FNV-1a fingerprints captured from the serial seed implementation, so a
 // regression in *either* the parallel schedule or the flat-table rewrite
@@ -161,13 +161,15 @@ std::unique_ptr<core::WarpExecutionEngine> make_pool(unsigned n_threads) {
 }
 
 // Thread counts every front-end stage is checked at: the serial oracle
-// (nullptr pool) plus 2- and 4-worker pools. More workers than chunks and
-// work stealing are both in play at 4.
+// (nullptr pool) plus 2-, 4- and 8-worker pools. More workers than chunks
+// and work stealing are both in play at 4+; 8 oversubscribes the host,
+// which is the harshest interleaving for the concurrent count table.
 std::vector<std::unique_ptr<core::WarpExecutionEngine>> test_pools() {
   std::vector<std::unique_ptr<core::WarpExecutionEngine>> pools;
   pools.push_back(nullptr);  // serial oracle
   pools.push_back(make_pool(2));
   pools.push_back(make_pool(4));
+  pools.push_back(make_pool(8));
   return pools;
 }
 
@@ -190,6 +192,29 @@ TEST(FrontendParallel, CanonicalCountsMatchGoldenAtEveryThreadCount) {
     EXPECT_EQ(canon.size(), kGoldenCanonSize);
     EXPECT_EQ(fingerprint_counts(canon), kGoldenCanonFnv)
         << "threads=" << (pool ? pool->n_threads() : 1);
+  }
+}
+
+TEST(FrontendParallel, CountModesMatchGoldenAtEveryThreadCount) {
+  // Forced-mode matrix: the merge oracle and the forced concurrent table
+  // hit the same goldens as kAuto at every pool, so the golden constants
+  // pin all three counting strategies, not just the default dispatch.
+  const bio::ReadSet& reads = workload_reads();
+  for (const auto& pool : test_pools()) {
+    for (const CountMode mode :
+         {CountMode::kMergeOracle, CountMode::kConcurrent}) {
+      const KmerCounts counts =
+          count_kmers(reads, 21, false, pool.get(), mode);
+      EXPECT_EQ(counts.size(), kGoldenCountsSize);
+      EXPECT_EQ(fingerprint_counts(counts), kGoldenCountsFnv)
+          << "threads=" << (pool ? pool->n_threads() : 1)
+          << " mode=" << static_cast<int>(mode);
+      const KmerCounts canon =
+          count_kmers(reads, 21, true, pool.get(), mode);
+      EXPECT_EQ(fingerprint_counts(canon), kGoldenCanonFnv)
+          << "threads=" << (pool ? pool->n_threads() : 1)
+          << " mode=" << static_cast<int>(mode);
+    }
   }
 }
 
@@ -295,7 +320,7 @@ void expect_pipeline_golden(const PipelineResult& r, const char* what) {
 
 TEST(FrontendParallel, PipelineMatchesGoldenAtEveryThreadCount) {
   const bio::ReadSet& reads = workload_reads();
-  for (unsigned n_threads : {1U, 2U, 4U}) {
+  for (unsigned n_threads : {1U, 2U, 4U, 8U}) {
     for (bool traced : {false, true}) {
       PipelineOptions opts;
       opts.k_iterations = {21, 33};
@@ -354,7 +379,7 @@ TEST(FrontendParallel, PipelineMatchesGoldenUnderEmptyArmedFaultPlan) {
   // the shared pool must keep that path bit-identical as well.
   const bio::ReadSet& reads = workload_reads();
   const resilience::FaultPlan plan(12345);  // armed, no seams -> no fires
-  for (unsigned n_threads : {1U, 2U, 4U}) {
+  for (unsigned n_threads : {1U, 2U, 4U, 8U}) {
     PipelineOptions opts;
     opts.k_iterations = {21, 33};
     opts.use_reference = false;
