@@ -1,0 +1,101 @@
+// Serving-layer SLO bench: drives the AssemblyService with the closed-loop
+// multi-tenant load generator (cache-shaped traffic), then with the
+// open-loop 4x-overload storm, and writes results/BENCH_serving.json for
+// the scripts/bench_history.py regression gate. Wall-clock throughput and
+// latency are noisy on a shared machine, so the gate carries wide
+// tolerances on those — the accounting invariant carries none: every
+// submitted job must reach exactly one terminal state, always.
+
+#include <fstream>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "model/csv.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/service.hpp"
+
+int main() {
+  using namespace lassm;
+  std::cout << "bench_serving: assembly-as-a-service SLO probe\n";
+
+  // Closed loop: 4 tenants, submit-and-wait, 50% repeat traffic.
+  serve::LoadGenConfig lg;
+  lg.tenants = 4;
+  lg.jobs_per_tenant = 50;
+  lg.distinct_datasets = 16;
+  lg.contigs_per_job = 4;
+  lg.reads_per_job = 24;
+  lg.repeat_fraction = 0.5;
+
+  serve::ServiceConfig cfg;
+  serve::LoadGenReport closed;
+  {
+    serve::AssemblyService service(cfg);
+    closed = serve::run_closed_loop(service, lg);
+    service.stop();
+  }
+  std::cout << "  closed loop: " << closed.completed << "/"
+            << closed.submitted << " completed, "
+            << closed.throughput_jobs_per_s << " jobs/s, p99 "
+            << closed.p99_ms << " ms, " << closed.cache_hits
+            << " cache hits\n";
+
+  // Open loop: everything at once against a bounded queue (~4x overload):
+  // the shedding path under pressure, still exactly accounted.
+  serve::ServiceConfig overload_cfg;
+  overload_cfg.queue_capacity = lg.tenants * lg.jobs_per_tenant / 4;
+  serve::LoadGenReport open;
+  {
+    serve::AssemblyService service(overload_cfg);
+    open = serve::run_open_loop(service, lg);
+    service.stop();
+  }
+  std::cout << "  open loop (4x overload): " << open.completed
+            << " completed, " << open.shed << " shed, " << open.failed
+            << " failed of " << open.submitted << "\n";
+
+  const double hit_rate =
+      closed.submitted > 0
+          ? static_cast<double>(closed.cache_hits) /
+                static_cast<double>(closed.submitted)
+          : 0.0;
+  const bool accounted = closed.accounted && open.accounted;
+
+  const std::string path = model::results_dir() + "/BENCH_serving.json";
+  std::ofstream js(path);
+  js << "{\n"
+     << "  \"bench\": \"serving\",\n";
+  bench::write_metrics_envelope(
+      js,
+      // Wall-clock SLOs on a shared 1-core machine swing ~1.5-2x run to
+      // run; the hit rate is deterministic (closed loop, fixed seeds).
+      {{"throughput_jobs_per_s", closed.throughput_jobs_per_s, "higher", 0.6},
+       {"p99_latency_ms", closed.p99_ms, "lower", 2.0},
+       {"cache_hit_rate", hit_rate, "higher", 0.1},
+       // The invariant: 1 when every job in both runs reached exactly one
+       // terminal state. Zero tolerance — any drop fails the gate.
+       {"accounting_ok", accounted ? 1.0 : 0.0, "higher", 0.0}});
+  js << "  \"closed_loop\": {\n"
+     << "    \"submitted\": " << closed.submitted << ",\n"
+     << "    \"completed\": " << closed.completed << ",\n"
+     << "    \"shed\": " << closed.shed << ",\n"
+     << "    \"failed\": " << closed.failed << ",\n"
+     << "    \"cache_hits\": " << closed.cache_hits << ",\n"
+     << "    \"throughput_jobs_per_s\": " << closed.throughput_jobs_per_s
+     << ",\n"
+     << "    \"p50_ms\": " << closed.p50_ms << ",\n"
+     << "    \"p99_ms\": " << closed.p99_ms << ",\n"
+     << "    \"max_ms\": " << closed.max_ms << "\n"
+     << "  },\n"
+     << "  \"open_loop_4x\": {\n"
+     << "    \"submitted\": " << open.submitted << ",\n"
+     << "    \"completed\": " << open.completed << ",\n"
+     << "    \"shed\": " << open.shed << ",\n"
+     << "    \"failed\": " << open.failed << ",\n"
+     << "    \"cache_hits\": " << open.cache_hits << ",\n"
+     << "    \"throughput_jobs_per_s\": " << open.throughput_jobs_per_s
+     << "\n"
+     << "  }\n}\n";
+  std::cout << "JSON: " << path << "\n";
+  return accounted ? 0 : 1;
+}

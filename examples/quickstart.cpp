@@ -67,13 +67,14 @@ int main(int argc, char** argv) {
     tracer = std::make_unique<trace::Tracer>();
     aopts.trace = tracer.get();
   }
-  std::optional<resilience::FaultPlan> fault_plan;
-  try {
-    fault_plan = resilience::FaultPlan::from_env();
-  } catch (const StatusError& e) {
-    std::cerr << "quickstart: bad LASSM_FAULTPLAN: " << e.what() << "\n";
+  Result<std::optional<resilience::FaultPlan>> env_plan =
+      resilience::FaultPlan::from_env();
+  if (!env_plan) {
+    std::cerr << "quickstart: bad LASSM_FAULTPLAN: "
+              << env_plan.error().to_string() << "\n";
     return 1;
   }
+  std::optional<resilience::FaultPlan> fault_plan = std::move(env_plan).take();
   if (fault_plan.has_value()) {
     aopts.fault_plan = &*fault_plan;
     std::cout << "fault plan: " << fault_plan->to_spec() << "\n";

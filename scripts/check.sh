@@ -10,15 +10,18 @@
 # that must dump the flight recorder) and validates the emitted
 # trace/metrics/profile/flight JSON with python3 -m json.tool.
 # Leg 2 (ASan+UBSan): rebuilds with AddressSanitizer + UBSan and runs the
-# parser fuzz corpus, the fault matrix and the checkpoint suite — the
-# error paths exercised by injected faults and corrupted inputs must be
-# leak-, overflow- and UB-clean, not just reach the right verdict.
+# parser fuzz corpus, the fault matrix, the checkpoint suite and the
+# serving suite with its 10k-job fault-storm soak gate (every job must be
+# accounted exactly once under 4x overload) — the error paths exercised
+# by injected faults and corrupted inputs must be leak-, overflow- and
+# UB-clean, not just reach the right verdict.
 # Finishes with a Release perf smoke (the memsim and front-end benches
 # must still beat their recorded seed baselines) and the autotune gate:
 # two fresh tuner runs over the device zoo must agree byte-for-byte, show
 # tuned <= default everywhere, hold the recorded speedup floors, and both
 # artifacts must parse. The Release leg ends with the bench-history gate:
-# all five metric-enveloped benches re-run fresh and must stay within
+# all six metric-enveloped benches (including the serving SLO probe)
+# re-run fresh and must stay within
 # their per-metric tolerances of the committed results/history/ baselines,
 # and the gate's synthetic-regression self-test must trip. Any race,
 # sanitizer report, test failure, malformed JSON or perf regression fails
@@ -39,7 +42,7 @@ cmake -B "$BUILD" -S . \
 
 cmake --build "$BUILD" -j \
   --target tests_core tests_trace tests_memsim tests_resilience \
-  tests_pipeline quickstart
+  tests_pipeline tests_serve quickstart
 
 # The parallel-assembler suite drives the pool across thread counts, batch
 # shapes, steal interleavings and the error path; any data race in the
@@ -71,6 +74,13 @@ TSAN_OPTIONS="halt_on_error=1" \
 # the flight recorder armed: span absorption on the error path and the
 # logger's ring/dump machinery must be race-clean too.
 TSAN_OPTIONS="halt_on_error=1" "$BUILD/tests/tests_resilience"
+
+# The serving layer is the newest multi-threaded subsystem: client
+# threads submit against the dispatcher while finish-paths update tenant
+# breakers, counters and the cache concurrently. The whole suite — golden
+# bit-identity at 1/4/8 workers, the seeded fault storms and the overload
+# soak — runs under the race detector.
+TSAN_OPTIONS="halt_on_error=1" "$BUILD/tests/tests_serve"
 
 # The cache/tiered differential oracles under TSan: the memo, packed
 # recency and epoch paths must match the naive model access by access.
@@ -129,7 +139,8 @@ cmake -B "$ASAN_BUILD" -S . \
   -DLASSM_BUILD_EXAMPLES=OFF
 
 cmake --build "$ASAN_BUILD" -j \
-  --target tests_bio tests_resilience tests_pipeline tests_workload
+  --target tests_bio tests_resilience tests_pipeline tests_workload \
+  tests_serve
 
 ASAN_OPTIONS="detect_leaks=1" \
   "$ASAN_BUILD/tests/tests_bio" --gtest_filter='FastaFuzz.*'
@@ -138,6 +149,16 @@ ASAN_OPTIONS="detect_leaks=1" \
   "$ASAN_BUILD/tests/tests_pipeline" \
   --gtest_filter='Checkpoint.*:MultiGpuResilient.*:ConcurrentKmerTable.*'
 ASAN_OPTIONS="detect_leaks=1" "$ASAN_BUILD/tests/tests_workload"
+
+# Serving suite under ASan+UBSan, then the 10k-job fault-storm soak gate:
+# every admission seam armed at once against a 4x-overloaded queue, and
+# the accounting invariant (shed + completed + failed == submitted) must
+# hold exactly — a leaked ticket, double resolve or lost job fails here.
+ASAN_OPTIONS="detect_leaks=1" "$ASAN_BUILD/tests/tests_serve"
+ASAN_OPTIONS="detect_leaks=1" LASSM_SOAK_JOBS=10000 \
+  "$ASAN_BUILD/tests/tests_serve" \
+  --gtest_filter='ServeSoak.FaultStormOverloadAccountsEveryJobExactlyOnce'
+echo "check.sh: serving soak gate clean (10000 jobs)."
 
 echo "check.sh: ASan+UBSan run clean."
 
@@ -243,11 +264,14 @@ echo "check.sh: autotune gate clean."
 # tolerance. Then the gate's own self-test: a synthetic 20% shove in the
 # bad direction must trip it — a gate that cannot fail protects nothing.
 cmake --build "$PERF_BUILD" -j \
-  --target bench_fig5_kernel_time bench_scaling_threads > /dev/null
+  --target bench_fig5_kernel_time bench_scaling_threads \
+  bench_serving > /dev/null
 LASSM_RESULTS_DIR="$PERF_BUILD/results" \
   "$PERF_BUILD/bench/bench_fig5_kernel_time" > /dev/null
 LASSM_RESULTS_DIR="$PERF_BUILD/results" \
   "$PERF_BUILD/bench/bench_scaling_threads" > /dev/null
+LASSM_RESULTS_DIR="$PERF_BUILD/results" \
+  "$PERF_BUILD/bench/bench_serving"
 rm -rf "$PERF_BUILD/results/history"
 cp -r results/history "$PERF_BUILD/results/history"
 LASSM_RESULTS_DIR="$PERF_BUILD/results" \

@@ -503,7 +503,7 @@ AssemblyResult LocalAssembler::run(const AssemblyInput& in,
         lost = true;
         result.device_lost = true;
         ++result.failures.devices_lost;
-        log::Logger::instance().incident(
+        (void)log::Logger::instance().incident(
             "device_lost",
             {trace::Arg::s("seam", "device_loss"),
              trace::Arg::n("rank", opts_.fault_rank),

@@ -324,7 +324,7 @@ void WarpExecutionEngine::run_batch_isolated(
       }
       // The incident record carries the work-item identity; the dump it
       // triggers appends the flight ring (seam fires, retries) behind it.
-      log::Logger::instance().incident(
+      (void)log::Logger::instance().incident(
           "task_quarantined",
           {trace::Arg::n("fault_key", static_cast<double>(fault.fault_key)),
            trace::Arg::n("batch", static_cast<double>(fault.batch)),

@@ -29,6 +29,9 @@ std::uint64_t seam_salt(Seam seam) noexcept {
       0xc2b2ae3d27d4eb4fULL,  // kWalkHang
       0x165667b19e3779f9ULL,  // kDeviceLoss (unused by fires(); reserved)
       0x27d4eb2f165667c5ULL,  // kPoolStart
+      0x8fb84e1f9cd3a657ULL,  // kQueueOverflow
+      0x5bd1e9955bd1e995ULL,  // kJobTimeout
+      0x713b1d4f6a09e667ULL,  // kCacheCorrupt
   };
   return kSalts[static_cast<std::size_t>(seam)];
 }
@@ -44,6 +47,16 @@ Error parse_error(const std::string& msg, const std::string& spec) {
                SourceContext{"spec \"" + spec + "\"", 0, 0});
 }
 
+// Unsigned integer fields must be plain decimal digits: std::stoull would
+// happily accept "-1" and wrap it to 2^64-1, silently arming a plan the
+// user never wrote.
+bool all_digits(const std::string& s) noexcept {
+  if (s.empty()) return false;
+  for (char c : s)
+    if (c < '0' || c > '9') return false;
+  return true;
+}
+
 }  // namespace
 
 const char* seam_name(Seam seam) noexcept {
@@ -54,6 +67,9 @@ const char* seam_name(Seam seam) noexcept {
     case Seam::kWalkHang: return "walk_hang";
     case Seam::kDeviceLoss: return "device_loss";
     case Seam::kPoolStart: return "pool_start";
+    case Seam::kQueueOverflow: return "queue_overflow";
+    case Seam::kJobTimeout: return "job_timeout";
+    case Seam::kCacheCorrupt: return "cache_corrupt";
     case Seam::kSeamCount: break;
   }
   return "unknown";
@@ -116,6 +132,8 @@ Result<FaultPlan> FaultPlan::parse(const std::string& spec) {
     try {
       if (name == "seed") {
         std::size_t used = 0;
+        if (!all_digits(value))
+          return parse_error("bad seed \"" + value + '"', spec);
         plan.seed_ = std::stoull(value, &used);
         if (used != value.size())
           return parse_error("bad seed \"" + value + '"', spec);
@@ -125,12 +143,19 @@ Result<FaultPlan> FaultPlan::parse(const std::string& spec) {
           return parse_error(
               "device_loss wants <rank>@<after_batch>, got \"" + value + '"',
               spec);
-        std::size_t used = 0;
-        const unsigned long rank = std::stoul(value.substr(0, at), &used);
-        if (used != at)
+        const std::string rank_str = value.substr(0, at);
+        const std::string after = value.substr(at + 1);
+        if (!all_digits(rank_str))
           return parse_error("bad device_loss rank in \"" + value + '"',
                              spec);
-        const std::string after = value.substr(at + 1);
+        if (!all_digits(after))
+          return parse_error("bad device_loss batch in \"" + value + '"',
+                             spec);
+        std::size_t used = 0;
+        const unsigned long rank = std::stoul(rank_str, &used);
+        if (used != rank_str.size())
+          return parse_error("bad device_loss rank in \"" + value + '"',
+                             spec);
         const unsigned long batch = std::stoul(after, &used);
         if (used != after.size())
           return parse_error("bad device_loss batch in \"" + value + '"',
@@ -162,12 +187,13 @@ Result<FaultPlan> FaultPlan::parse(const std::string& spec) {
   return plan;
 }
 
-std::optional<FaultPlan> FaultPlan::from_env() {
+Result<std::optional<FaultPlan>> FaultPlan::from_env() {
   const char* spec = std::getenv("LASSM_FAULTPLAN");
-  if (spec == nullptr || *spec == '\0') return std::nullopt;
+  if (spec == nullptr || *spec == '\0')
+    return std::optional<FaultPlan>{std::nullopt};
   Result<FaultPlan> parsed = parse(spec);
-  if (!parsed) throw StatusError(parsed.error());
-  return std::move(parsed).take();
+  if (!parsed) return parsed.error();
+  return std::optional<FaultPlan>{std::move(parsed).take()};
 }
 
 std::string FaultPlan::to_spec() const {

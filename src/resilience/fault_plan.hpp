@@ -30,6 +30,9 @@ enum class Seam : std::uint8_t {
   kWalkHang,           ///< mer-walk stops making progress (watchdog food)
   kDeviceLoss,         ///< simulated device drops out between batches
   kPoolStart,          ///< thread pool cannot start (serial fallback)
+  kQueueOverflow,      ///< serve admission queue rejects the job at entry
+  kJobTimeout,         ///< serve job blows its deadline before dispatch
+  kCacheCorrupt,       ///< stored ResultCache bytes flip before read-back
   kSeamCount,          ///< sentinel — number of seams
 };
 
@@ -92,10 +95,11 @@ class FaultPlan {
   /// `seed=<u64>` and repeatable `device_loss=<rank>@<after_batch>`.
   static Result<FaultPlan> parse(const std::string& spec);
 
-  /// Plan from the LASSM_FAULTPLAN environment variable; nullopt when the
-  /// variable is unset or empty. Throws StatusError on a malformed spec
-  /// (a typo silently disabling injection would be worse).
-  static std::optional<FaultPlan> from_env();
+  /// Plan from the LASSM_FAULTPLAN environment variable; ok(nullopt) when
+  /// the variable is unset or empty. A malformed spec is a typed
+  /// kParseError naming the offending token — never a partially armed
+  /// plan, and never a typo silently disabling injection.
+  static Result<std::optional<FaultPlan>> from_env();
 
   /// Canonical spec rendering (parse(to_spec()) round-trips).
   std::string to_spec() const;

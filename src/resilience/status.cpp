@@ -14,6 +14,8 @@ const char* error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kDeviceLost: return "device_lost";
     case ErrorCode::kResourceExhausted: return "resource_exhausted";
     case ErrorCode::kFailedPrecondition: return "failed_precondition";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kUnavailable: return "unavailable";
     case ErrorCode::kInternal: return "internal";
   }
   return "unknown";

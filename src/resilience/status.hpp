@@ -28,6 +28,8 @@ enum class ErrorCode : std::uint8_t {
   kDeviceLost,          ///< simulated device dropped out mid-run
   kResourceExhausted,   ///< pool/thread/memory acquisition failed
   kFailedPrecondition,  ///< internal invariant violated by input state
+  kDeadlineExceeded,    ///< job missed its deadline and was shed/cancelled
+  kUnavailable,         ///< service rejected the request (stopped/breaker)
   kInternal,            ///< anything else (bug)
 };
 

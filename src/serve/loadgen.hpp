@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/input.hpp"
+#include "serve/service.hpp"
+
+/// Closed-loop load generator for AssemblyService: N tenant threads each
+/// submit-and-wait over a pre-generated pool of distinct small datasets
+/// (with a configurable repeat fraction so the ResultCache sees real
+/// traffic), collecting exact per-job latencies for the SLO report. The
+/// open-loop variant fires every job up front without waiting — the
+/// overload mode the fault-storm soak and the 4x-capacity bench use.
+namespace lassm::serve {
+
+struct LoadGenConfig {
+  unsigned tenants = 4;
+  unsigned jobs_per_tenant = 50;
+  /// Distinct datasets in the pool; contig ids are offset per pool slot
+  /// so fault keys stay globally unique across jobs.
+  unsigned distinct_datasets = 16;
+  std::uint32_t contigs_per_job = 8;
+  std::uint32_t reads_per_job = 48;
+  std::uint32_t read_len = 100;
+  std::uint32_t kmer_len = 21;
+  /// Probability a tenant resubmits its previous dataset (cache traffic).
+  double repeat_fraction = 0.5;
+  double deadline_ms = 0.0;  ///< 0 = no deadline
+  std::uint64_t seed = 20240731;
+};
+
+struct LoadGenReport {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t retried_jobs = 0;
+  double wall_s = 0.0;
+  double throughput_jobs_per_s = 0.0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  /// Every ticket resolved to exactly one terminal state (always true by
+  /// construction here) AND the service-side counters balance.
+  bool accounted = false;
+};
+
+/// Deterministically generates the dataset pool (same cfg => same bytes).
+std::vector<core::AssemblyInput> make_job_pool(const LoadGenConfig& cfg);
+
+/// One thread per tenant, submit -> wait -> next. Exact latencies.
+LoadGenReport run_closed_loop(AssemblyService& service,
+                              const LoadGenConfig& cfg);
+
+/// One thread per tenant, submit everything, then wait for every ticket:
+/// drives queue overflow and deadline shedding under real overload.
+LoadGenReport run_open_loop(AssemblyService& service,
+                            const LoadGenConfig& cfg);
+
+}  // namespace lassm::serve

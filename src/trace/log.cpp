@@ -164,9 +164,9 @@ void Logger::log(Level lvl, std::string_view module, std::string_view event,
   }
 }
 
-std::string Logger::incident(std::string_view kind,
-                             std::vector<trace::Arg> fields) {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+Result<std::string> Logger::incident(std::string_view kind,
+                                     std::vector<trace::Arg> fields) {
+  std::unique_lock<std::mutex> lock(impl_->mutex);
   const Record& r =
       impl_->push(Level::kWarn, "incident", kind, std::move(fields));
   if (Level::kWarn >= level() && impl_->sink != nullptr) {
@@ -174,16 +174,42 @@ std::string Logger::incident(std::string_view kind,
     *impl_->sink << "\n";
     impl_->sink->flush();
   }
-  if (impl_->flight_dir.empty()) return "";
+  if (impl_->flight_dir.empty()) return std::string{};
+
+  const std::uint64_t seq = r.seq;
+  // Self-reports a dump failure at error level (ring + sink) before
+  // returning the typed error, so the incident record survives even when
+  // the dump path is broken. Caller still holds no lock state: we re-use
+  // the already-held `lock`.
+  const auto dump_failed = [&](const std::string& detail,
+                               const std::string& path) -> Error {
+    Error err(ErrorCode::kIoError,
+              "flight dump for incident \"" + std::string(kind) +
+                  "\" failed: " + detail,
+              SourceContext{path, 0, 0});
+    const Record& fail = impl_->push(
+        Level::kError, "incident", "flight_dump_failed",
+        {trace::Arg::s("kind", std::string(kind)),
+         trace::Arg::s("path", path), trace::Arg::s("detail", detail)});
+    if (Level::kError >= level() && impl_->sink != nullptr) {
+      write_record(*impl_->sink, fail);
+      *impl_->sink << "\n";
+      impl_->sink->flush();
+    }
+    return err;
+  };
 
   std::error_code ec;
   std::filesystem::create_directories(impl_->flight_dir, ec);
+  if (ec)
+    return dump_failed("create_directories: " + ec.message(),
+                       impl_->flight_dir);
   std::ostringstream name;
-  name << "flight_" << r.seq << "_" << std::string(kind) << ".json";
+  name << "flight_" << seq << "_" << std::string(kind) << ".json";
   const std::string path =
       (std::filesystem::path(impl_->flight_dir) / name.str()).string();
   std::ofstream out(path);
-  if (!out) return "";
+  if (!out) return dump_failed("cannot open for write", path);
   out << "{\n  \"incident\": ";
   write_record(out, r);
   out << ",\n  \"events\": [";
@@ -194,7 +220,7 @@ std::string Logger::incident(std::string_view kind,
   }
   out << "\n  ]\n}\n";
   out.flush();
-  if (!out) return "";
+  if (!out) return dump_failed("write/flush failed", path);
   return path;
 }
 

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "resilience/status.hpp"
 #include "trace/trace.hpp"
 
 /// Structured-logging half of the observability subsystem.
@@ -78,11 +79,14 @@ class Logger {
            std::vector<trace::Arg> fields = {});
 
   /// Declares an incident: logs it at warn level, and — when a flight dir
-  /// is configured — dumps `{"incident": {...}, "events": [last N]}` to
-  /// `<dir>/flight_<seq>_<kind>.json`. Returns the dump path ("" when
-  /// dumping is off or the write failed).
-  std::string incident(std::string_view kind,
-                       std::vector<trace::Arg> fields = {});
+  /// is configured — creates the directory if missing and dumps
+  /// `{"incident": {...}, "events": [last N]}` to
+  /// `<dir>/flight_<seq>_<kind>.json`. Returns ok("") when dumping is off,
+  /// ok(path) on a successful dump, and a typed kIoError when the
+  /// directory cannot be created or the write fails — the failure is also
+  /// self-logged at error level so the incident is never lost silently.
+  Result<std::string> incident(std::string_view kind,
+                               std::vector<trace::Arg> fields = {});
 
   /// Snapshot of the flight ring, oldest first (for tests and exporters).
   std::vector<Record> flight() const;

@@ -155,15 +155,46 @@ TEST(FaultPlanParse, RejectsMalformedSpecs) {
 TEST(FaultPlanParse, FromEnvReadsAndValidates) {
   ::setenv("LASSM_FAULTPLAN", "seed=9 walk_hang=0.125", 1);
   auto plan = FaultPlan::from_env();
-  ASSERT_TRUE(plan.has_value());
-  EXPECT_EQ(plan->seed(), 9U);
-  EXPECT_DOUBLE_EQ(plan->rate(Seam::kWalkHang), 0.125);
-
-  ::setenv("LASSM_FAULTPLAN", "walk_hang=notanumber", 1);
-  EXPECT_THROW(FaultPlan::from_env(), StatusError);
+  ASSERT_TRUE(plan.is_ok());
+  ASSERT_TRUE(plan.value().has_value());
+  EXPECT_EQ(plan.value()->seed(), 9U);
+  EXPECT_DOUBLE_EQ(plan.value()->rate(Seam::kWalkHang), 0.125);
 
   ::unsetenv("LASSM_FAULTPLAN");
-  EXPECT_FALSE(FaultPlan::from_env().has_value());
+  auto unset = FaultPlan::from_env();
+  ASSERT_TRUE(unset.is_ok());
+  EXPECT_FALSE(unset.value().has_value());
+
+  ::setenv("LASSM_FAULTPLAN", "", 1);
+  auto empty = FaultPlan::from_env();
+  ASSERT_TRUE(empty.is_ok());
+  EXPECT_FALSE(empty.value().has_value());
+  ::unsetenv("LASSM_FAULTPLAN");
+}
+
+TEST(FaultPlanParse, FromEnvMalformedIsTypedErrorNamingTheToken) {
+  // A typo must become a kParseError carrying the offending token — never
+  // a partially armed plan, never a silently disabled one.
+  const char* bad_specs[] = {
+      "walk_hang=notanumber",
+      "seed=9 walk_hang=0.1 task_exceptoin=0.5",  // typo'd seam name
+      "seed=-1",                                  // stoull would wrap this
+      "task_exception=1.5",
+      "device_loss=1@",
+  };
+  for (const char* spec : bad_specs) {
+    ::setenv("LASSM_FAULTPLAN", spec, 1);
+    auto plan = FaultPlan::from_env();
+    ASSERT_FALSE(plan.is_ok()) << spec;
+    EXPECT_EQ(plan.error().code(), ErrorCode::kParseError) << spec;
+  }
+  // The error message names the bad token, not just "parse failed".
+  ::setenv("LASSM_FAULTPLAN", "seed=9 task_exceptoin=0.5", 1);
+  auto plan = FaultPlan::from_env();
+  ASSERT_FALSE(plan.is_ok());
+  EXPECT_NE(plan.error().message().find("task_exceptoin"), std::string::npos)
+      << plan.error().to_string();
+  ::unsetenv("LASSM_FAULTPLAN");
 }
 
 TEST(FaultPlan, SeamNamesAreUniqueAndSnakeCase) {

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/assembler.hpp"
+#include "serve/service.hpp"
+#include "workload/dataset.hpp"
+
+namespace lassm::serve::testutil {
+
+/// Small deterministic dataset; `id_offset` keeps contig fault keys (and
+/// therefore injected fault sets) disjoint between distinct jobs.
+inline core::AssemblyInput small_dataset(std::uint64_t seed,
+                                         std::uint32_t contigs = 6,
+                                         std::uint64_t id_offset = 0) {
+  workload::DatasetParams p;
+  p.kmer_len = 21;
+  p.num_contigs = contigs;
+  p.num_reads = contigs * 6;
+  p.read_len = 100;
+  core::AssemblyInput in = workload::generate_dataset(p, seed);
+  for (bio::Contig& c : in.contigs) c.id += id_offset;
+  return in;
+}
+
+/// An input that fails AssemblyInput::validate() (side-mapping mismatch).
+inline core::AssemblyInput invalid_dataset() {
+  core::AssemblyInput in = small_dataset(99, 2);
+  in.left_reads.pop_back();
+  return in;
+}
+
+/// Runs the direct single-job oracle with exactly the options the service
+/// dispatches under (same armed plan, same device/pm).
+inline core::AssemblyResult oracle_run(const ServiceConfig& cfg,
+                                       const core::AssemblyInput& in) {
+  core::LocalAssembler oracle(cfg.device, cfg.pm, cfg.assembly);
+  return oracle.run(in);
+}
+
+inline void expect_extensions_eq(
+    const std::vector<bio::ContigExtension>& got,
+    const std::vector<bio::ContigExtension>& want, const char* ctx) {
+  ASSERT_EQ(got.size(), want.size()) << ctx;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].contig_id, want[i].contig_id) << ctx << " #" << i;
+    EXPECT_EQ(got[i].left, want[i].left) << ctx << " #" << i;
+    EXPECT_EQ(got[i].right, want[i].right) << ctx << " #" << i;
+    EXPECT_EQ(got[i].left_mer_len, want[i].left_mer_len) << ctx << " #" << i;
+    EXPECT_EQ(got[i].right_mer_len, want[i].right_mer_len)
+        << ctx << " #" << i;
+  }
+}
+
+inline void expect_accounted(const AssemblyService& service) {
+  const ServiceCounters c = service.counters();
+  EXPECT_TRUE(c.accounted())
+      << "submitted=" << c.submitted << " completed=" << c.completed
+      << " failed=" << c.failed << " shed=" << c.shed_total();
+}
+
+}  // namespace lassm::serve::testutil

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/loadgen.hpp"
+#include "serve/service.hpp"
+#include "serve_test_util.hpp"
+
+/// Golden bit-identity: every job the service *completes* must be
+/// byte-for-byte what a direct single-job LocalAssembler oracle produces
+/// under the same armed plan — at every worker-thread count, with
+/// coalescing on, with an armed-but-empty plan and under a seeded fault
+/// storm. Shed and failed jobs are excluded by the report (typed status,
+/// counted), never silently lost.
+namespace lassm::serve {
+namespace {
+
+std::vector<core::AssemblyInput> golden_pool() {
+  LoadGenConfig lg;
+  lg.distinct_datasets = 6;
+  lg.contigs_per_job = 5;
+  lg.reads_per_job = 30;
+  return make_job_pool(lg);
+}
+
+struct GoldenRun {
+  std::vector<JobState> states;
+  std::vector<std::vector<bio::ContigExtension>> extensions;
+};
+
+GoldenRun run_service(const resilience::FaultPlan* plan, unsigned threads,
+                      const std::vector<core::AssemblyInput>& pool) {
+  ServiceConfig cfg;
+  cfg.assembly.fault_plan = plan;
+  cfg.assembly.n_threads = threads;
+  cfg.cache_capacity = 0;  // force a real engine run for every job
+  AssemblyService service(cfg);
+  std::vector<TicketPtr> tickets;
+  tickets.reserve(pool.size());
+  for (const core::AssemblyInput& in : pool) {
+    tickets.push_back(service.submit("golden", in));
+  }
+  service.drain();
+  testutil::expect_accounted(service);
+  GoldenRun run;
+  for (const TicketPtr& t : tickets) {
+    const JobOutcome& out = t->wait();
+    run.states.push_back(out.state);
+    run.extensions.push_back(out.extensions);
+  }
+  service.stop();
+  return run;
+}
+
+void golden_check(const resilience::FaultPlan* plan) {
+  const std::vector<core::AssemblyInput> pool = golden_pool();
+
+  // Oracle: one direct single-job run per dataset, same armed plan.
+  ServiceConfig oracle_cfg;
+  oracle_cfg.assembly.fault_plan = plan;
+  std::vector<core::AssemblyResult> oracle;
+  oracle.reserve(pool.size());
+  for (const core::AssemblyInput& in : pool) {
+    oracle.push_back(testutil::oracle_run(oracle_cfg, in));
+  }
+
+  for (unsigned threads : {1U, 4U, 8U}) {
+    const GoldenRun run = run_service(plan, threads, pool);
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      const std::string ctx =
+          "dataset " + std::to_string(i) + " @" + std::to_string(threads);
+      if (run.states[i] == JobState::kCompleted) {
+        testutil::expect_extensions_eq(run.extensions[i],
+                                       oracle[i].extensions, ctx.c_str());
+      } else {
+        // A failed job means quarantined tasks: the oracle must agree the
+        // dataset faults under this plan (content-derived keys), so the
+        // failure is attributable, not an artifact of serving.
+        EXPECT_EQ(run.states[i], JobState::kFailed) << ctx;
+        EXPECT_GT(oracle[i].failures.tasks_quarantined, 0U) << ctx;
+        EXPECT_TRUE(run.extensions[i].empty()) << ctx;
+      }
+    }
+    // Thread count must not change which jobs complete (seam draws are
+    // content-keyed, never timing-keyed).
+    const GoldenRun base = run_service(plan, 1, pool);
+    EXPECT_EQ(run.states, base.states);
+  }
+}
+
+TEST(ServeDeterminism, ArmedEmptyPlanMatchesOracleAtEveryThreadCount) {
+  const resilience::FaultPlan empty;
+  golden_check(&empty);
+}
+
+TEST(ServeDeterminism, FaultStormCompletedJobsMatchOracle) {
+  Result<resilience::FaultPlan> plan = resilience::FaultPlan::parse(
+      "seed=7 task_exception=0.05 bad_input=0.02 mem_stall=0.05 "
+      "walk_hang=0.02");
+  ASSERT_TRUE(plan.is_ok());
+  const resilience::FaultPlan storm = std::move(plan).take();
+  golden_check(&storm);
+}
+
+TEST(ServeDeterminism, CoalescingDoesNotChangeResults) {
+  const std::vector<core::AssemblyInput> pool = golden_pool();
+  ServiceConfig cfg;
+  cfg.cache_capacity = 0;
+  cfg.start_paused = true;  // everything queued => maximal coalescing
+  AssemblyService service(cfg);
+  std::vector<TicketPtr> tickets;
+  for (const core::AssemblyInput& in : pool) {
+    tickets.push_back(service.submit("golden", in));
+  }
+  service.resume();
+  service.drain();
+  EXPECT_GE(service.counters().coalesced_batches, 1U);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const JobOutcome& out = tickets[i]->wait();
+    ASSERT_EQ(out.state, JobState::kCompleted) << i;
+    const core::AssemblyResult ref = testutil::oracle_run(cfg, pool[i]);
+    testutil::expect_extensions_eq(out.extensions, ref.extensions,
+                                   "coalesced pool");
+  }
+  testutil::expect_accounted(service);
+}
+
+}  // namespace
+}  // namespace lassm::serve

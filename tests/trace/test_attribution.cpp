@@ -372,8 +372,10 @@ TEST_F(LogTest, IncidentDumpsFlightRecorder) {
   logger.set_flight_dir(dir.string());
 
   log::debug("exec", "seam_fired", {Arg::s("seam", "task_exception")});
-  const std::string path = logger.incident(
+  lassm::Result<std::string> dumped = logger.incident(
       "unit_test_incident", {Arg::n("fault_key", 99), Arg::s("kind", "t")});
+  ASSERT_TRUE(dumped.is_ok()) << dumped.error().to_string();
+  const std::string path = dumped.value();
   ASSERT_FALSE(path.empty());
   EXPECT_TRUE(std::filesystem::exists(path));
   EXPECT_NE(path.find("unit_test_incident"), std::string::npos);
@@ -394,7 +396,43 @@ TEST_F(LogTest, IncidentDumpsFlightRecorder) {
 TEST_F(LogTest, IncidentWithoutFlightDirReturnsEmpty) {
   log::Logger& logger = log::Logger::instance();
   logger.set_sink(nullptr);
-  EXPECT_EQ(logger.incident("nowhere_to_go"), "");
+  lassm::Result<std::string> dumped = logger.incident("nowhere_to_go");
+  ASSERT_TRUE(dumped.is_ok());
+  EXPECT_EQ(dumped.value(), "");
+}
+
+TEST_F(LogTest, IncidentCreatesMissingNestedFlightDir) {
+  log::Logger& logger = log::Logger::instance();
+  logger.set_sink(nullptr);
+  const std::filesystem::path dir = std::filesystem::path(::testing::TempDir())
+      / "lassm_flight_nested" / "a" / "b";
+  std::filesystem::remove_all(dir.parent_path().parent_path());
+  logger.set_flight_dir(dir.string());
+  lassm::Result<std::string> dumped = logger.incident("nested_dir");
+  ASSERT_TRUE(dumped.is_ok()) << dumped.error().to_string();
+  EXPECT_TRUE(std::filesystem::exists(dumped.value()));
+  std::filesystem::remove_all(dir.parent_path().parent_path());
+}
+
+TEST_F(LogTest, IncidentDumpFailureIsTypedAndSelfLogged) {
+  log::Logger& logger = log::Logger::instance();
+  logger.set_sink(nullptr);
+  // A regular file where the flight dir should be: create_directories
+  // fails, and incident() must report it instead of silently returning.
+  const std::filesystem::path file =
+      std::filesystem::path(::testing::TempDir()) / "lassm_flight_blocker";
+  std::filesystem::remove_all(file);
+  { std::ofstream block(file); block << "x"; }
+  logger.set_flight_dir(file.string());
+  lassm::Result<std::string> dumped = logger.incident("blocked");
+  ASSERT_FALSE(dumped.is_ok());
+  EXPECT_EQ(dumped.error().code(), lassm::ErrorCode::kIoError);
+  EXPECT_NE(dumped.error().message().find("blocked"), std::string::npos);
+  // The failure was self-logged into the flight ring, not lost.
+  const std::vector<log::Record> ring = logger.flight();
+  ASSERT_FALSE(ring.empty());
+  EXPECT_EQ(ring.back().event, "flight_dump_failed");
+  std::filesystem::remove_all(file);
 }
 
 // ---------------------------------------------------------------------------
