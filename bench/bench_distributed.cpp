@@ -1,0 +1,163 @@
+// Distributed weak-scaling bench: run the sharded multi-rank pipeline
+// (dist::run_distributed) at 1/2/4/8 simulated ranks with the genome —
+// and so the k-mer load — growing proportionally, and record the
+// partition quality and message-layer accounting the design promises:
+// per-rank k-mer spread within 10% (the two-level hash partition is
+// near-uniform), measured remote insert traffic within 5% of the
+// analytic (R-1)/R prediction, and the modelled network seconds billed
+// by the MessageLayer. Everything here is modelled/seeded and therefore
+// deterministic — the regression gate tolerances are correspondingly
+// tight. Writes results/BENCH_distributed.json for
+// scripts/bench_history.py.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bench/common.hpp"
+#include "bio/rng.hpp"
+#include "dist/pipeline.hpp"
+#include "model/ascii_plot.hpp"
+#include "model/csv.hpp"
+
+namespace {
+
+std::string random_seq(std::uint64_t seed, std::size_t len) {
+  lassm::bio::Xoshiro256 rng(seed);
+  std::string s(len, 'A');
+  for (char& c : s) {
+    c = lassm::bio::code_to_base(static_cast<int>(rng.below(4)));
+  }
+  return s;
+}
+
+lassm::bio::ReadSet shotgun(const std::string& genome, double coverage,
+                            std::uint32_t read_len, std::uint64_t seed) {
+  lassm::bio::Xoshiro256 rng(seed);
+  lassm::bio::ReadSet reads;
+  const auto n = static_cast<std::uint64_t>(
+      coverage * static_cast<double>(genome.size()) / read_len);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t start = rng.below(genome.size() - read_len);
+    reads.append(genome.substr(start, read_len), 35);
+  }
+  return reads;
+}
+
+}  // namespace
+
+int main() {
+  using namespace lassm;
+  std::cout << "== Distributed weak scaling (k=21, A100 network model) ==\n\n";
+
+  const auto device = simt::DeviceSpec::a100();
+  model::TextTable t({"ranks", "reads", "kmers", "spread", "remote msgs",
+                      "model err", "msgs/kmer", "net (ms)"});
+  model::CsvWriter csv = bench::bench_csv(
+      "distributed", {"ranks", "reads", "kmers", "kmer_spread_pct",
+                      "remote_msgs", "remote_msgs_model", "model_err_pct",
+                      "msgs_per_kmer", "network_ms", "batches"});
+
+  // Headline metrics come from the largest fleet (the hardest case for
+  // both balance and the analytic traffic model).
+  double head_spread = 0.0, head_err = 0.0, head_msgs_per_kmer = 0.0;
+  double head_network_ms = 0.0, head_balance = 0.0;
+  bool spread_ok = true, model_ok = true;
+
+  for (const std::uint32_t ranks : {1u, 2u, 4u, 8u}) {
+    // Weak scaling: genome (and with it the distinct-k-mer load) grows
+    // with the fleet, so per-rank work stays roughly constant.
+    const bio::ReadSet reads =
+        shotgun(random_seq(31, 1500 * ranks), 8.0, 100, 32 + ranks);
+
+    dist::DistOptions opts;
+    opts.ranks = ranks;
+    opts.pipeline.k_iterations = {21};
+    const dist::DistResult r = dist::run_distributed(reads, device, opts);
+
+    std::uint64_t kmers = 0, kmin = UINT64_MAX, kmax = 0;
+    for (const auto& rr : r.ranks) {
+      kmers += rr.kmers;
+      kmin = std::min(kmin, rr.kmers);
+      kmax = std::max(kmax, rr.kmers);
+    }
+    const double mean =
+        static_cast<double>(kmers) / static_cast<double>(r.ranks.size());
+    const double spread_pct =
+        mean > 0.0 ? 100.0 * static_cast<double>(kmax - kmin) / mean : 0.0;
+    const double err_pct =
+        r.count_remote_msgs_model > 0.0
+            ? 100.0 *
+                  std::abs(static_cast<double>(r.count_remote_msgs) -
+                           r.count_remote_msgs_model) /
+                  r.count_remote_msgs_model
+            : 0.0;
+    const double msgs_per_kmer =
+        kmers > 0 ? static_cast<double>(r.traffic.msgs) /
+                        static_cast<double>(kmers)
+                  : 0.0;
+
+    t.add_row({std::to_string(ranks), std::to_string(reads.size()),
+               std::to_string(kmers),
+               model::TextTable::fmt(spread_pct, 2) + "%",
+               std::to_string(r.traffic.msgs),
+               model::TextTable::fmt(err_pct, 2) + "%",
+               model::TextTable::fmt(msgs_per_kmer, 3),
+               model::TextTable::fmt(r.network_s * 1e3, 3)});
+    csv.row(ranks, reads.size(), kmers, spread_pct, r.count_remote_msgs,
+            r.count_remote_msgs_model, err_pct, msgs_per_kmer,
+            r.network_s * 1e3, r.traffic.batches);
+
+    if (ranks > 1) {
+      // The design's acceptance bars, enforced on every fleet size.
+      if (spread_pct > 10.0) {
+        std::cerr << "FAIL: per-rank k-mer spread " << spread_pct
+                  << "% > 10% at " << ranks << " ranks\n";
+        spread_ok = false;
+      }
+      if (err_pct > 5.0) {
+        std::cerr << "FAIL: remote-insert traffic off the analytic model "
+                  << "by " << err_pct << "% > 5% at " << ranks
+                  << " ranks\n";
+        model_ok = false;
+      }
+    }
+    if (ranks == 8) {
+      head_spread = spread_pct;
+      head_err = err_pct;
+      head_msgs_per_kmer = msgs_per_kmer;
+      head_network_ms = r.network_s * 1e3;
+      head_balance = kmax > 0 ? mean / static_cast<double>(kmax) : 0.0;
+    }
+  }
+  t.render(std::cout);
+  std::cout << "\nexpected: spread and msgs/kmer flat across fleet sizes "
+               "(weak scaling), remote traffic tracking the (R-1)/R "
+               "analytic model\n";
+
+  const std::string path = model::results_dir() + "/BENCH_distributed.json";
+  std::ofstream js(path);
+  js << "{\n"
+     << "  \"bench\": \"distributed\",\n";
+  bench::write_metrics_envelope(
+      js,
+      // Modelled + seeded = deterministic, so the tolerances are tight;
+      // they exist to absorb intentional workload retunes, not noise.
+      {{"kmer_spread_pct_8r", head_spread, "lower", 0.10},
+       {"msgs_vs_model_pct_8r", head_err, "lower", 0.10},
+       {"msgs_per_kmer_8r", head_msgs_per_kmer, "lower", 0.10},
+       {"network_ms_8r", head_network_ms, "lower", 0.10},
+       {"rank_balance_8r", head_balance, "higher", 0.05}});
+  js << "  \"acceptance\": {\n"
+     << "    \"spread_le_10pct\": " << (spread_ok ? "true" : "false")
+     << ",\n"
+     << "    \"model_err_le_5pct\": " << (model_ok ? "true" : "false")
+     << "\n"
+     << "  }\n}\n";
+  bench::write_artifacts(std::cout, csv);
+  std::cout << "JSON: " << path << "\n";
+  return (spread_ok && model_ok) ? 0 : 1;
+}

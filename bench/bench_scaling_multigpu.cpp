@@ -34,8 +34,10 @@ int main() {
 
   double base = 0.0;
   for (std::uint32_t ranks : {1U, 2U, 4U, 8U}) {
-    const auto r = pipeline::run_multi_gpu(input, simt::DeviceSpec::a100(),
-                                           ranks);
+    // Registry-routed fleet construction (same results as run_multi_gpu
+    // with an explicit spec; the resilient path with no plan is identical).
+    const auto r =
+        pipeline::run_multi_gpu_resilient(input, "a100", ranks, {}, nullptr);
     if (ranks == 1) base = r.makespan_s;
     const double speedup = base / r.makespan_s;
     t.add_row({std::to_string(ranks),

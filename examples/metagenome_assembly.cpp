@@ -7,8 +7,14 @@
 //   ./metagenome_assembly [device] [num_species] [coverage] [threads]
 // where [device] is any DeviceSpec::zoo() slug or alias (a100, mi250x,
 // max1550, mi300x, gh200, cpu-simd, orin-nx, nvidia, amd, intel, ...).
-//                         [--trace t.json] [--metrics m.json]
+//                         [--ranks N] [--trace t.json] [--metrics m.json]
 //                         [--log-level LEVEL] [--flight-dir DIR]
+//
+// `--ranks` (or LASSM_RANKS) runs the distributed pipeline instead:
+// the k-mer table and de Bruijn graph are sharded across N simulated
+// ranks with batched owner-computes messaging billed against the
+// device's network model. Contigs are bit-identical at every rank
+// count; the run additionally reports the message-layer traffic.
 //
 // `--trace` (or LASSM_TRACE) records the whole pipeline — stage spans, one
 // sim timeline per k-round's launches, per-worker host tracks — as Chrome
@@ -17,6 +23,7 @@
 // (or LASSM_FLIGHT_DIR) redirects flight-recorder dumps.
 
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -24,7 +31,9 @@
 
 #include "bio/fasta.hpp"
 #include "bio/rng.hpp"
+#include "dist/pipeline.hpp"
 #include "pipeline/pipeline.hpp"
+#include "resilience/fault_plan.hpp"
 #include "trace/export.hpp"
 #include "trace/trace.hpp"
 
@@ -44,8 +53,16 @@ int main(int argc, char** argv) {
   using namespace lassm;
 
   const trace::TraceCli tcli = trace::parse_trace_cli(argc, argv);
+  // Positionals stop at the first `--flag`; flags may follow in any order.
+  int npos = argc;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      npos = i;
+      break;
+    }
+  }
   simt::DeviceSpec device = simt::DeviceSpec::a100();
-  if (argc > 1) {
+  if (npos > 1) {
     const simt::DeviceSpec* found = simt::DeviceSpec::find(argv[1]);
     if (found == nullptr) {
       std::cerr << "metagenome_assembly: unknown device '" << argv[1]
@@ -54,10 +71,21 @@ int main(int argc, char** argv) {
     }
     device = *found;
   }
-  const int n_species = argc > 2 ? std::atoi(argv[2]) : 4;
-  const double coverage = argc > 3 ? std::atof(argv[3]) : 9.0;
+  const int n_species = npos > 2 ? std::atoi(argv[2]) : 4;
+  const double coverage = npos > 3 ? std::atof(argv[3]) : 9.0;
   const unsigned n_threads =
-      argc > 4 ? static_cast<unsigned>(std::atoi(argv[4])) : 0;
+      npos > 4 ? static_cast<unsigned>(std::atoi(argv[4])) : 0;
+
+  std::uint32_t ranks = 1;
+  if (const char* env = std::getenv("LASSM_RANKS")) {
+    ranks = static_cast<std::uint32_t>(std::atoi(env));
+  }
+  for (int i = npos; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--ranks") == 0) {
+      ranks = static_cast<std::uint32_t>(std::atoi(argv[i + 1]));
+    }
+  }
+  if (ranks == 0) ranks = 1;
 
   // 1) A toy metagenomic community: genome sizes 4-12 kb, abundances
   //    log-normally skewed (the rare-species problem the paper's intro
@@ -104,7 +132,8 @@ int main(int argc, char** argv) {
             << " genome bases, " << reads.size() << " reads @ ~" << coverage
             << "x\n\n";
 
-  // 3) Assemble on the chosen device model.
+  // 3) Assemble on the chosen device model — single-device, or sharded
+  //    across a simulated rank fleet (bit-identical contigs either way).
   pipeline::PipelineOptions opts;
   opts.assembly.n_threads = n_threads;
   std::unique_ptr<trace::Tracer> tracer;
@@ -112,8 +141,37 @@ int main(int argc, char** argv) {
     tracer = std::make_unique<trace::Tracer>();
     opts.assembly.trace = tracer.get();
   }
-  const pipeline::PipelineResult result =
-      pipeline::run_pipeline(reads, device, opts, &std::cout);
+  Result<std::optional<resilience::FaultPlan>> env_plan =
+      resilience::FaultPlan::from_env();
+  if (!env_plan) {
+    std::cerr << "metagenome_assembly: bad LASSM_FAULTPLAN: "
+              << env_plan.error().to_string() << "\n";
+    return 1;
+  }
+  std::optional<resilience::FaultPlan> fault_plan = std::move(env_plan).take();
+  if (fault_plan.has_value()) {
+    opts.assembly.fault_plan = &*fault_plan;
+    std::cout << "fault plan: " << fault_plan->to_spec() << "\n";
+  }
+  pipeline::PipelineResult result;
+  if (ranks > 1) {
+    dist::DistOptions dopts;
+    dopts.ranks = ranks;
+    dopts.pipeline = opts;
+    const dist::DistResult dr =
+        dist::run_distributed(reads, device, dopts, &std::cout);
+    result = dr.pipeline;
+    std::cout << "\ndistributed over " << dr.ranks.size() << " ranks on "
+              << device.name << ": " << dr.traffic.msgs
+              << " remote messages in " << dr.traffic.batches
+              << " batches (" << dr.traffic.bytes << " bytes), modelled "
+              << "network time " << dr.network_s * 1e3 << " ms\n";
+    if (fault_plan.has_value()) {
+      std::cout << "failures: " << dr.failures.summary() << "\n";
+    }
+  } else {
+    result = pipeline::run_pipeline(reads, device, opts, &std::cout);
+  }
 
   // 4) Summary + FASTA output.
   std::cout << "\nfinal assembly on " << device.name << ":\n";

@@ -4,24 +4,27 @@
 #
 # Leg 1 (TSan): configures a build tree with warnings + ThreadSanitizer,
 # runs the engine's determinism/parallelism tests, the memsim
-# differential/golden bit-identity suites, the fault-matrix and
-# traced-fault suites and the tracer's span/metrics/attribution tests,
+# differential/golden bit-identity suites, the distributed message-layer
+# differential suite with its rank x thread bit-identity matrix, the
+# fault-matrix and traced-fault suites and the tracer's
+# span/metrics/attribution tests,
 # then drives a traced multi-threaded end-to-end run (plus a faulted one
 # that must dump the flight recorder) and validates the emitted
 # trace/metrics/profile/flight JSON with python3 -m json.tool.
 # Leg 2 (ASan+UBSan): rebuilds with AddressSanitizer + UBSan and runs the
-# parser fuzz corpus, the fault matrix, the checkpoint suite and the
+# parser fuzz corpus, the fault matrix, the checkpoint suite, the
 # serving suite with its 10k-job fault-storm soak gate (every job must be
-# accounted exactly once under 4x overload) — the error paths exercised
-# by injected faults and corrupted inputs must be leak-, overflow- and
-# UB-clean, not just reach the right verdict.
+# accounted exactly once under 4x overload) and the distributed suite's
+# framing/recovery paths — the error paths exercised by injected faults
+# and corrupted inputs must be leak-, overflow- and UB-clean, not just
+# reach the right verdict.
 # Finishes with a Release perf smoke (the memsim and front-end benches
 # must still beat their recorded seed baselines) and the autotune gate:
 # two fresh tuner runs over the device zoo must agree byte-for-byte, show
 # tuned <= default everywhere, hold the recorded speedup floors, and both
 # artifacts must parse. The Release leg ends with the bench-history gate:
-# all six metric-enveloped benches (including the serving SLO probe)
-# re-run fresh and must stay within
+# all seven metric-enveloped benches (including the serving SLO probe
+# and the distributed weak-scaling bench) re-run fresh and must stay within
 # their per-metric tolerances of the committed results/history/ baselines,
 # and the gate's synthetic-regression self-test must trip. Any race,
 # sanitizer report, test failure, malformed JSON or perf regression fails
@@ -42,7 +45,7 @@ cmake -B "$BUILD" -S . \
 
 cmake --build "$BUILD" -j \
   --target tests_core tests_trace tests_memsim tests_resilience \
-  tests_pipeline tests_serve quickstart
+  tests_pipeline tests_serve tests_dist quickstart
 
 # The parallel-assembler suite drives the pool across thread counts, batch
 # shapes, steal interleavings and the error path; any data race in the
@@ -81,6 +84,14 @@ TSAN_OPTIONS="halt_on_error=1" "$BUILD/tests/tests_resilience"
 # bit-identity at 1/4/8 workers, the seeded fault storms and the overload
 # soak — runs under the race detector.
 TSAN_OPTIONS="halt_on_error=1" "$BUILD/tests/tests_serve"
+
+# The distributed suite under TSan: the message-layer differential tests
+# (ShardMap/MessageLayer/DistKmerTable vs their serial oracles) plus the
+# end-to-end rank x thread bit-identity matrix run the sharded front-end
+# and the per-rank device fleet on a live pool — a race in the batched
+# queues, the adopt/recount recovery path or the per-rank merge trips
+# TSan here.
+TSAN_OPTIONS="halt_on_error=1" "$BUILD/tests/tests_dist"
 
 # The cache/tiered differential oracles under TSan: the memo, packed
 # recency and epoch paths must match the naive model access by access.
@@ -140,7 +151,7 @@ cmake -B "$ASAN_BUILD" -S . \
 
 cmake --build "$ASAN_BUILD" -j \
   --target tests_bio tests_resilience tests_pipeline tests_workload \
-  tests_serve
+  tests_serve tests_dist
 
 ASAN_OPTIONS="detect_leaks=1" \
   "$ASAN_BUILD/tests/tests_bio" --gtest_filter='FastaFuzz.*'
@@ -149,6 +160,12 @@ ASAN_OPTIONS="detect_leaks=1" \
   "$ASAN_BUILD/tests/tests_pipeline" \
   --gtest_filter='Checkpoint.*:MultiGpuResilient.*:ConcurrentKmerTable.*'
 ASAN_OPTIONS="detect_leaks=1" "$ASAN_BUILD/tests/tests_workload"
+
+# The distributed suite's framing/recovery paths under ASan+UBSan: the
+# [len][payload] message frames, the shard-adoption bookkeeping and the
+# orphan-recount path must be overflow- and leak-clean, not just
+# bit-identical.
+ASAN_OPTIONS="detect_leaks=1" "$ASAN_BUILD/tests/tests_dist"
 
 # Serving suite under ASan+UBSan, then the 10k-job fault-storm soak gate:
 # every admission seam armed at once against a 4x-overloaded queue, and
@@ -265,13 +282,15 @@ echo "check.sh: autotune gate clean."
 # bad direction must trip it — a gate that cannot fail protects nothing.
 cmake --build "$PERF_BUILD" -j \
   --target bench_fig5_kernel_time bench_scaling_threads \
-  bench_serving > /dev/null
+  bench_serving bench_distributed > /dev/null
 LASSM_RESULTS_DIR="$PERF_BUILD/results" \
   "$PERF_BUILD/bench/bench_fig5_kernel_time" > /dev/null
 LASSM_RESULTS_DIR="$PERF_BUILD/results" \
   "$PERF_BUILD/bench/bench_scaling_threads" > /dev/null
 LASSM_RESULTS_DIR="$PERF_BUILD/results" \
   "$PERF_BUILD/bench/bench_serving"
+LASSM_RESULTS_DIR="$PERF_BUILD/results" \
+  "$PERF_BUILD/bench/bench_distributed" > /dev/null
 rm -rf "$PERF_BUILD/results/history"
 cp -r results/history "$PERF_BUILD/results/history"
 LASSM_RESULTS_DIR="$PERF_BUILD/results" \

@@ -1,0 +1,62 @@
+#include "dist/partition.hpp"
+
+#include <algorithm>
+
+namespace lassm::dist {
+
+ShardMap::ShardMap(std::uint32_t n_ranks) {
+  n_ranks_ = std::clamp<std::uint32_t>(n_ranks, 1, kMaxRanks);
+  n_live_ = n_ranks_;
+  for (std::uint32_t r = 0; r < n_ranks_; ++r) live_[r] = true;
+  for (std::uint32_t s = 0; s < kShards; ++s) {
+    owner_[s] = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(s) * n_ranks_ / kShards);
+  }
+}
+
+std::vector<std::uint32_t> ShardMap::live_ranks() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(n_live_);
+  for (std::uint32_t r = 0; r < n_ranks_; ++r) {
+    if (live_[r]) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> ShardMap::shards_of(std::uint32_t rank) const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t s = 0; s < kShards; ++s) {
+    if (owner_[s] == rank) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> ShardMap::adopt(std::uint32_t lost) {
+  if (lost >= n_ranks_ || !live_[lost] || n_live_ <= 1) return {};
+  live_[lost] = false;
+  --n_live_;
+
+  std::array<std::uint32_t, kMaxRanks> shard_count{};
+  for (std::uint32_t s = 0; s < kShards; ++s) {
+    if (live_[owner_[s]]) ++shard_count[owner_[s]];
+  }
+
+  std::vector<std::uint32_t> orphans;
+  for (std::uint32_t s = 0; s < kShards; ++s) {
+    if (owner_[s] != lost) continue;
+    orphans.push_back(s);
+    // Least-loaded live rank, lowest id on ties — a pure function of the
+    // map's state, so every run (and every surviving rank's view of the
+    // run) reassigns identically.
+    std::uint32_t best = kMaxRanks;
+    for (std::uint32_t r = 0; r < n_ranks_; ++r) {
+      if (!live_[r]) continue;
+      if (best == kMaxRanks || shard_count[r] < shard_count[best]) best = r;
+    }
+    owner_[s] = best;
+    ++shard_count[best];
+  }
+  return orphans;
+}
+
+}  // namespace lassm::dist

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "pipeline/kmer_table.hpp"
+
+/// Two-level partitioning of the k-mer space for the simulated multi-rank
+/// assembly (src/dist). FlatKmerTable already shards by the top 6 hash
+/// bits (64 shards); the rank layer partitions those same shards across N
+/// ranks, so
+///
+///   shard_of(hash) = hash >> 58            (unchanged, FlatKmerTable)
+///   rank_of(hash)  = owner[shard_of(hash)]
+///
+/// and a rank's k-mer table is simply the FlatKmerTable restricted to the
+/// shards it owns. Because the shard is a pure function of the hash, the
+/// owner map is the complete routing table for remote inserts/lookups, and
+/// rank loss is handled by reassigning the lost rank's shard range to
+/// survivors (the UPC++-style owner-computes scheme of the CS267 k-mer
+/// distributed hash table, with HipMer's shard granularity).
+namespace lassm::dist {
+
+class ShardMap {
+ public:
+  using Table = pipeline::FlatKmerTable<std::uint32_t>;
+  static constexpr std::uint32_t kShards = Table::kShards;
+  static constexpr std::uint32_t kMaxRanks = kShards;
+
+  /// Contiguous equal-range initial assignment: shard s belongs to rank
+  /// s * n_ranks / 64. When n_ranks divides 64 (every power of two up to
+  /// 64) each rank owns exactly 64 / n_ranks shards. n_ranks is clamped
+  /// to [1, kMaxRanks].
+  explicit ShardMap(std::uint32_t n_ranks);
+
+  std::uint32_t n_ranks() const noexcept { return n_ranks_; }
+  std::uint32_t n_live() const noexcept { return n_live_; }
+  bool live(std::uint32_t rank) const noexcept { return live_[rank]; }
+
+  std::uint32_t owner_of_shard(std::uint32_t shard) const noexcept {
+    return owner_[shard];
+  }
+  std::uint32_t rank_of_hash(std::uint64_t hash) const noexcept {
+    return owner_[Table::shard_of_hash(hash)];
+  }
+
+  /// Live ranks in ascending order — the canonical iteration order of
+  /// every deterministic per-rank loop in the distributed driver.
+  std::vector<std::uint32_t> live_ranks() const;
+
+  /// Shards currently owned by `rank`, ascending.
+  std::vector<std::uint32_t> shards_of(std::uint32_t rank) const;
+
+  /// Marks `lost` dead and deterministically reassigns each of its shards
+  /// (ascending) to the live rank owning the fewest shards (ties: lowest
+  /// rank id). Returns the orphaned shards, ascending. No-op (empty
+  /// return) if `lost` is already dead; the last live rank cannot be
+  /// killed through adopt() — callers guard against that.
+  std::vector<std::uint32_t> adopt(std::uint32_t lost);
+
+ private:
+  std::uint32_t n_ranks_ = 1;
+  std::uint32_t n_live_ = 1;
+  std::array<std::uint32_t, kShards> owner_{};
+  std::array<bool, kMaxRanks> live_{};
+};
+
+}  // namespace lassm::dist

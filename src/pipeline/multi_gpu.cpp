@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
 #include "core/binning.hpp"
 #include "resilience/fault_plan.hpp"
+#include "simt/device.hpp"
 
 namespace lassm::pipeline {
 
@@ -106,11 +108,6 @@ MultiGpuResult run_multi_gpu(const core::AssemblyInput& in,
   return result;
 }
 
-namespace {
-
-/// Sub-input over a subset of contigs (ascending global order), with each
-/// contig's mapped reads copied and reindexed — the same localisation
-/// partition_input performs per rank.
 core::AssemblyInput subset_input(const core::AssemblyInput& in,
                                  const std::vector<std::uint32_t>& ids) {
   core::AssemblyInput sub;
@@ -133,18 +130,33 @@ core::AssemblyInput subset_input(const core::AssemblyInput& in,
   return sub;
 }
 
+namespace {
+
+/// All of this function's errors share one prefix; keeping it in one place
+/// (rather than repeated in every message literal) is the error-message
+/// dedup the call sites rely on for stable grep-ability.
+[[noreturn]] void fail(ErrorCode code, const std::string& what) {
+  throw StatusError(Error(code, "run_multi_gpu_resilient: " + what));
+}
+
 }  // namespace
 
 MultiGpuResult run_multi_gpu_resilient(
     const core::AssemblyInput& in,
     const std::vector<simt::DeviceSpec>& devices,
-    const core::AssemblyOptions& opts, const resilience::FaultPlan* plan) {
+    const core::AssemblyOptions& opts, const resilience::FaultPlan* plan,
+    const std::vector<std::uint32_t>* rank_ids) {
   if (devices.empty()) {
-    throw StatusError(Error(
-        ErrorCode::kInvalidArgument,
-        "run_multi_gpu_resilient: device list must not be empty"));
+    fail(ErrorCode::kInvalidArgument, "device list must not be empty");
+  }
+  if (rank_ids != nullptr && rank_ids->size() != devices.size()) {
+    fail(ErrorCode::kInvalidArgument,
+         "rank_ids must have one entry per device");
   }
   for (const simt::DeviceSpec& d : devices) d.validate().throw_if_error();
+  const auto phys_rank = [&](std::uint32_t index) {
+    return rank_ids != nullptr ? (*rank_ids)[index] : index;
+  };
 
   std::vector<std::uint32_t> rank_of;
   const auto parts = partition_input(
@@ -170,13 +182,13 @@ MultiGpuResult run_multi_gpu_resilient(
   for (std::uint32_t r = 0; r < parts.size(); ++r) {
     core::AssemblyOptions ropts = opts;
     ropts.fault_plan = plan;
-    ropts.fault_rank = r;
+    ropts.fault_rank = phys_rank(r);
     core::LocalAssembler assembler(devices[r], ropts);
     const core::AssemblyResult rr = assembler.run(parts[r]);
 
     result.failures.merge(rr.failures);
     RankReport rep;
-    rep.rank = r;
+    rep.rank = phys_rank(r);
     rep.contigs = parts[r].contigs.size();
     rep.reads = parts[r].reads.size();
     rep.time_s = rr.total_time_s;
@@ -193,7 +205,7 @@ MultiGpuResult run_multi_gpu_resilient(
     }
     if (rr.device_lost) {
       LostWork lw;
-      lw.rank = r;
+      lw.rank = phys_rank(r);
       lw.after_batch = rr.completed_batches;
       for (std::uint32_t local : rr.unfinished_contigs) {
         lw.global_ids.push_back(members[r][local]);
@@ -203,14 +215,19 @@ MultiGpuResult run_multi_gpu_resilient(
   }
 
   if (!lost.empty()) {
+    // Survivors as device indices (for rerun placement) and as physical
+    // rank ids (for the RebalanceEvent record).
     std::vector<std::uint32_t> survivors;
-    for (const RankReport& rep : result.ranks) {
-      if (!rep.lost) survivors.push_back(rep.rank);
+    std::vector<std::uint32_t> survivor_ids;
+    for (std::uint32_t r = 0; r < result.ranks.size(); ++r) {
+      if (!result.ranks[r].lost) {
+        survivors.push_back(r);
+        survivor_ids.push_back(result.ranks[r].rank);
+      }
     }
     if (survivors.empty()) {
-      throw StatusError(Error(ErrorCode::kDeviceLost,
-                              "run_multi_gpu_resilient: every rank lost "
-                              "its device; nothing to recover onto"));
+      fail(ErrorCode::kDeviceLost,
+           "every rank lost its device; nothing to recover onto");
     }
 
     // Rebalance: all lost ranks' unfinished contigs, LPT-split across the
@@ -243,9 +260,7 @@ MultiGpuResult run_multi_gpu_resilient(
       core::LocalAssembler assembler(devices[survivor], ropts);
       const core::AssemblyResult rr = assembler.run(sub_parts[s]);
       if (rr.device_lost) {
-        throw StatusError(Error(ErrorCode::kDeviceLost,
-                                "run_multi_gpu_resilient: recovery rerun "
-                                "reported device loss"));
+        fail(ErrorCode::kDeviceLost, "recovery rerun reported device loss");
       }
       result.failures.merge(rr.failures);
       // Recovery serialises after the loss on the survivor's device.
@@ -265,7 +280,7 @@ MultiGpuResult run_multi_gpu_resilient(
       ev.lost_rank = lw.rank;
       ev.after_batch = lw.after_batch;
       ev.moved_contigs = lw.global_ids.size();
-      ev.survivors = survivors;
+      ev.survivors = survivor_ids;
       result.failures.rebalances.push_back(std::move(ev));
     }
   }
@@ -274,6 +289,21 @@ MultiGpuResult run_multi_gpu_resilient(
     result.makespan_s = std::max(result.makespan_s, rep.time_s);
   }
   return result;
+}
+
+MultiGpuResult run_multi_gpu_resilient(const core::AssemblyInput& in,
+                                       std::string_view device_key,
+                                       std::uint32_t num_ranks,
+                                       const core::AssemblyOptions& opts,
+                                       const resilience::FaultPlan* plan) {
+  const simt::DeviceSpec* spec = simt::DeviceSpec::find(device_key);
+  if (spec == nullptr) {
+    fail(ErrorCode::kInvalidArgument,
+         "unknown device \"" + std::string(device_key) +
+             "\" (registered: " + simt::DeviceSpec::zoo_slugs() + ")");
+  }
+  const std::vector<simt::DeviceSpec> devices(num_ranks, *spec);
+  return run_multi_gpu_resilient(in, devices, opts, plan);
 }
 
 }  // namespace lassm::pipeline

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "core/assembler.hpp"
@@ -50,6 +51,13 @@ std::vector<core::AssemblyInput> partition_input(
     const core::AssemblyInput& in, std::uint32_t num_ranks,
     std::vector<std::uint32_t>* rank_of = nullptr);
 
+/// Sub-input over a subset of contigs (`ids`, ascending global order),
+/// with each contig's mapped reads copied and reindexed — the same
+/// localisation partition_input performs per rank. Device-loss recovery
+/// and the distributed driver both rebuild work lists through this.
+core::AssemblyInput subset_input(const core::AssemblyInput& in,
+                                 const std::vector<std::uint32_t>& ids);
+
 /// Runs local assembly on `num_ranks` copies of the device model and
 /// merges the extensions back into input order. Results are identical to
 /// a single-device run (verified in tests): partitioning cannot change
@@ -82,10 +90,27 @@ inline constexpr std::uint32_t kRecoveryRank = 0xFFFFFFFFu;
 /// StatusError(kDeviceLost) when every rank is lost (nothing to recover
 /// onto). `plan` may be null (equivalent to run_multi_gpu with hardening
 /// armed off) or empty (armed, nothing fires — bit-identical results).
+///
+/// `rank_ids` (optional, size = devices) gives each entry its *physical*
+/// rank identity: fault_rank, RankReport.rank and RebalanceEvent members
+/// carry those ids instead of vector indices. The distributed driver uses
+/// this to run a round over the surviving subset of a larger rank set
+/// without remapping the plan's scheduled device-loss events.
 MultiGpuResult run_multi_gpu_resilient(
     const core::AssemblyInput& in,
     const std::vector<simt::DeviceSpec>& devices,
     const core::AssemblyOptions& opts,
-    const resilience::FaultPlan* plan);
+    const resilience::FaultPlan* plan,
+    const std::vector<std::uint32_t>* rank_ids = nullptr);
+
+/// Homogeneous-fleet convenience: resolves `device_key` through the
+/// DeviceSpec::find() registry (slug, name or vendor alias) and runs
+/// `num_ranks` copies of it. Throws StatusError(kInvalidArgument) naming
+/// the registered slugs when the key matches nothing.
+MultiGpuResult run_multi_gpu_resilient(const core::AssemblyInput& in,
+                                       std::string_view device_key,
+                                       std::uint32_t num_ranks,
+                                       const core::AssemblyOptions& opts,
+                                       const resilience::FaultPlan* plan);
 
 }  // namespace lassm::pipeline

@@ -32,6 +32,8 @@ std::uint64_t seam_salt(Seam seam) noexcept {
       0x8fb84e1f9cd3a657ULL,  // kQueueOverflow
       0x5bd1e9955bd1e995ULL,  // kJobTimeout
       0x713b1d4f6a09e667ULL,  // kCacheCorrupt
+      0x3c6ef372fe94f82bULL,  // kRankMsgDrop
+      0xbb67ae8584caa73bULL,  // kRankLoss
   };
   return kSalts[static_cast<std::size_t>(seam)];
 }
@@ -70,6 +72,8 @@ const char* seam_name(Seam seam) noexcept {
     case Seam::kQueueOverflow: return "queue_overflow";
     case Seam::kJobTimeout: return "job_timeout";
     case Seam::kCacheCorrupt: return "cache_corrupt";
+    case Seam::kRankMsgDrop: return "rank_msg_drop";
+    case Seam::kRankLoss: return "rank_loss";
     case Seam::kSeamCount: break;
   }
   return "unknown";

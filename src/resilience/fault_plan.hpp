@@ -33,6 +33,8 @@ enum class Seam : std::uint8_t {
   kQueueOverflow,      ///< serve admission queue rejects the job at entry
   kJobTimeout,         ///< serve job blows its deadline before dispatch
   kCacheCorrupt,       ///< stored ResultCache bytes flip before read-back
+  kRankMsgDrop,        ///< dist message batch dropped in flight (retransmit)
+  kRankLoss,           ///< dist rank dies at a phase boundary (shard handoff)
   kSeamCount,          ///< sentinel — number of seams
 };
 

@@ -468,7 +468,22 @@ void AssemblyService::run_batch(std::vector<Job>& batch) {
 
   core::AssemblyResult result;
   try {
-    result = assembler_.run(combined, engine_.get());
+    if (cfg_.ranks > 1) {
+      // Multi-rank dispatch: the combined batch is LPT-partitioned across
+      // `ranks` copies of the device. Extensions are bit-identical to the
+      // single-device run (the reason ServiceConfig::ranks stays out of
+      // the cache fingerprint); device loss is recovered inside by
+      // rebalancing onto the surviving ranks. Only the modelled time
+      // changes: the fleet makespan replaces the single-device total.
+      pipeline::MultiGpuResult mgr = pipeline::run_multi_gpu_resilient(
+          combined, std::vector<simt::DeviceSpec>(cfg_.ranks, cfg_.device),
+          armed_options(cfg_, plan_, cfg_.assembly.fault_rank), plan_);
+      result.extensions = std::move(mgr.extensions);
+      result.failures = std::move(mgr.failures);
+      result.total_time_s = mgr.makespan_s;
+    } else {
+      result = assembler_.run(combined, engine_.get());
+    }
   } catch (const StatusError& e) {
     for (Job& job : batch) retry_or_fail(job, e.error());
     return;
@@ -531,6 +546,18 @@ void AssemblyService::run_batch(std::vector<Job>& batch) {
     rebalance.after_batch = result.completed_batches;
     rebalance.moved_contigs = result.unfinished_contigs.size();
     rebalance.survivors = {pipeline::kRecoveryRank};
+    recovered = true;
+  }
+  if (cfg_.ranks > 1 && !result.failures.rebalances.empty()) {
+    // Multi-rank dispatch recovered one or more lost ranks internally;
+    // surface the loss the same way the single-device rerun path does.
+    {
+      std::lock_guard<std::mutex> counters_lock(counters_mutex_);
+      counters_.devices_lost += result.failures.devices_lost;
+    }
+    metrics_->counter(trace::names::kServeDevicesLost)
+        .add(result.failures.devices_lost);
+    rebalance = result.failures.rebalances.front();
     recovered = true;
   }
 

@@ -51,6 +51,11 @@ Status DeviceSpec::validate() const {
   if (!(perf.clock_ghz > 0.0)) return bad("perf.clock_ghz must be > 0");
   if (perf.intops_per_cycle_per_cu == 0)
     return bad("perf.intops_per_cycle_per_cu must be > 0");
+  if (!(net.latency_us >= 0.0)) return bad("net.latency_us must be >= 0");
+  if (!(net.bandwidth_gbps > 0.0))
+    return bad("net.bandwidth_gbps must be > 0");
+  if (net.batch_budget_bytes == 0)
+    return bad("net.batch_budget_bytes must be > 0");
   if (!l1_slice_config().well_formed() ||
       !l2_slice_config(1).well_formed())
     return bad(

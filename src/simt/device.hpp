@@ -47,6 +47,23 @@ struct PerfParams {
   double cache_dilution = 1.0;
 };
 
+/// Inter-rank interconnect parameters for the distributed (multi-rank)
+/// simulation. Defaults model a commodity 25 GbE-class fabric: each flushed
+/// message batch costs latency_us plus bytes / bandwidth, and the message
+/// layer aggregates remote operations into batches of at most
+/// batch_budget_bytes before billing (see dist::MessageLayer).
+struct NetworkSpec {
+  double latency_us = 2.0;          ///< per-batch injection latency
+  double bandwidth_gbps = 25.0;     ///< link bandwidth, gigaBYTES/s
+  std::uint32_t batch_budget_bytes = 64 * 1024;  ///< aggregation buffer size
+
+  /// Modelled wire seconds for one batch carrying `bytes` payload bytes.
+  double batch_seconds(std::uint64_t bytes) const noexcept {
+    return latency_us * 1e-6 +
+           static_cast<double>(bytes) / (bandwidth_gbps * 1e9);
+  }
+};
+
 /// One GPU as the study configures it (single GCD for MI250X, single tile
 /// for Max 1550). Capacities follow Table III; peaks follow Figure 6.
 struct DeviceSpec {
@@ -77,6 +94,7 @@ struct DeviceSpec {
   double l2_bw_gbps = 0.0;
 
   PerfParams perf;
+  NetworkSpec net;   ///< inter-rank fabric for dist:: runs
 
   /// Ridge point of the INTOP roofline (paper: 0.23 / 0.23 / 0.09).
   double machine_balance() const noexcept {

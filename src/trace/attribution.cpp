@@ -25,6 +25,8 @@ CounterVector::fields() noexcept {
       {"hbm_read_bytes", &CounterVector::hbm_read_bytes},
       {"hbm_write_bytes", &CounterVector::hbm_write_bytes},
       {"warps", &CounterVector::warps},
+      {"dist_msgs", &CounterVector::dist_msgs},
+      {"dist_bytes", &CounterVector::dist_bytes},
   }};
   return kFields;
 }

@@ -43,6 +43,8 @@ struct CounterVector {
   std::uint64_t hbm_read_bytes = 0;
   std::uint64_t hbm_write_bytes = 0;
   std::uint64_t warps = 0;
+  std::uint64_t dist_msgs = 0;   ///< remote messages flushed (dist::)
+  std::uint64_t dist_bytes = 0;  ///< payload bytes those messages carried
   double sim_time_s = 0.0;  ///< modelled launch seconds covered by the span
 
   /// Name/member table over the integer fields, so exporters (span args,
@@ -53,7 +55,7 @@ struct CounterVector {
     const char* name;
     std::uint64_t CounterVector::* member;
   };
-  static constexpr std::size_t kNumFields = 20;
+  static constexpr std::size_t kNumFields = 22;
   static const std::array<Field, kNumFields>& fields() noexcept;
 
   void add(const CounterVector& o) noexcept {

@@ -103,6 +103,17 @@ inline constexpr const char* kServeCacheCorrupt = "serve.cache_corrupt";
 inline constexpr const char* kServeQueueDepthPeak = "serve.queue_depth_peak";
 inline constexpr const char* kServeLatencyUs = "serve.latency_us";
 
+/// Distributed (multi-rank) message layer (src/dist): remote traffic and
+/// the modelled network cost it was billed at.
+inline constexpr const char* kDistMsgs = "dist.msgs";
+inline constexpr const char* kDistBytes = "dist.bytes";
+inline constexpr const char* kDistBatches = "dist.batches";
+inline constexpr const char* kDistMsgDrops = "dist.msg_drops";
+inline constexpr const char* kDistRetransmits = "dist.retransmits";
+inline constexpr const char* kDistFlushes = "dist.flushes";
+inline constexpr const char* kDistRankLosses = "dist.rank_losses";
+inline constexpr const char* kDistNetworkSeconds = "dist.network_seconds";
+
 inline constexpr const char* kHistWarpCycles = "hist.warp_cycles";
 inline constexpr const char* kHistProbeRounds = "hist.probe_rounds_per_rung";
 inline constexpr const char* kHistWalkLen = "hist.walk_len";

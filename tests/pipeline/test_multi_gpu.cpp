@@ -114,7 +114,7 @@ TEST(MultiGpuResilient, NullOrEmptyPlanMatchesBaseline) {
   const resilience::FaultPlan empty(9);
   for (const resilience::FaultPlan* plan :
        {static_cast<const resilience::FaultPlan*>(nullptr), &empty}) {
-    const auto r = run_multi_gpu_resilient(in, a100s(3), {}, plan);
+    const auto r = run_multi_gpu_resilient(in, "a100", 3, {}, plan);
     ASSERT_EQ(r.extensions.size(), base.extensions.size());
     for (std::size_t i = 0; i < base.extensions.size(); ++i) {
       EXPECT_EQ(r.extensions[i].left, base.extensions[i].left) << i;
@@ -132,7 +132,7 @@ TEST(MultiGpuResilient, LostRankIsRebalancedBitIdentically) {
 
   resilience::FaultPlan plan(42);
   plan.add_device_loss(/*rank=*/1, /*after_batch=*/1);
-  const auto r = run_multi_gpu_resilient(in, a100s(3), {}, &plan);
+  const auto r = run_multi_gpu_resilient(in, "a100", 3, {}, &plan);
 
   // The loss is visible in the report...
   EXPECT_EQ(r.failures.devices_lost, 1U);
@@ -169,7 +169,7 @@ TEST(MultiGpuResilient, MultipleLossesRecoverOntoTheLastSurvivor) {
   resilience::FaultPlan plan(1);
   plan.add_device_loss(0, 1);
   plan.add_device_loss(2, 1);
-  const auto r = run_multi_gpu_resilient(in, a100s(3), {}, &plan);
+  const auto r = run_multi_gpu_resilient(in, "a100", 3, {}, &plan);
   EXPECT_EQ(r.failures.devices_lost, 2U);
   EXPECT_EQ(r.failures.rebalances.size(), 2U);
   for (std::size_t i = 0; i < base.extensions.size(); ++i) {
@@ -184,7 +184,7 @@ TEST(MultiGpuResilient, AllRanksLostThrowsDeviceLost) {
   plan.add_device_loss(0, 1);
   plan.add_device_loss(1, 1);
   try {
-    run_multi_gpu_resilient(in, a100s(2), {}, &plan);
+    run_multi_gpu_resilient(in, "a100", 2, {}, &plan);
     FAIL() << "every rank lost, but the run claimed success";
   } catch (const StatusError& e) {
     EXPECT_EQ(e.code(), ErrorCode::kDeviceLost);
@@ -214,8 +214,8 @@ TEST(MultiGpuResilient, PerTaskFaultsFollowTheContigAcrossRecovery) {
   resilience::FaultPlan no_loss(77);
   no_loss.arm(resilience::Seam::kBadInput, 0.15);
 
-  const auto base = run_multi_gpu_resilient(in, a100s(3), {}, &no_loss);
-  const auto r = run_multi_gpu_resilient(in, a100s(3), {}, &plan);
+  const auto base = run_multi_gpu_resilient(in, "a100", 3, {}, &no_loss);
+  const auto r = run_multi_gpu_resilient(in, "a100", 3, {}, &plan);
   ASSERT_EQ(r.extensions.size(), base.extensions.size());
   for (std::size_t i = 0; i < base.extensions.size(); ++i) {
     EXPECT_EQ(r.extensions[i].left, base.extensions[i].left) << i;
@@ -223,6 +223,61 @@ TEST(MultiGpuResilient, PerTaskFaultsFollowTheContigAcrossRecovery) {
   }
   EXPECT_EQ(r.failures.devices_lost, 1U);
   EXPECT_GT(base.failures.tasks_quarantined, 0U) << "vacuous: nothing fired";
+}
+
+TEST(MultiGpuResilient, KeyOverloadMatchesExplicitDeviceList) {
+  const auto in = dataset(30);
+  const auto by_key = run_multi_gpu_resilient(in, "a100", 3, {}, nullptr);
+  const auto by_list = run_multi_gpu_resilient(in, a100s(3), {}, nullptr);
+  ASSERT_EQ(by_key.extensions.size(), by_list.extensions.size());
+  for (std::size_t i = 0; i < by_list.extensions.size(); ++i) {
+    EXPECT_EQ(by_key.extensions[i].left, by_list.extensions[i].left) << i;
+    EXPECT_EQ(by_key.extensions[i].right, by_list.extensions[i].right) << i;
+  }
+  EXPECT_EQ(by_key.makespan_s, by_list.makespan_s);
+  // Vendor aliases resolve through the same registry.
+  const auto by_alias = run_multi_gpu_resilient(in, "nvidia", 3, {}, nullptr);
+  EXPECT_EQ(by_alias.makespan_s, by_key.makespan_s);
+}
+
+TEST(MultiGpuResilient, UnknownDeviceKeyNamesTheRegistry) {
+  const auto in = dataset(5);
+  try {
+    run_multi_gpu_resilient(in, "not-a-gpu", 2, {}, nullptr);
+    FAIL() << "unknown device key accepted";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument);
+    EXPECT_NE(std::string(e.what()).find("a100"), std::string::npos)
+        << "error message should list the registered slugs";
+  }
+}
+
+TEST(MultiGpuResilient, RankIdsCarryPhysicalIdentities) {
+  const auto in = dataset(40);
+  const std::vector<std::uint32_t> rank_ids{5, 9};
+  resilience::FaultPlan plan(3);
+  plan.add_device_loss(/*rank=*/9, /*after_batch=*/1);
+  const auto r = run_multi_gpu_resilient(in, a100s(2), {}, &plan, &rank_ids);
+
+  // Reports, the loss and the rebalance all speak physical ids: the
+  // device-loss event named rank 9 and fired on the second device.
+  ASSERT_EQ(r.ranks.size(), 2U);
+  EXPECT_EQ(r.ranks[0].rank, 5U);
+  EXPECT_EQ(r.ranks[1].rank, 9U);
+  EXPECT_FALSE(r.ranks[0].lost);
+  EXPECT_TRUE(r.ranks[1].lost);
+  ASSERT_EQ(r.failures.rebalances.size(), 1U);
+  EXPECT_EQ(r.failures.rebalances[0].lost_rank, 9U);
+  EXPECT_EQ(r.failures.rebalances[0].survivors,
+            (std::vector<std::uint32_t>{5U}));
+
+  // Results are still bit-identical to the loss-free run.
+  const auto base = run_multi_gpu(in, simt::DeviceSpec::a100(), 2);
+  ASSERT_EQ(r.extensions.size(), base.extensions.size());
+  for (std::size_t i = 0; i < base.extensions.size(); ++i) {
+    EXPECT_EQ(r.extensions[i].left, base.extensions[i].left) << i;
+    EXPECT_EQ(r.extensions[i].right, base.extensions[i].right) << i;
+  }
 }
 
 }  // namespace

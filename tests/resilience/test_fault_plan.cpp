@@ -125,7 +125,8 @@ TEST(FaultPlanParse, ParsesFullSpec) {
 
 TEST(FaultPlanParse, RoundTripsThroughToSpec) {
   auto r = FaultPlan::parse(
-      "seed=7 mem_stall=0.25 walk_hang=0.5 device_loss=0@1 device_loss=2@3");
+      "seed=7 mem_stall=0.25 walk_hang=0.5 rank_msg_drop=0.125 "
+      "rank_loss=0.0625 device_loss=0@1 device_loss=2@3");
   ASSERT_TRUE(r.is_ok());
   const FaultPlan plan = std::move(r).take();
   auto r2 = FaultPlan::parse(plan.to_spec());
@@ -137,6 +138,21 @@ TEST(FaultPlanParse, RoundTripsThroughToSpec) {
                      plan2.rate(static_cast<Seam>(s)));
   }
   EXPECT_EQ(plan.device_losses().size(), plan2.device_losses().size());
+  EXPECT_DOUBLE_EQ(plan2.rate(Seam::kRankMsgDrop), 0.125);
+  EXPECT_DOUBLE_EQ(plan2.rate(Seam::kRankLoss), 0.0625);
+}
+
+TEST(FaultPlan, RankSeamsArePersistent) {
+  // A dropped batch must stay dropped for its (epoch, link, batch) key no
+  // matter how often the layer re-evaluates it; retransmission is modelled
+  // as extra cost, not as a second draw.
+  FaultPlan plan(13);
+  plan.arm(Seam::kRankMsgDrop, 1.0);
+  plan.arm(Seam::kRankLoss, 1.0);
+  EXPECT_TRUE(plan.fires(Seam::kRankMsgDrop, 5, 0));
+  EXPECT_TRUE(plan.fires(Seam::kRankMsgDrop, 5, 1));
+  EXPECT_TRUE(plan.fires(Seam::kRankLoss, 5, 0));
+  EXPECT_TRUE(plan.fires(Seam::kRankLoss, 5, 1));
 }
 
 TEST(FaultPlanParse, RejectsMalformedSpecs) {
